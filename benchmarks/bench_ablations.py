@@ -1,0 +1,90 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. The 10-second minimum-stay filter (paper's doorway-leakage fix).
+2. Beacon density vs room-detection accuracy.
+3. Clock drift (time sync disabled) vs co-location agreement.
+4. Wear compliance vs analysis robustness.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.config import MissionConfig
+from repro.crew.behavior import simulate_mission
+from repro.experiments.ablations import (
+    ablate_beacon_density,
+    ablate_stay_filter,
+    ablate_time_sync,
+    ablate_wear_compliance,
+)
+
+
+@pytest.fixture(scope="module")
+def small_cfg():
+    return MissionConfig(days=3, seed=5, events=None)
+
+
+@pytest.fixture(scope="module")
+def small_truth(small_cfg):
+    return simulate_mission(small_cfg)
+
+
+def test_ablate_stay_filter(benchmark, small_cfg, small_truth, artifact_dir):
+    sweep = benchmark.pedantic(
+        ablate_stay_filter, args=(small_cfg, small_truth), rounds=1, iterations=1
+    )
+    text = "\n".join(f"  min-stay {t:>4.0f} s -> {n} transitions" for t, n in sweep.items())
+    write_artifact(artifact_dir, "ablation_stay_filter.txt", text)
+
+    # Without the filter, leakage manufactures spurious passages; by
+    # 10 s the count has flattened (the paper's choice).
+    assert sweep[0.0] > 1.15 * sweep[10.0]
+    assert sweep[10.0] < 1.3 * sweep[20.0]
+
+
+def test_ablate_beacon_density(benchmark, small_cfg, small_truth, artifact_dir):
+    sweep = benchmark.pedantic(
+        ablate_beacon_density, args=(small_cfg, small_truth), rounds=1, iterations=1
+    )
+    text = "\n".join(f"  {n:>2} beacons -> room accuracy {a:.3f}" for n, a in sweep.items())
+    write_artifact(artifact_dir, "ablation_beacon_density.txt", text)
+
+    assert sweep[27] > 0.99              # the paper's "perfect" detection
+    assert sweep[27] >= sweep[9] >= sweep[3]
+    assert sweep[3] < 0.9                # sparse coverage breaks it
+
+
+def test_ablate_time_sync(benchmark, paper_result, artifact_dir):
+    sweep = benchmark(ablate_time_sync, paper_result)
+    text = "\n".join(
+        f"  clock skew {s:>5.1f} s -> conversation synchrony {a:.3f}"
+        for s, a in sweep.items()
+    )
+    write_artifact(artifact_dir, "ablation_time_sync.txt", text)
+
+    assert sweep[0.0] == 1.0
+    values = list(sweep.values())
+    assert values == sorted(values, reverse=True)  # monotone degradation
+    assert sweep[15.0] < 0.8  # unsynced fleet scrambles turn alignment
+
+
+def test_ablate_wear_compliance(benchmark, small_cfg, artifact_dir):
+    sweep = benchmark.pedantic(
+        ablate_wear_compliance, args=(small_cfg,),
+        kwargs={"levels": (0.9, 0.5, 0.3)}, rounds=1, iterations=1,
+    )
+    text = "\n".join(
+        f"  compliance {level:.0%} -> speech {m['mean_speech_fraction']:.3f}, "
+        f"company {m['company_h']:.1f} h, IR contact {m['ir_contact_h']:.1f} h"
+        for level, m in sweep.items()
+    )
+    write_artifact(artifact_dir, "ablation_wear_compliance.txt", text)
+
+    # Room-level speech detection survives low compliance (a badge on a
+    # desk still hears the room); person-attributed measures do not.
+    # (The 30% setting bottoms out around ~45% actually worn: badges
+    # must be worn between rooms and during meals, so compliance can't
+    # fall arbitrarily low -- a floor the real deployment also had.)
+    assert sweep[0.3]["mean_speech_fraction"] > 0.6 * sweep[0.9]["mean_speech_fraction"]
+    assert sweep[0.3]["company_h"] < 0.7 * sweep[0.9]["company_h"]
+    assert sweep[0.3]["ir_contact_h"] < 0.75 * sweep[0.9]["ir_contact_h"]

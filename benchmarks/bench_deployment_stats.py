@@ -1,0 +1,29 @@
+"""Section V deployment statistics.
+
+Paper: ~150 GiB over the 13 instrumented days; an average badge worn
+63% of daytime and active 84%; wear compliance decaying from ~80% to
+~50% across the mission.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.tables import build_deployment_stats
+
+
+def test_deployment_stats(benchmark, paper_result, artifact_dir):
+    stats = benchmark(build_deployment_stats, paper_result)
+
+    per_day = "\n".join(
+        f"  day {day:>2}: worn {frac:.0%}" for day, frac in stats.worn_by_day.items()
+    )
+    write_artifact(
+        artifact_dir, "deployment_stats.txt", f"{stats}\n\nworn by day:\n{per_day}"
+    )
+
+    assert stats.n_instrumented_days == 13
+    assert stats.n_badges == 7
+    assert 110 <= stats.total_gib <= 190          # paper: ~150 GiB
+    assert 0.55 <= stats.worn_fraction <= 0.72    # paper: 63%
+    assert 0.80 <= stats.active_fraction <= 0.97  # paper: 84%
+    early, late = stats.compliance_decay()
+    assert early > late + 0.1                     # paper: ~80% -> ~50%
+    assert late < 0.60

@@ -1,0 +1,27 @@
+"""Figure 2: room-to-room passage counts.
+
+Regenerates the transition matrix (10 s minimum-stay filter, main hall
+excluded) and checks its headline shape: office<->kitchen and
+workshop<->kitchen passages dominate.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.figures import fig2, format_fig2
+from repro.analytics.transitions import kitchen_inflow_share, top_transitions
+
+
+def test_fig2_transition_matrix(benchmark, paper_result, artifact_dir):
+    names, counts = benchmark(fig2, paper_result)
+
+    text = format_fig2(names, counts)
+    top = top_transitions(names, counts, k=6)
+    text += "\n\ntop passages: " + ", ".join(f"{a}->{b}:{n}" for a, b, n in top)
+    write_artifact(artifact_dir, "fig2_transitions.txt", text)
+
+    # Shape checks mirroring the paper's reading of the figure.
+    kitchen_pairs = {(a, b) for a, b, __ in top if "kitchen" in (a, b)}
+    assert any("office" in pair for pair in kitchen_pairs)
+    assert any("workshop" in pair for pair in kitchen_pairs)
+    shares = kitchen_inflow_share(names, counts)
+    assert shares["office"] + shares["workshop"] > 0.4
+    assert 100 <= counts.max() <= 400  # paper scale: max around 200

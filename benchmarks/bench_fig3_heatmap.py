@@ -1,0 +1,32 @@
+"""Figure 3: astronaut A's whole-mission occupancy heatmap.
+
+28 cm x 28 cm log-scale histogram of A's localized positions; the
+paper's visible finding is that impaired A keeps to the middle of rooms
+and avoids corners, unlike the rest of the crew.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.figures import fig3, format_fig3
+
+
+def test_fig3_heatmap(benchmark, paper_result, artifact_dir):
+    heatmap = benchmark(fig3, paper_result, "A")
+
+    plan = paper_result.truth.plan
+    text = format_fig3(heatmap)
+    lines = [text, ""]
+    for astro in ("A", "D", "F"):
+        hm = fig3(paper_result, astro)
+        main_room = "storage" if astro == "A" else "workshop"
+        ratio = hm.center_vs_corner_ratio(plan.room(main_room).rect)
+        lines.append(f"{astro} center/corner ratio in {main_room}: {ratio:.2f}")
+    write_artifact(artifact_dir, "fig3_heatmap.txt", "\n".join(lines))
+
+    assert heatmap.cell_m == 0.28
+    assert heatmap.total_seconds() > 10 * 3600.0
+
+    a_ratio = fig3(paper_result, "A").center_vs_corner_ratio(plan.room("storage").rect)
+    d_ratio = fig3(paper_result, "D").center_vs_corner_ratio(plan.room("workshop").rect)
+    f_ratio = fig3(paper_result, "F").center_vs_corner_ratio(plan.room("workshop").rect)
+    assert a_ratio > 3 * d_ratio
+    assert a_ratio > 3 * f_ratio

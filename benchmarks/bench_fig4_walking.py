@@ -1,0 +1,25 @@
+"""Figure 4: daily walking fractions, days 2-8.
+
+Shape targets from the paper: values within ~0.02-0.10; A most passive;
+the energetic pair D, F walking significantly more than B, E; C (while
+present) the most mobile of all.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.figures import fig4, format_series
+
+
+def test_fig4_walking(benchmark, paper_result, artifact_dir):
+    series = benchmark(fig4, paper_result, tuple(range(2, 9)))
+
+    write_artifact(artifact_dir, "fig4_walking.txt", format_series(series))
+
+    values = [v for per_day in series.values() for v in per_day.values()]
+    assert 0.01 < min(values) and max(values) < 0.15  # the paper's band
+
+    means = {astro: np.mean(list(per_day.values())) for astro, per_day in series.items()}
+    assert min(means, key=means.get) == "A"                 # A most passive
+    assert means["C"] == max(means.values())                # C most mobile
+    assert min(means["D"], means["F"]) > max(means["B"], means["E"])

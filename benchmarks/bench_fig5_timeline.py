@@ -1,0 +1,49 @@
+"""Figure 5: the death-day timeline.
+
+Speech fraction + location per astronaut on day 4.  Shape targets: the
+12:30 lunch registers as a loud whole-crew kitchen gathering; shortly
+after C's death the survivors hold an unplanned consolation meeting in
+the kitchen (~15:20) that is clearly quieter than lunch; C's track goes
+dark after 15:00.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.analytics.meetings import detect_meetings
+from repro.core.units import hhmm, parse_hhmm
+from repro.experiments.figures import fig5, format_fig5
+
+
+def test_fig5_timeline(benchmark, paper_result, artifact_dir):
+    timeline = benchmark(fig5, paper_result)
+
+    day = paper_result.cfg.events.death_day
+    kitchen = paper_result.truth.plan.index_of("kitchen")
+    meetings = [
+        m for m in detect_meetings(paper_result.sensing, day, min_participants=4)
+        if m.room == kitchen
+    ]
+    lunch = min(meetings, key=lambda m: abs(m.t0 - parse_hhmm("12:30")))
+    conso = min(
+        meetings,
+        key=lambda m: abs(m.t0 - parse_hhmm(paper_result.cfg.events.consolation_time)),
+    )
+
+    text = format_fig5(paper_result, timeline)
+    text += (
+        f"\n\nlunch meeting {hhmm(lunch.t0)}-{hhmm(lunch.t1)}: "
+        f"{lunch.mean_voice_db:.1f} dB, {len(lunch.badge_ids)} badges"
+        f"\nconsolation meeting {hhmm(conso.t0)}-{hhmm(conso.t1)}: "
+        f"{conso.mean_voice_db:.1f} dB, {len(conso.badge_ids)} badges"
+    )
+    write_artifact(artifact_dir, "fig5_timeline.txt", text)
+
+    assert abs(conso.t0 - parse_hhmm("15:20")) < 900
+    assert len(conso.badge_ids) >= 4                      # everyone left
+    assert conso.mean_voice_db < lunch.mean_voice_db - 5  # clearly quieter
+
+    c_track = timeline.track("C")
+    death_bin = int((parse_hhmm("15:00") - timeline.t0) / timeline.bin_s)
+    assert (c_track.dominant_room[death_bin + 1:] == -1).all()
+    assert np.any(c_track.dominant_room[:death_bin] >= 0)

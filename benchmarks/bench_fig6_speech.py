@@ -1,0 +1,33 @@
+"""Figure 6: daily fraction of 15-second intervals with detected speech.
+
+Shape targets: early-mission values roughly 0.4-0.8; a declining trend
+("they talked less the closer the mission end was"); a collapse on the
+famine (11) and reprimand (12) days; C the top talker while present.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.figures import fig6, format_series
+
+
+def test_fig6_speech(benchmark, paper_result, artifact_dir):
+    series = benchmark(fig6, paper_result)
+
+    write_artifact(artifact_dir, "fig6_speech.txt", format_series(series))
+
+    def crew_mean(day):
+        values = [s[day] for s in series.values() if day in s]
+        return float(np.mean(values))
+
+    events = paper_result.cfg.events
+    early = np.mean([crew_mean(d) for d in (2, 3)])
+    late = np.mean([crew_mean(d) for d in (13, 14)])
+    assert 0.3 < early < 0.9          # paper's early band
+    assert late < 0.75 * early        # declining trend
+    assert crew_mean(events.famine_day) < 0.45 * early      # day-11 collapse
+    assert crew_mean(events.reprimand_day) < 0.45 * early   # day-12 collapse
+
+    # C dominates on the days C is present.
+    for day in (2, 3):
+        assert series["C"][day] == max(s.get(day, 0.0) for s in series.values())

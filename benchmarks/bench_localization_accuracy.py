@@ -1,0 +1,18 @@
+"""Localization quality on the full mission.
+
+The paper: "the room the badge located in was detected perfectly" —
+courtesy of the metal walls and the carefully placed 27 beacons.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.accuracy import localization_accuracy
+
+
+def test_localization_accuracy(benchmark, paper_result, artifact_dir):
+    report = benchmark(localization_accuracy, paper_result.sensing)
+    write_artifact(artifact_dir, "localization_accuracy.txt", str(report))
+
+    assert report.room_accuracy > 0.995
+    assert report.known_fraction > 0.95
+    for room, accuracy in report.room_accuracy_by_room.items():
+        assert accuracy > (0.85 if room == "main" else 0.97), room

@@ -1,0 +1,78 @@
+"""Performance benchmarks of the pipeline's hot paths.
+
+These are conventional micro/meso benchmarks (what pytest-benchmark is
+for): one simulated day of crew behavior, one badge-day of sensing, one
+badge-day of localization, and the speech detector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.speech import speech_windows
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.pipeline import SensingModels, make_fleet, sense_day
+from repro.core.config import MissionConfig
+from repro.core.rng import RngRegistry
+from repro.crew.behavior import simulate_mission
+from repro.localization.pipeline import Localizer
+
+
+@pytest.fixture(scope="module")
+def one_day_cfg():
+    return MissionConfig(days=2, seed=13, events=None)
+
+
+@pytest.fixture(scope="module")
+def one_day_truth(one_day_cfg):
+    return simulate_mission(one_day_cfg)
+
+
+def test_perf_crew_simulation_day(benchmark, one_day_cfg):
+    benchmark.pedantic(
+        simulate_mission, args=(one_day_cfg,), rounds=3, iterations=1
+    )
+
+
+def test_perf_sense_day(benchmark, one_day_cfg, one_day_truth):
+    assignment = BadgeAssignment(cfg=one_day_cfg, roster=one_day_truth.roster)
+    models = SensingModels.default(one_day_cfg, one_day_truth.plan)
+
+    def run():
+        rngs = RngRegistry(3)
+        fleet = make_fleet(assignment, rngs)
+        return sense_day(one_day_truth, 2, assignment, models, fleet, rngs)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_perf_localize_day(benchmark, one_day_cfg, one_day_truth):
+    assignment = BadgeAssignment(cfg=one_day_cfg, roster=one_day_truth.roster)
+    models = SensingModels.default(one_day_cfg, one_day_truth.plan)
+    rngs = RngRegistry(3)
+    fleet = make_fleet(assignment, rngs)
+    observations, __ = sense_day(one_day_truth, 2, assignment, models, fleet, rngs)
+    obs = observations[0]
+    localizer = Localizer(one_day_truth.plan, models.beacons)
+
+    result = benchmark(localizer.localize_day, obs.ble_rssi, obs.active)
+    assert result.known_fraction() > 0.9
+
+
+def test_perf_speech_detector(benchmark):
+    n = 14 * 3600
+    rng = np.random.default_rng(0)
+    from repro.analytics.dataset import BadgeDaySummary
+
+    voice = rng.normal(55.0, 10.0, n).astype(np.float32)
+    summary = BadgeDaySummary(
+        badge_id=0, day=2, t0=0.0, dt=1.0,
+        active=np.ones(n, dtype=bool), worn=np.ones(n, dtype=bool),
+        room=np.zeros(n, dtype=np.int8),
+        x=np.zeros(n, dtype=np.float32), y=np.zeros(n, dtype=np.float32),
+        accel_rms=np.zeros(n, dtype=np.float32), voice_db=voice,
+        dominant_pitch_hz=np.full(n, 120.0, dtype=np.float32),
+        pitch_stability=np.full(n, 0.4, dtype=np.float32),
+        sound_db=voice,
+    )
+    windows = benchmark(speech_windows, summary)
+    assert 0.0 <= windows.fraction() <= 1.0

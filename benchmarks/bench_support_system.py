@@ -1,0 +1,129 @@
+"""Section VI support-system scenarios under failure injection.
+
+Exercises the prototype of the envisioned distributed support system:
+the day-12 contradictory-instruction incident over the 20-minute Earth
+link, replica failover (what the unreplicated reference badge lacked),
+the multi-party authorization round, and a day of hydration tracking.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.core.engine import Simulator
+from repro.support.authorization import AuthorizationService, EarthVoter, ProposalState
+from repro.support.bus import Network
+from repro.support.hydration import HydrationTracker, fluid_events_from_truth
+from repro.support.mission_control import EarthLink
+from repro.support.replication import ReplicatedService
+
+
+def day12_scenario():
+    """Crew acts autonomously; a stale command arrives; reprimand."""
+    sim = Simulator()
+    net = Network(sim)
+    link = EarthLink.build(net, sim)  # 20-minute one-way delay
+    link.mission_control.issue("rover-route", "south")
+    sim.run_until(600.0)
+    link.habitat_agent.decide_locally("rover-route", "north")
+    sim.run()
+    return link
+
+
+def failover_scenario():
+    sim = Simulator()
+    net = Network(sim, default_latency_s=0.01)
+    svc = ReplicatedService.build(net, sim)
+    for k in range(50):
+        svc.submit(f"update-{k}")
+    sim.run_until(10.0)
+    net.crash("svc-a")
+    sim.run_until(20.0)
+    accepted_after = svc.submit("post-failover")
+    sim.run_until(21.0)
+    return svc, accepted_after
+
+
+def authorization_scenario():
+    sim = Simulator()
+    net = Network(sim)
+    auth = AuthorizationService("auth", sim, crew=list("ABDEF"))
+    net.register(auth)
+    net.register(EarthVoter("earth", sim, "auth"))
+    net.set_link_latency("auth", "earth", 1200.0)
+    net.set_link_latency("earth", "auth", 1200.0)
+    routine = auth.propose("B", "raise sampling rate")
+    for astro in "ADEF":
+        auth.vote(routine.proposal_id, astro, True)
+    net.partition("auth", "earth")  # comms blackout during the emergency
+    emergency = auth.propose("B", "vent module 3", emergency=True)
+    auth.vote(emergency.proposal_id, "A", True)
+    auth.vote(emergency.proposal_id, "D", True)
+    net.heal("auth", "earth")  # blackout ends; the routine round resumes
+    sim.run_until(4000.0)
+    return routine, emergency
+
+
+def test_day12_contradiction(benchmark, artifact_dir):
+    link = benchmark(day12_scenario)
+    contradiction = link.habitat_agent.contradictions[0]
+    write_artifact(
+        artifact_dir, "support_day12.txt",
+        f"command issued t=0, local decision t=600, conflict detected "
+        f"t={contradiction.detected_at:.0f} (staleness "
+        f"{contradiction.staleness_s:.0f} s); reprimands received: "
+        f"{link.habitat_agent.reprimands_received}",
+    )
+    assert contradiction.staleness_s == 1200.0
+    assert link.habitat_agent.reprimands_received == 1
+
+
+def test_replica_failover(benchmark, artifact_dir):
+    svc, accepted_after = benchmark(failover_scenario)
+    write_artifact(
+        artifact_dir, "support_failover.txt",
+        f"backup promoted at t={svc.backup.took_over_at:.1f} s; state "
+        f"entries preserved: {len(svc.backup.state)}; writes accepted "
+        f"after failover: {accepted_after}",
+    )
+    assert svc.backup.is_primary
+    assert accepted_after
+    assert len(svc.backup.state) >= 51
+
+
+def test_authorization_round(benchmark, artifact_dir):
+    routine, emergency = benchmark(authorization_scenario)
+    write_artifact(
+        artifact_dir, "support_authorization.txt",
+        f"routine proposal: {routine.state.value} at t={routine.decided_at:.0f}; "
+        f"emergency proposal (Earth dark): {emergency.state.value} at "
+        f"t={emergency.decided_at:.0f}",
+    )
+    assert routine.state is ProposalState.APPROVED
+    assert routine.decided_at >= 2400.0   # waited the full Earth RTT
+    assert emergency.state is ProposalState.APPROVED
+    assert emergency.decided_at < 60.0    # no wait when lives at stake
+
+
+def test_hydration_day(benchmark, paper_result, artifact_dir):
+    truth = paper_result.truth
+
+    def run_day():
+        sim = Simulator()
+        tracker = HydrationTracker("hydro", sim, list(truth.roster.ids))
+        Network(sim).register(tracker)
+        for event in fluid_events_from_truth(truth, 5):
+            tracker.ingest(event)
+        return tracker
+
+    tracker = benchmark(run_day)
+    balances = "\n".join(
+        f"  {astro}: {tracker.balance(astro):+.0f} ml ({state.events} events)"
+        for astro, state in sorted(tracker.states.items())
+    )
+    write_artifact(
+        artifact_dir, "support_hydration.txt",
+        f"end-of-day fluid balances (day 5):\n{balances}\n"
+        f"dehydration alerts: {len(tracker.alerts)}",
+    )
+    assert all(np.isfinite(tracker.balance(a)) for a in truth.roster.ids)
+    assert sum(s.events for s in tracker.states.values()) > 20

@@ -1,0 +1,54 @@
+"""Table I: normalized per-astronaut parameters.
+
+Paper values: company A .79 B 1.00 C n/a D .94 E .74 F .89; authority
+A .86 B 1.00 C n/a D .96 E .83 F .96; talking A .63 B .60 C 1.00 D .63
+E .57 F .76; walking A .39 B .45 C 1.00 D .70 E .49 F .75.  The bench
+regenerates the table and pins the orderings and the anchor values.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.tables import build_table1
+
+PAPER = {
+    "company": {"A": 0.79, "B": 1.00, "C": None, "D": 0.94, "E": 0.74, "F": 0.89},
+    "authority": {"A": 0.86, "B": 1.00, "C": None, "D": 0.96, "E": 0.83, "F": 0.96},
+    "talking": {"A": 0.63, "B": 0.60, "C": 1.00, "D": 0.63, "E": 0.57, "F": 0.76},
+    "walking": {"A": 0.39, "B": 0.45, "C": 1.00, "D": 0.70, "E": 0.49, "F": 0.75},
+}
+
+
+def test_table1(benchmark, paper_result, artifact_dir):
+    table = benchmark(build_table1, paper_result)
+
+    lines = [str(table), "", "paper reference:"]
+    for column, values in PAPER.items():
+        row = "  ".join(
+            f"{a}:{'n/a' if v is None else f'{v:.2f}'}" for a, v in values.items()
+        )
+        lines.append(f"  {column:<9} {row}")
+    write_artifact(artifact_dir, "table1.txt", "\n".join(lines))
+
+    # C excluded from centrality, as in the paper.
+    assert table.company["C"] is None
+    assert table.authority["C"] is None
+
+    # Normalization anchors.
+    assert table.talking["C"] == 1.0
+    assert table.walking["C"] == 1.0
+
+    # Walking ordering: C > F > D > E ~ B > A.
+    w = table.walking
+    assert w["C"] > w["F"] > w["D"] > w["A"]
+    assert w["E"] > w["A"] and w["B"] > w["A"]
+    assert abs(w["A"] - PAPER["walking"]["A"]) < 0.12
+
+    # Talking: C clearly above everyone, E at the bottom of the humans.
+    t = table.talking
+    assert all(t["C"] >= t[x] + 0.2 for x in "ABDEF")
+    assert t["E"] == min(t[x] for x in "ABDEF")
+
+    # Company/authority: E at the bottom, B near the top, spread < 40%.
+    c = {a: v for a, v in table.company.items() if v is not None}
+    assert min(c, key=c.get) in ("E", "A")
+    assert c["B"] >= sorted(c.values())[-2] - 0.1
+    assert min(c.values()) > 0.6

@@ -1,0 +1,44 @@
+"""Benchmark fixtures: the full paper mission, simulated once per session.
+
+Every evaluation benchmark regenerates its table/figure from this single
+14-day run (the paper's exact mission length and scripted events), then
+times the analysis step itself.  Artifacts are written to
+``benchmarks/output/`` so the regenerated rows/series can be inspected
+and compared against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import MissionConfig
+from repro.experiments.mission import run_mission
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def paper_cfg() -> MissionConfig:
+    """The default configuration *is* the paper's mission."""
+    return MissionConfig()
+
+
+@pytest.fixture(scope="session")
+def paper_result(paper_cfg):
+    """Full 14-day mission through the entire stack (built once)."""
+    return run_mission(paper_cfg)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(directory: Path, name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it to the log."""
+    path = directory / name
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,57 @@
+"""Habitat ergonomics study: is the habitat arranged optimally?
+
+Reproduces the paper's ergonomics analysis: which room pairs see the
+most traffic (should the kitchen sit next to the office?), how long the
+characteristic work sessions are per room, and where each astronaut's
+time actually goes.
+
+Run:
+    python examples/habitat_ergonomics.py
+"""
+
+import numpy as np
+
+from repro import MissionConfig, run_mission
+from repro.analytics.occupancy import room_occupancy_seconds, stay_durations_by_room
+from repro.analytics.transitions import (
+    kitchen_inflow_share,
+    top_transitions,
+    transition_matrix,
+)
+
+
+def main() -> None:
+    cfg = MissionConfig(days=8, seed=3)
+    print(f"simulating {cfg.days} days ...")
+    result = run_mission(cfg)
+    sensing = result.sensing
+
+    names, counts = transition_matrix(sensing)
+    print("\nmost frequent passages (min 10 s stay in the destination):")
+    for src, dst, n in top_transitions(names, counts, k=8):
+        print(f"  {src:>9} -> {dst:<9} {n:>4}")
+
+    print("\nwhere kitchen-bound traffic comes from:")
+    for room, share in sorted(kitchen_inflow_share(names, counts).items(),
+                              key=lambda kv: -kv[1]):
+        if share > 0:
+            print(f"  {room:>9}: {share:.0%}")
+    print("  -> the kitchen should sit close to the office and workshop.")
+
+    print("\ncharacteristic work-session lengths:")
+    for room, durations in sorted(stay_durations_by_room(sensing).items()):
+        if room in ("office", "workshop", "biolab"):
+            hours = np.array(durations) / 3600.0
+            print(f"  {room:>9}: median {np.median(hours):.1f} h, "
+                  f"longest {hours.max():.1f} h ({len(hours)} sessions)")
+    print("  -> office/workshop work absorbs people far longer than biolab.")
+
+    print("\ntotal badge-time per room:")
+    occupancy = room_occupancy_seconds(sensing)
+    total = sum(occupancy.values())
+    for room, seconds in sorted(occupancy.items(), key=lambda kv: -kv[1]):
+        print(f"  {room:>9}: {seconds / 3600:.0f} h ({seconds / total:.0%})")
+
+
+if __name__ == "__main__":
+    main()

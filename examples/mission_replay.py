@@ -1,0 +1,62 @@
+"""Full ICAres-1 replay: regenerate every table and figure of the paper.
+
+This is the complete reproduction run — the 14-day mission with all
+scripted events — printing the data behind Figures 2-6 and Table I.
+
+Run (takes a couple of minutes):
+    python examples/mission_replay.py
+"""
+
+from repro import (
+    MissionConfig,
+    build_deployment_stats,
+    build_section5_claims,
+    build_table1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    run_mission,
+)
+from repro.experiments.figures import (
+    format_fig2,
+    format_fig3,
+    format_fig5,
+    format_series,
+)
+
+
+def main() -> None:
+    cfg = MissionConfig()  # the paper's mission: 14 days, 6 astronauts
+    print("simulating the full ICAres-1 mission ...")
+    result = run_mission(cfg)
+
+    print("\n=== Figure 2: room-to-room passages (10 s stay filter) ===")
+    names, counts = fig2(result)
+    print(format_fig2(names, counts))
+
+    print("\n=== Figure 3: astronaut A's occupancy heatmap (28 cm grid) ===")
+    print(format_fig3(fig3(result, "A")))
+
+    print("\n=== Figure 4: daily walking fractions, days 2-8 ===")
+    print(format_series(fig4(result, tuple(range(2, 9)))))
+
+    print("\n=== Figure 5: the death-day timeline ===")
+    print(format_fig5(result, fig5(result)))
+
+    print("\n=== Figure 6: daily speech fractions ===")
+    print(format_series(fig6(result)))
+
+    print("\n=== Table I ===")
+    print(build_table1(result))
+
+    print("\n=== Deployment statistics (Section V) ===")
+    print(build_deployment_stats(result))
+
+    print("\n=== Section V in-text claims ===")
+    print(build_section5_claims(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Quickstart: simulate a short analog mission and print the headline analyses.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import MissionConfig, build_deployment_stats, build_table1, run_mission
+
+
+def main() -> None:
+    # A 6-day mission keeps the scripted death of astronaut C (day 4)
+    # while staying fast; the full paper mission is MissionConfig().
+    cfg = MissionConfig(days=6, seed=42)
+    print(f"simulating a {cfg.days}-day mission (seed {cfg.seed}) ...")
+    result = run_mission(cfg)
+
+    print("\nTable I -- normalized per-astronaut parameters:")
+    print(build_table1(result))
+
+    print("\nDeployment statistics:")
+    print(build_deployment_stats(result))
+
+    sensing = result.sensing
+    print(f"\ninstrumented days: {sensing.days}")
+    print(f"badge-days of data: {len(sensing.summaries)}")
+
+
+if __name__ == "__main__":
+    main()

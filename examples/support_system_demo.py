@@ -1,0 +1,160 @@
+"""Mission support system demo: the paper's Section VI, running.
+
+Builds the distributed support-system prototype and walks through its
+scenarios: live streaming of badge data into the alert engine, the
+day-12 contradictory-instruction incident over the 20-minute Earth
+link, replica failover, a multi-party authorization round (with an
+emergency override during a comms blackout), hydration tracking, and a
+crew privacy request.
+
+Run:
+    python examples/support_system_demo.py
+"""
+
+from repro import MissionConfig, run_mission
+from repro.core.engine import Simulator
+from repro.support.alerts import AlertEngine
+from repro.support.authorization import AuthorizationService, EarthVoter
+from repro.support.bus import Network
+from repro.support.hydration import HydrationTracker, fluid_events_from_truth
+from repro.support.mission_control import EarthLink
+from repro.support.privacy import PrivacyManager
+from repro.support.replication import ReplicatedService
+from repro.support.scheduling import ReschedulingAdvisor
+from repro.support.stream import SensorStream, summarize_window
+
+
+def streaming_and_alerts(result) -> None:
+    print("\n--- live streaming into the alert engine ---")
+    sim = Simulator()
+    net = Network(sim)
+    engine = AlertEngine("alerts", sim)
+    net.register(engine)
+    day = result.sensing.days[-1]  # late mission: compliance is low
+    for badge_id in result.sensing.badges_on(day):
+        stream = SensorStream(
+            f"stream-{badge_id}", sim, result.sensing.summary(badge_id, day),
+            subscribers=["alerts"], window_s=300.0, time_scale=500.0,
+        )
+        net.register(stream)
+        stream.start()
+    sim.run()
+    print(f"windows processed: {engine.inbox_count}")
+    for alert in engine.alerts:
+        print(f"  {alert}")
+
+
+def day12_incident() -> None:
+    print("\n--- the day-12 incident: 20-minute-old instructions ---")
+    sim = Simulator()
+    link = EarthLink.build(Network(sim), sim)
+    link.mission_control.issue("rover-route", "take the southern route")
+    sim.run_until(600.0)
+    link.habitat_agent.decide_locally("rover-route", "take the northern route")
+    print("t=600 s: crew decides autonomously (cannot wait a 40-minute RTT)")
+    sim.run()
+    c = link.habitat_agent.contradictions[0]
+    print(f"t={c.detected_at:.0f} s: command arrives {c.staleness_s:.0f} s stale "
+          f"and contradicts the local decision")
+    print(f"reprimands received from Earth: {link.habitat_agent.reprimands_received}")
+
+
+def failover() -> None:
+    print("\n--- replica failover (what the reference badge lacked) ---")
+    sim = Simulator()
+    net = Network(sim, default_latency_s=0.01)
+    svc = ReplicatedService.build(net, sim)
+    for k in range(3):
+        svc.submit(f"state-update-{k}")
+    sim.run_until(5.0)
+    net.crash("svc-a")
+    print("t=5 s: primary crashes")
+    sim.run_until(15.0)
+    print(f"t={svc.backup.took_over_at:.1f} s: backup promotes itself; "
+          f"state intact ({len(svc.backup.state)} entries); "
+          f"new writes accepted: {svc.submit('post-failover')}")
+
+
+def authorization() -> None:
+    print("\n--- multi-party authorization ---")
+    sim = Simulator()
+    net = Network(sim)
+    auth = AuthorizationService("auth", sim, crew=list("ABDEF"))
+    net.register(auth)
+    net.register(EarthVoter("earth", sim, "auth"))
+    net.set_link_latency("auth", "earth", 1200.0)
+    net.set_link_latency("earth", "auth", 1200.0)
+
+    routine = auth.propose("B", "double the microphone sampling rate")
+    for astro in "ADEF":
+        auth.vote(routine.proposal_id, astro, True)
+    net.partition("auth", "earth")
+    emergency = auth.propose("B", "vent module 3 to stop a fire", emergency=True)
+    auth.vote(emergency.proposal_id, "A", True)
+    auth.vote(emergency.proposal_id, "D", True)
+    print(f"emergency proposal (Earth unreachable): {emergency.state.value} "
+          f"after {len(emergency.votes)} crew votes, t={emergency.decided_at:.0f} s")
+    net.heal("auth", "earth")
+    sim.run_until(4000.0)
+    print(f"routine proposal: {routine.state.value} at t={routine.decided_at:.0f} s "
+          f"(waited for mission control's delayed confirmation)")
+
+
+def hydration(result) -> None:
+    print("\n--- hydration tracking (urine processor + smart mugs + badges) ---")
+    sim = Simulator()
+    tracker = HydrationTracker("hydro", sim, list(result.truth.roster.ids))
+    Network(sim).register(tracker)
+    day = result.sensing.days[0]
+    for event in fluid_events_from_truth(result.truth, day):
+        tracker.ingest(event)
+    for astro in result.truth.roster.ids:
+        print(f"  {astro}: end-of-day balance {tracker.balance(astro):+.0f} ml")
+    for alert in tracker.alerts:
+        print(f"  {alert}")
+
+
+def rescheduling(result) -> None:
+    print("\n--- rescheduling advice from sociometric indicators ---")
+    advisor = ReschedulingAdvisor()
+    day = result.sensing.days[-1]
+    for badge_id in result.sensing.badges_on(day):
+        summary = result.sensing.summary(badge_id, day)
+        # Feed the late-afternoon windows (when fatigue shows).
+        for k in range(8):
+            lo = summary.t0 + (30 + k) * 300.0
+            advisor.observe(summarize_window(summary, lo, lo + 300.0))
+    advice = advisor.advise()
+    if not advice:
+        print("no advice needed -- the crew looks fresh")
+    for item in advice:
+        print(f"  [{item.urgency:.2f}] {item.kind} (badge {item.badge_id}): {item.detail}")
+
+
+def privacy() -> None:
+    print("\n--- crew privacy controls ---")
+    manager = PrivacyManager()
+    window = manager.request("E", "microphone", 15 * 3600.0, 15.5 * 3600.0,
+                             reason="private call with family")
+    print(f"granted: suppress {window.sensor} for {window.astro_id}, "
+          f"{(window.t1 - window.t0) / 60:.0f} minutes")
+    print("audit trail:")
+    for line in manager.audit:
+        print(f"  {line}")
+
+
+def main() -> None:
+    cfg = MissionConfig(days=4, seed=9)
+    print(f"simulating {cfg.days} days to feed the support system ...")
+    result = run_mission(cfg)
+    streaming_and_alerts(result)
+    day12_incident()
+    failover()
+    authorization()
+    hydration(result)
+    rescheduling(result)
+    privacy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro: a reproduction of "30 Sensors to Mars" (ICDCS 2019).
+
+A simulated distributed sociometric sensing system for analog space
+habitats: habitat and crew simulation, wearable badge and radio models,
+the localization/speech/mobility analytics of the paper's Section V, and
+a prototype of the Section VI mission support system.
+
+Quickstart::
+
+    from repro import MissionConfig, run_mission, build_table1
+    result = run_mission(MissionConfig(days=5, seed=7))
+    print(build_table1(result))
+"""
+
+from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.crew.behavior import simulate_mission
+from repro.crew.roster import icares_roster
+from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
+from repro.experiments.mission import MissionResult, run_mission
+from repro.experiments.tables import (
+    build_deployment_stats,
+    build_section5_claims,
+    build_table1,
+)
+from repro.habitat.floorplan import lunares_floorplan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MissionConfig",
+    "MissionResult",
+    "ScriptedEventsConfig",
+    "__version__",
+    "build_deployment_stats",
+    "build_section5_claims",
+    "build_table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "icares_roster",
+    "lunares_floorplan",
+    "run_mission",
+    "simulate_mission",
+]

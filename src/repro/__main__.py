@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    run        simulate a mission and print Table I + deployment stats
+    figures    simulate and print every figure's data
+    save       simulate and persist the sensing dataset to a directory
+    analyze    re-run all analyses on a previously saved dataset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    MissionConfig,
+    build_deployment_stats,
+    build_section5_claims,
+    build_table1,
+    run_mission,
+)
+
+
+def _add_mission_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--days", type=int, default=14,
+                        help="mission length in days (default: the paper's 14)")
+    parser.add_argument("--seed", type=int, default=7, help="master RNG seed")
+    parser.add_argument("--no-events", action="store_true",
+                        help="disable the scripted mission events")
+
+
+def _config(args: argparse.Namespace) -> MissionConfig:
+    kwargs = {"days": args.days, "seed": args.seed}
+    if args.no_events:
+        kwargs["events"] = None
+    return MissionConfig(**kwargs)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_mission(_config(args))
+    print(build_table1(result))
+    print()
+    print(build_deployment_stats(result))
+    print()
+    print(build_section5_claims(result))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import (
+        fig2, fig3, fig4, fig5, fig6,
+        format_fig2, format_fig3, format_fig5, format_series,
+    )
+
+    result = run_mission(_config(args))
+    print("=== Figure 2 ===");  print(format_fig2(*fig2(result)))
+    print("\n=== Figure 3 ==="); print(format_fig3(fig3(result, "A")))
+    print("\n=== Figure 4 ==="); print(format_series(fig4(result)))
+    print("\n=== Figure 5 ==="); print(format_fig5(result, fig5(result)))
+    print("\n=== Figure 6 ==="); print(format_series(fig6(result)))
+    return 0
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    from repro.analytics.dataset_io import save_sensing
+
+    result = run_mission(_config(args))
+    save_sensing(result.sensing, args.path)
+    print(f"saved {len(result.sensing.summaries)} badge-days to {args.path}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analytics.dataset_io import load_sensing
+    from repro.analytics.reports import deployment_stats, table1
+
+    sensing = load_sensing(args.path)
+    print(table1(sensing))
+    print()
+    print(deployment_stats(sensing))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of '30 Sensors to Mars' (ICDCS 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate a mission, print Table I")
+    _add_mission_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_fig = sub.add_parser("figures", help="simulate and print every figure")
+    _add_mission_args(p_fig)
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_save = sub.add_parser("save", help="simulate and persist the dataset")
+    _add_mission_args(p_save)
+    p_save.add_argument("path", help="output directory")
+    p_save.set_defaults(func=cmd_save)
+
+    p_an = sub.add_parser("analyze", help="analyze a saved dataset")
+    p_an.add_argument("path", help="directory written by 'save'")
+    p_an.set_defaults(func=cmd_analyze)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

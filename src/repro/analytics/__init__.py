@@ -1,0 +1,43 @@
+"""Offline analytics: the paper's Section V analyses.
+
+Everything here consumes *sensor observations only* (room/position
+estimates, microphone features, accelerometer features, pairwise radio
+contacts) — never ground truth — mirroring the paper's offline pipeline:
+room occupancy and transitions (Fig 2), heatmaps (Fig 3), walking
+fractions (Fig 4), meeting timelines (Fig 5), speech fractions (Fig 6),
+pairwise interaction times, and the centrality measures of Table I.
+"""
+
+from repro.analytics.centrality import CentralityResult, company_and_authority, hits_authority
+from repro.analytics.dataset import BadgeDaySummary, MissionSensing
+from repro.analytics.interactions import pair_copresence_seconds, pairwise_matrix
+from repro.analytics.meetings import Meeting, detect_meetings
+from repro.analytics.occupancy import stay_durations_by_room, stays
+from repro.analytics.reports import DeploymentStats, deployment_stats, table1
+from repro.analytics.speech import daily_speech_fraction, speech_windows
+from repro.analytics.timeline import day_timeline
+from repro.analytics.transitions import transition_matrix
+from repro.analytics.walking import daily_walking_fraction, walking_mask
+
+__all__ = [
+    "BadgeDaySummary",
+    "CentralityResult",
+    "DeploymentStats",
+    "Meeting",
+    "MissionSensing",
+    "company_and_authority",
+    "daily_speech_fraction",
+    "daily_walking_fraction",
+    "day_timeline",
+    "deployment_stats",
+    "detect_meetings",
+    "hits_authority",
+    "pair_copresence_seconds",
+    "pairwise_matrix",
+    "speech_windows",
+    "stay_durations_by_room",
+    "stays",
+    "table1",
+    "transition_matrix",
+    "walking_mask",
+]

@@ -1,0 +1,143 @@
+"""Anomaly detection over the sensing dataset.
+
+The deployment's most interesting findings were anomalies: the unplanned
+consolation meeting, the collapse of conversation on the famine and
+reprimand days, the badge swap by astronaut A (who could not read the
+e-ink id display), and the screen-reader speech that fooled the naive
+conversation analysis.  Each has a detector here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+from repro.analytics.meetings import Meeting, detect_meetings
+from repro.analytics.speech import MACHINE_STABILITY, daily_speech_fraction
+
+#: Voice level above which frames are attributed to the *wearer* (the
+#: badge hangs ~25 cm from the mouth).
+OWN_SPEECH_DB = 75.0
+#: Pitch boundary between (typical) male and female voices, Hz.
+PITCH_SEX_BOUNDARY_HZ = 165.0
+#: Minimum own-speech frames needed to judge a wearer's voice.
+MIN_OWN_SPEECH_FRAMES = 120
+
+
+@dataclass(frozen=True)
+class SwapSuspicion:
+    """A badge whose wearer's voice does not match the assumed owner."""
+
+    badge_id: int
+    day: int
+    assumed_astro: str
+    expected_sex: str
+    observed_median_pitch_hz: float
+
+
+def unplanned_gatherings(
+    sensing: MissionSensing,
+    day: int,
+    scheduled_windows: list[tuple[float, float]],
+    min_participants: int | None = None,
+) -> list[Meeting]:
+    """Whole-crew meetings that overlap no scheduled group window.
+
+    This is how the consolation meeting after C's death surfaces: every
+    remaining astronaut in the kitchen at ~15:20, with no meal or
+    briefing on the plan.
+    """
+    if min_participants is None:
+        min_participants = max(2, len(sensing.badges_on(day)) - 1)
+    meetings = detect_meetings(sensing, day, min_participants=min_participants)
+    out = []
+    for meeting in meetings:
+        mid = (meeting.t0 + meeting.t1) / 2.0
+        if not any(lo - 60 <= mid <= hi + 60 for lo, hi in scheduled_windows):
+            out.append(meeting)
+    return out
+
+
+def quiet_days(
+    sensing: MissionSensing, threshold: float = 0.45, corrected: bool = True
+) -> list[int]:
+    """Days whose crew-mean speech fraction falls far below the trend.
+
+    A linear trend is fit to the crew-mean daily speech fraction; days
+    below ``threshold * trend`` are flagged (famine and reprimand days).
+    """
+    per_astro = daily_speech_fraction(sensing, corrected)
+    days = sensing.days
+    means = []
+    for day in days:
+        values = [series[day] for series in per_astro.values() if day in series]
+        means.append(float(np.mean(values)) if values else 0.0)
+    if len(days) < 3:
+        return []
+    coeffs = np.polyfit(days, means, deg=1)
+    trend = np.polyval(coeffs, days)
+    return [day for day, m, t in zip(days, means, trend) if t > 0 and m < threshold * t]
+
+
+def badge_swap_suspicions(
+    sensing: MissionSensing, corrected: bool = False
+) -> list[SwapSuspicion]:
+    """Days where a badge's own-speech pitch contradicts its assumed owner.
+
+    With ``corrected=False`` (the naive assignment) this flags the day A
+    and B accidentally swapped badges: A's badge suddenly hears a male
+    voice at point-blank range, and vice versa.
+    """
+    roster = sensing.assignment.roster
+    suspicions: list[SwapSuspicion] = []
+    for (badge_id, day), summary in sorted(sensing.summaries.items()):
+        astro = sensing.wearer_of(badge_id, day, corrected)
+        if astro is None:
+            continue
+        profile = roster.profile(astro)
+        voice = np.nan_to_num(summary.voice_db, nan=-np.inf)
+        stability = np.nan_to_num(summary.pitch_stability, nan=1.0)
+        own = (
+            summary.worn
+            & (voice >= OWN_SPEECH_DB)
+            & ~np.isnan(summary.dominant_pitch_hz)
+            & (stability < MACHINE_STABILITY)
+        )
+        if int(own.sum()) < MIN_OWN_SPEECH_FRAMES:
+            continue
+        median_pitch = float(np.median(summary.dominant_pitch_hz[own]))
+        observed_sex = "f" if median_pitch >= PITCH_SEX_BOUNDARY_HZ else "m"
+        if observed_sex != profile.sex:
+            suspicions.append(
+                SwapSuspicion(
+                    badge_id=badge_id, day=day, assumed_astro=astro,
+                    expected_sex=profile.sex,
+                    observed_median_pitch_hz=median_pitch,
+                )
+            )
+    return suspicions
+
+
+def machine_speech_share(sensing: MissionSensing) -> dict[tuple[int, int], float]:
+    """Per badge-day: share of loud voice frames that look machine-like.
+
+    High values mark the badge of the impaired astronaut whose screen
+    reader narrates their work.
+    """
+    out: dict[tuple[int, int], float] = {}
+    for key, summary in sensing.summaries.items():
+        loud = (
+            summary.active
+            & ~np.isnan(summary.voice_db)
+            & (summary.voice_db >= 60.0)
+            & ~np.isnan(summary.pitch_stability)
+        )
+        total = int(loud.sum())
+        if total == 0:
+            out[key] = 0.0
+            continue
+        machine = loud & (summary.pitch_stability >= MACHINE_STABILITY)
+        out[key] = float(machine.sum()) / total
+    return out

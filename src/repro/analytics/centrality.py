@@ -1,0 +1,106 @@
+"""Social centrality (paper Table I, columns a).
+
+"Centrality measured as amount of time spent accompanied and, based on
+this score, Kleinberg centrality (authority)."  The co-presence graph is
+weighted by pairwise accompanied time; authority comes from Kleinberg's
+HITS iteration, implemented from scratch (and cross-checked against
+networkx in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+from repro.analytics.interactions import company_seconds, pair_copresence_seconds, pairwise_matrix
+from repro.core.errors import DataError
+
+#: Astronauts with data on fewer than this fraction of instrumented days
+#: get "n/a" centrality (C left on day 4).
+MIN_COVERAGE = 0.5
+
+
+def hits_authority(weights: np.ndarray, iterations: int = 100, tol: float = 1e-12) -> np.ndarray:
+    """Kleinberg HITS authority scores of a weighted adjacency matrix.
+
+    Standard alternating update: ``a <- W^T h``, ``h <- W a`` with L1
+    normalization each round.  For the symmetric co-presence graph the
+    authority and hub vectors coincide.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise DataError("weights must be a square matrix")
+    if (w < 0).any():
+        raise DataError("weights must be non-negative")
+    n = w.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    authority = np.ones(n) / n
+    hub = np.ones(n) / n
+    for _ in range(iterations):
+        new_authority = w.T @ hub
+        total = new_authority.sum()
+        if total <= 0:
+            return np.zeros(n)
+        new_authority /= total
+        new_hub = w @ new_authority
+        hub_total = new_hub.sum()
+        if hub_total <= 0:
+            return np.zeros(n)
+        new_hub /= hub_total
+        if np.abs(new_authority - authority).max() < tol:
+            authority, hub = new_authority, new_hub
+            break
+        authority, hub = new_authority, new_hub
+    return authority
+
+
+@dataclass
+class CentralityResult:
+    """Company and authority per astronaut; ``None`` = n/a (like C)."""
+
+    company_s: dict[str, float]
+    company_norm: dict[str, float | None]
+    authority_norm: dict[str, float | None]
+
+
+def company_and_authority(
+    sensing: MissionSensing,
+    corrected: bool = True,
+    min_coverage: float = MIN_COVERAGE,
+) -> CentralityResult:
+    """Compute Table I's centrality columns from co-presence data."""
+    ids = sensing.assignment.roster.ids
+    company = company_seconds(sensing, corrected)
+    pair_seconds = pair_copresence_seconds(sensing, corrected)
+    weights = pairwise_matrix(pair_seconds, ids)
+    authority = hits_authority(weights)
+
+    # Coverage: days with any data per astronaut.
+    days_covered = {astro: 0 for astro in ids}
+    for astro, summaries in sensing.astro_summaries(corrected).items():
+        days_covered[astro] = len({s.day for s in summaries})
+    n_days = max(len(sensing.days), 1)
+    eligible = {a for a in ids if days_covered[a] / n_days >= min_coverage}
+
+    def normalize(values: dict[str, float]) -> dict[str, float | None]:
+        usable = {a: v for a, v in values.items() if a in eligible}
+        top = max(usable.values(), default=0.0)
+        out: dict[str, float | None] = {}
+        for astro in ids:
+            if astro not in eligible:
+                out[astro] = None
+            elif top > 0:
+                out[astro] = values.get(astro, 0.0) / top
+            else:
+                out[astro] = 0.0
+        return out
+
+    authority_by_astro = {astro: float(authority[i]) for i, astro in enumerate(ids)}
+    return CentralityResult(
+        company_s={a: company.get(a, 0.0) for a in ids},
+        company_norm=normalize({a: company.get(a, 0.0) for a in ids}),
+        authority_norm=normalize(authority_by_astro),
+    )

@@ -1,0 +1,134 @@
+"""The analysis-ready mission dataset.
+
+``MissionSensing`` holds, per badge-day, the reduced observation streams
+(localization output plus the low-rate sensor features — the raw BLE
+scan matrices have already been consumed), the pairwise radio data, and
+the badge-assignment bookkeeping needed to attribute badge data to
+astronauts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.pipeline import BadgeDayObservations, PairwiseDay
+from repro.core.config import MissionConfig
+from repro.core.errors import DataError
+from repro.habitat.floorplan import FloorPlan
+from repro.localization.pipeline import LocalizationResult
+
+
+@dataclass
+class BadgeDaySummary:
+    """One badge-day of analysis-ready data."""
+
+    badge_id: int
+    day: int
+    t0: float
+    dt: float
+    active: np.ndarray          # bool
+    worn: np.ndarray            # bool
+    room: np.ndarray            # int8 localization estimate; -1 unknown
+    x: np.ndarray               # float32
+    y: np.ndarray               # float32
+    accel_rms: np.ndarray       # float32
+    voice_db: np.ndarray        # float32
+    dominant_pitch_hz: np.ndarray  # float32
+    pitch_stability: np.ndarray    # float32
+    sound_db: np.ndarray        # float32
+    bytes_recorded: float = 0.0
+    n_sync_events: int = 0
+    #: Ground-truth badge room (simulator-only evaluation aid; analyses
+    #: must not consume it).
+    true_room: np.ndarray | None = None
+
+    @classmethod
+    def from_observations(
+        cls, obs: BadgeDayObservations, loc: LocalizationResult
+    ) -> "BadgeDaySummary":
+        """Combine raw observations with their localization output."""
+        if loc.room.shape != obs.active.shape:
+            raise DataError("localization does not align with observations")
+        return cls(
+            badge_id=obs.badge_id, day=obs.day, t0=obs.t0, dt=obs.dt,
+            active=obs.active, worn=obs.worn,
+            room=loc.room, x=loc.x, y=loc.y,
+            accel_rms=obs.accel_rms, voice_db=obs.voice_db,
+            dominant_pitch_hz=obs.dominant_pitch_hz,
+            pitch_stability=obs.pitch_stability, sound_db=obs.sound_db,
+            bytes_recorded=obs.bytes_recorded,
+            n_sync_events=len(obs.sync_events),
+            true_room=obs.true_room,
+        )
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.active.shape[0])
+
+    def recorded_seconds(self) -> float:
+        """Seconds of recorded (active) data."""
+        return float(self.active.sum()) * self.dt
+
+    def worn_seconds(self) -> float:
+        """Seconds the badge spent on the wearer's neck."""
+        return float(self.worn.sum()) * self.dt
+
+
+@dataclass
+class MissionSensing:
+    """All analysis inputs for a mission."""
+
+    cfg: MissionConfig
+    plan: FloorPlan
+    assignment: BadgeAssignment
+    summaries: dict[tuple[int, int], BadgeDaySummary] = field(default_factory=dict)
+    pairwise: dict[int, PairwiseDay] = field(default_factory=dict)
+
+    @property
+    def days(self) -> list[int]:
+        """Instrumented days present in the dataset, sorted."""
+        return sorted({day for _, day in self.summaries})
+
+    def summary(self, badge_id: int, day: int) -> BadgeDaySummary:
+        try:
+            return self.summaries[(badge_id, day)]
+        except KeyError:
+            raise DataError(f"no summary for badge {badge_id} day {day}") from None
+
+    def badges_on(self, day: int) -> list[int]:
+        """Badges with data on ``day`` (excluding the reference badge)."""
+        ref = self.assignment.reference_id
+        return sorted(b for b, d in self.summaries if d == day and b != ref)
+
+    def astro_summaries(self, corrected: bool = True) -> dict[str, list[BadgeDaySummary]]:
+        """Badge-day summaries grouped by the astronaut who wore them.
+
+        ``corrected=True`` uses the true per-day assignment (the paper's
+        post-fix pipeline); ``corrected=False`` reproduces the naive
+        one-badge-one-owner assumption, mislabeling the swap/reuse days.
+        """
+        out: dict[str, list[BadgeDaySummary]] = {a: [] for a in self.assignment.roster.ids}
+        assumed = self.assignment.assumed()
+        for day in self.days:
+            mapping = self.assignment.actual(day) if corrected else assumed
+            for badge_id, astro in mapping.items():
+                summary = self.summaries.get((badge_id, day))
+                if summary is not None:
+                    out[astro].append(summary)
+        return out
+
+    def wearer_of(self, badge_id: int, day: int, corrected: bool = True) -> str | None:
+        """The astronaut attributed to a badge on a day."""
+        mapping = self.assignment.actual(day) if corrected else self.assignment.assumed()
+        return mapping.get(badge_id)
+
+    def room_estimate_matrix(self, day: int) -> tuple[list[int], np.ndarray]:
+        """``(badge_ids, (badges, frames) room matrix)`` for a day."""
+        badges = self.badges_on(day)
+        if not badges:
+            raise DataError(f"no badges on day {day}")
+        matrix = np.vstack([self.summary(b, day).room for b in badges])
+        return badges, matrix

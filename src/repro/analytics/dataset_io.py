@@ -1,0 +1,109 @@
+"""Persistence for the analysis-ready dataset.
+
+A full mission simulation takes minutes; the analyses take seconds.
+``save_sensing``/``load_sensing`` round-trip a :class:`MissionSensing`
+through a :class:`~repro.core.storage.DataStore` directory so the
+expensive step can be cached between analysis sessions (the real
+deployment's equivalent was pulling the SD cards once).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analytics.dataset import BadgeDaySummary, MissionSensing
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.pipeline import PairwiseDay
+from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.core.storage import DataStore
+from repro.crew.roster import icares_roster
+from repro.habitat.floorplan import lunares_floorplan
+
+_SUMMARY_ARRAYS = (
+    "active", "worn", "room", "x", "y", "accel_rms", "voice_db",
+    "dominant_pitch_hz", "pitch_stability", "sound_db",
+)
+
+
+def sensing_to_store(sensing: MissionSensing) -> DataStore:
+    """Serialize a sensing dataset into a :class:`DataStore`."""
+    store = DataStore()
+    cfg = sensing.cfg
+    events = cfg.events
+    store.put_meta(("cfg",), {
+        "seed": cfg.seed, "days": cfg.days, "badges_from_day": cfg.badges_from_day,
+        "daytime_start": cfg.daytime_start, "daytime_hours": cfg.daytime_hours,
+        "frame_dt": cfg.frame_dt, "n_beacons": cfg.n_beacons,
+        "crew_size": cfg.crew_size,
+        "wear_compliance_start": cfg.wear_compliance_start,
+        "wear_compliance_end": cfg.wear_compliance_end,
+        "earth_link_delay_s": cfg.earth_link_delay_s,
+        "events": None if events is None else {
+            "death_day": events.death_day, "death_time": events.death_time,
+            "consolation_time": events.consolation_time,
+            "consolation_duration_s": events.consolation_duration_s,
+            "famine_day": events.famine_day, "reprimand_day": events.reprimand_day,
+            "badge_swap_day": events.badge_swap_day,
+            "badge_reuse_day": events.badge_reuse_day,
+        },
+    })
+    for (badge_id, day), summary in sensing.summaries.items():
+        arrays = {name: getattr(summary, name) for name in _SUMMARY_ARRAYS}
+        if summary.true_room is not None:
+            arrays["true_room"] = summary.true_room
+        store.put_arrays(("summary", str(badge_id), str(day)), **arrays)
+        store.put_meta(("summary", str(badge_id), str(day)), {
+            "t0": summary.t0, "dt": summary.dt,
+            "bytes_recorded": summary.bytes_recorded,
+            "n_sync_events": summary.n_sync_events,
+        })
+    for day, pairwise in sensing.pairwise.items():
+        for (i, j), contact in pairwise.ir_contact.items():
+            store.put_arrays(
+                ("ir", str(day), str(i), str(j)),
+                contact=contact, rssi=pairwise.subghz_rssi[(i, j)],
+            )
+    return store
+
+
+def store_to_sensing(store: DataStore) -> MissionSensing:
+    """Rebuild a sensing dataset from a :class:`DataStore`."""
+    raw = dict(store.get_meta(("cfg",)))
+    events_raw = raw.pop("events")
+    events = None if events_raw is None else ScriptedEventsConfig(**events_raw)
+    cfg = MissionConfig(events=events, **raw)
+    plan = lunares_floorplan()
+    assignment = BadgeAssignment(cfg=cfg, roster=icares_roster(cfg.crew_size))
+    sensing = MissionSensing(cfg=cfg, plan=plan, assignment=assignment)
+
+    for key in store.keys(("summary",)):
+        __, badge_id, day = key
+        arrays = store.get_arrays(key)
+        meta = store.get_meta(key)
+        sensing.summaries[(int(badge_id), int(day))] = BadgeDaySummary(
+            badge_id=int(badge_id), day=int(day),
+            t0=meta["t0"], dt=meta["dt"],
+            true_room=arrays.get("true_room"),
+            bytes_recorded=meta["bytes_recorded"],
+            n_sync_events=meta["n_sync_events"],
+            **{name: arrays[name] for name in _SUMMARY_ARRAYS},
+        )
+    for key in store.keys(("ir",)):
+        __, day, i, j = key
+        arrays = store.get_arrays(key)
+        pairwise = sensing.pairwise.setdefault(int(day), PairwiseDay(day=int(day)))
+        pairwise.ir_contact[(int(i), int(j))] = arrays["contact"].astype(bool)
+        pairwise.subghz_rssi[(int(i), int(j))] = arrays["rssi"].astype(np.float32)
+    return sensing
+
+
+def save_sensing(sensing: MissionSensing, path: str | Path) -> None:
+    """Write a sensing dataset to a directory."""
+    sensing_to_store(sensing).save_dir(path)
+
+
+def load_sensing(path: str | Path) -> MissionSensing:
+    """Read a sensing dataset previously written by :func:`save_sensing`."""
+    return store_to_sensing(DataStore.load_dir(path))

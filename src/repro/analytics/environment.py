@@ -1,0 +1,74 @@
+"""Environmental analytics from the badges' climate sensors.
+
+The paper reads the habitat through these channels too: the kitchen was
+"the cosiest room with the highest temperatures", lighting followed the
+Martian time of day, and on the famine/reprimand days "apart from
+speech, there was much less other noise recorded".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+
+
+def room_temperatures_from_observations(
+    observations: dict[int, "object"], plan
+) -> dict[str, float]:
+    """Mean measured temperature per room from raw badge observations.
+
+    Args:
+        observations: ``badge_id -> BadgeDayObservations`` for one day
+            (the output of :func:`repro.badges.pipeline.sense_day`).
+        plan: the floor plan (for room names).
+
+    Returns:
+        room name -> mean temperature over all badge readings there.
+    """
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for obs in observations.values():
+        temps = obs.temperature_c
+        rooms = obs.true_room
+        if rooms is None:
+            continue
+        ok = obs.active & ~np.isnan(temps) & (rooms >= 0)
+        for room_idx in np.unique(rooms[ok]):
+            name = plan.name_of(int(room_idx))
+            mask = ok & (rooms == room_idx)
+            sums[name] = sums.get(name, 0.0) + float(temps[mask].sum())
+            counts[name] = counts.get(name, 0) + int(mask.sum())
+    return {room: sums[room] / counts[room] for room in sums}
+
+
+def warmest_room(temperatures: dict[str, float]) -> str:
+    """The room the crew would call cosiest (paper: the kitchen)."""
+    return max(temperatures, key=temperatures.get)
+
+
+def daily_ambient_noise(sensing: MissionSensing, corrected: bool = True) -> dict[int, float]:
+    """Crew-median non-speech sound level per day, dB.
+
+    Non-speech frames are those without a detectable voice band; their
+    level reflects movement, tools, and HVAC.  The famine and reprimand
+    days should be audibly duller ("much less other noise recorded").
+    """
+    by_day: dict[int, list[float]] = {}
+    for (badge_id, day), summary in sensing.summaries.items():
+        if badge_id == sensing.assignment.reference_id:
+            continue
+        voice = np.nan_to_num(summary.voice_db, nan=-np.inf)
+        quiet = summary.active & (voice < 55.0) & ~np.isnan(summary.sound_db)
+        if quiet.any():
+            by_day.setdefault(day, []).append(float(np.median(summary.sound_db[quiet])))
+    return {day: float(np.median(v)) for day, v in sorted(by_day.items())}
+
+
+def quiet_noise_days(sensing: MissionSensing, margin_db: float = 1.0) -> list[int]:
+    """Days whose ambient noise sits ``margin_db`` below the mission median."""
+    noise = daily_ambient_noise(sensing)
+    if len(noise) < 3:
+        return []
+    baseline = float(np.median(list(noise.values())))
+    return [day for day, level in noise.items() if level < baseline - margin_db]

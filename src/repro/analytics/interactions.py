@@ -1,0 +1,148 @@
+"""Pairwise interaction analysis.
+
+Person-to-person relations from co-presence and conversation: "A and F
+talked privately with each other for about 5 h more than D and E during
+the mission.  In addition, A and F spent together 10 h more on all
+meetings, both private and group ones, than the latter pair."
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+from repro.analytics.speech import loud_voice_mask
+
+
+def _located_matrix(sensing: MissionSensing, day: int) -> tuple[list[int], np.ndarray]:
+    """Room matrix with unworn badges masked out (a badge on a desk does
+    not testify to its owner's whereabouts)."""
+    badges, rooms = sensing.room_estimate_matrix(day)
+    worn = np.vstack([sensing.summary(b, day).worn for b in badges])
+    return badges, np.where(worn, rooms, -1)
+
+
+def company_seconds(sensing: MissionSensing, corrected: bool = True) -> dict[str, float]:
+    """Seconds each astronaut spent accompanied (Table I column a input).
+
+    A frame counts when the astronaut's badge is worn, localized, and at
+    least one other worn badge shares the room.
+    """
+    out: dict[str, float] = {}
+    for day in sensing.days:
+        badges, located = _located_matrix(sensing, day)
+        dt = sensing.summary(badges[0], day).dt
+        for i, badge_id in enumerate(badges):
+            astro = sensing.wearer_of(badge_id, day, corrected)
+            if astro is None:
+                continue
+            mine = located[i]
+            others = np.delete(located, i, axis=0)
+            accompanied = (mine >= 0) & (others == mine[None, :]).any(axis=0)
+            out[astro] = out.get(astro, 0.0) + float(accompanied.sum()) * dt
+    return out
+
+
+def pair_copresence_seconds(
+    sensing: MissionSensing, corrected: bool = True
+) -> dict[tuple[str, str], float]:
+    """Same-room seconds per astronaut pair, mission-wide."""
+    out: dict[tuple[str, str], float] = {}
+    for day in sensing.days:
+        badges, located = _located_matrix(sensing, day)
+        dt = sensing.summary(badges[0], day).dt
+        for i, j in combinations(range(len(badges)), 2):
+            a = sensing.wearer_of(badges[i], day, corrected)
+            b = sensing.wearer_of(badges[j], day, corrected)
+            if a is None or b is None or a == b:
+                continue
+            key = tuple(sorted((a, b)))
+            together = (located[i] >= 0) & (located[i] == located[j])
+            out[key] = out.get(key, 0.0) + float(together.sum()) * dt
+    return out
+
+
+def private_talk_seconds(
+    sensing: MissionSensing, corrected: bool = True
+) -> dict[tuple[str, str], float]:
+    """Seconds each pair spent talking privately (just the two of them).
+
+    Frames where exactly those two worn badges share a room and at least
+    one of them detects loud (human) voice.
+    """
+    out: dict[tuple[str, str], float] = {}
+    for day in sensing.days:
+        badges, located = _located_matrix(sensing, day)
+        dt = sensing.summary(badges[0], day).dt
+        loud = np.vstack([loud_voice_mask(sensing.summary(b, day)) for b in badges])
+        for i, j in combinations(range(len(badges)), 2):
+            a = sensing.wearer_of(badges[i], day, corrected)
+            b = sensing.wearer_of(badges[j], day, corrected)
+            if a is None or b is None or a == b:
+                continue
+            same = (located[i] >= 0) & (located[i] == located[j])
+            if not same.any():
+                continue
+            others = np.delete(located, [i, j], axis=0)
+            alone = same & ~(others == located[i][None, :]).any(axis=0)
+            talking = alone & (loud[i] | loud[j])
+            key = tuple(sorted((a, b)))
+            out[key] = out.get(key, 0.0) + float(talking.sum()) * dt
+    return out
+
+
+def pair_meeting_seconds(
+    sensing: MissionSensing, corrected: bool = True
+) -> dict[tuple[str, str], float]:
+    """Seconds each pair spent together in *any* conversation context.
+
+    Co-presence frames during which someone nearby is audibly speaking —
+    private chats and group meetings alike.
+    """
+    out: dict[tuple[str, str], float] = {}
+    for day in sensing.days:
+        badges, located = _located_matrix(sensing, day)
+        dt = sensing.summary(badges[0], day).dt
+        loud = np.vstack([loud_voice_mask(sensing.summary(b, day)) for b in badges])
+        for i, j in combinations(range(len(badges)), 2):
+            a = sensing.wearer_of(badges[i], day, corrected)
+            b = sensing.wearer_of(badges[j], day, corrected)
+            if a is None or b is None or a == b:
+                continue
+            together = (located[i] >= 0) & (located[i] == located[j])
+            talking = together & (loud[i] | loud[j])
+            key = tuple(sorted((a, b)))
+            out[key] = out.get(key, 0.0) + float(talking.sum()) * dt
+    return out
+
+
+def ir_contact_seconds(
+    sensing: MissionSensing, corrected: bool = True
+) -> dict[tuple[str, str], float]:
+    """Face-to-face seconds per pair from the IR transceivers."""
+    out: dict[tuple[str, str], float] = {}
+    for day, pairwise in sensing.pairwise.items():
+        for (bi, bj), contact in pairwise.ir_contact.items():
+            a = sensing.wearer_of(bi, day, corrected)
+            b = sensing.wearer_of(bj, day, corrected)
+            if a is None or b is None or a == b:
+                continue
+            key = tuple(sorted((a, b)))
+            dt = sensing.summary(bi, day).dt
+            out[key] = out.get(key, 0.0) + float(contact.sum()) * dt
+    return out
+
+
+def pairwise_matrix(
+    pair_seconds: dict[tuple[str, str], float], ids: tuple[str, ...]
+) -> np.ndarray:
+    """Symmetric ``(n, n)`` matrix from a pair->seconds mapping."""
+    n = len(ids)
+    index = {astro: k for k, astro in enumerate(ids)}
+    out = np.zeros((n, n))
+    for (a, b), seconds in pair_seconds.items():
+        i, j = index[a], index[b]
+        out[i, j] = out[j, i] = seconds
+    return out

@@ -1,0 +1,123 @@
+"""Meeting detection (paper Figure 5).
+
+"With these two kinds of information [co-location and speech
+parameters], we detect when the astronauts were in the same room and
+analyze the dynamics of their meetings."  A meeting is a sustained
+co-location of several badges in one room; its conversation loudness and
+speech fraction distinguish a lively lunch from the quiet consolation
+gathering after C's death.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+from repro.analytics.speech import loud_voice_mask
+
+#: Minimum meeting length, seconds.
+MIN_MEETING_S = 300.0
+#: Gaps in co-location shorter than this are bridged.
+GAP_TOLERANCE_S = 45.0
+#: A badge counts as a participant if present this fraction of the time.
+PARTICIPANT_PRESENCE = 0.3
+
+
+@dataclass(frozen=True)
+class Meeting:
+    """One detected gathering."""
+
+    day: int
+    room: int
+    t0: float
+    t1: float
+    badge_ids: tuple[int, ...]
+    speech_fraction: float
+    mean_voice_db: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+def _runs_with_gap_bridging(mask: np.ndarray, max_gap: int) -> list[tuple[int, int]]:
+    """Maximal true runs of ``mask``, merging runs separated by short gaps."""
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(idx) > max_gap)
+    starts = np.concatenate([[idx[0]], idx[breaks + 1]])
+    ends = np.concatenate([idx[breaks] + 1, [idx[-1] + 1]])
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+def detect_meetings(
+    sensing: MissionSensing,
+    day: int,
+    min_participants: int = 2,
+    min_duration_s: float = MIN_MEETING_S,
+    gap_tolerance_s: float = GAP_TOLERANCE_S,
+) -> list[Meeting]:
+    """Detect meetings on one day from room estimates plus speech."""
+    badges, rooms = sensing.room_estimate_matrix(day)
+    worn = np.vstack([sensing.summary(b, day).worn for b in badges])
+    located = np.where(worn, rooms, -1)
+    dt = sensing.summary(badges[0], day).dt
+    t0 = sensing.summary(badges[0], day).t0
+    max_gap = max(1, int(gap_tolerance_s / dt))
+    meetings: list[Meeting] = []
+
+    for room in np.unique(located[located >= 0]):
+        present = located == room
+        together = present.sum(axis=0) >= min_participants
+        for s, e in _runs_with_gap_bridging(together, max_gap):
+            duration = (e - s) * dt
+            if duration < min_duration_s:
+                continue
+            presence = present[:, s:e].mean(axis=1)
+            participants = tuple(
+                badges[i] for i in np.flatnonzero(presence >= PARTICIPANT_PRESENCE)
+            )
+            if len(participants) < min_participants:
+                continue
+            speech_frac, voice_db = _meeting_speech(sensing, day, participants, s, e)
+            meetings.append(
+                Meeting(
+                    day=day, room=int(room),
+                    t0=t0 + s * dt, t1=t0 + e * dt,
+                    badge_ids=participants,
+                    speech_fraction=speech_frac,
+                    mean_voice_db=voice_db,
+                )
+            )
+    meetings.sort(key=lambda m: (m.t0, m.room))
+    return meetings
+
+
+def _meeting_speech(
+    sensing: MissionSensing, day: int, participants: tuple[int, ...], s: int, e: int
+) -> tuple[float, float]:
+    """(fraction of frames with loud voice, mean voice dB) in a window."""
+    loud_any = None
+    levels = []
+    for badge_id in participants:
+        summary = sensing.summary(badge_id, day)
+        loud = loud_voice_mask(summary)[s:e]
+        loud_any = loud if loud_any is None else (loud_any | loud)
+        window = summary.voice_db[s:e]
+        finite = np.isfinite(window)
+        if finite.any():
+            levels.append(float(window[finite].mean()))
+    frac = float(loud_any.mean()) if loud_any is not None and loud_any.size else 0.0
+    return frac, float(np.mean(levels)) if levels else float("nan")
+
+
+def whole_crew_meetings(
+    sensing: MissionSensing, day: int, min_duration_s: float = MIN_MEETING_S
+) -> list[Meeting]:
+    """Meetings involving (at least) all badges active that day."""
+    badges = sensing.badges_on(day)
+    quorum = max(2, len(badges))
+    return detect_meetings(sensing, day, min_participants=quorum, min_duration_s=min_duration_s)

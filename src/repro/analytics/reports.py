@@ -1,0 +1,136 @@
+"""Report builders: Table I and the Section-V deployment statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.centrality import company_and_authority
+from repro.analytics.dataset import MissionSensing
+from repro.analytics.speech import mission_speech_fraction
+from repro.analytics.walking import mission_walking_fraction
+from repro.core.units import GIB
+
+
+@dataclass
+class Table1:
+    """The paper's Table I: normalized per-astronaut parameters.
+
+    ``None`` entries are the paper's "n/a" (astronaut C's company and
+    authority cannot be compared — C only has three days of data).
+    """
+
+    company: dict[str, float | None]
+    authority: dict[str, float | None]
+    talking: dict[str, float | None]
+    walking: dict[str, float | None]
+
+    def rows(self) -> list[tuple[str, str, str, str, str]]:
+        """Formatted rows ``(id, company, authority, talking, walking)``."""
+        def fmt(value: float | None) -> str:
+            return "n/a" if value is None else f"{value:.2f}"
+
+        astros = sorted(self.company)
+        return [
+            (a, fmt(self.company[a]), fmt(self.authority[a]),
+             fmt(self.talking[a]), fmt(self.walking[a]))
+            for a in astros
+        ]
+
+    def __str__(self) -> str:
+        lines = ["id  company  authority  talking  walking"]
+        for row in self.rows():
+            lines.append(f"{row[0]:<3} {row[1]:>7}  {row[2]:>9}  {row[3]:>7}  {row[4]:>7}")
+        return "\n".join(lines)
+
+
+def _normalize(values: dict[str, float]) -> dict[str, float | None]:
+    top = max(values.values(), default=0.0)
+    if top <= 0:
+        return {a: 0.0 for a in values}
+    return {a: v / top for a, v in values.items()}
+
+
+def table1(sensing: MissionSensing, corrected: bool = True) -> Table1:
+    """Build Table I from the sensing dataset.
+
+    Talking and walking are normalized over *all* astronauts (C, with
+    the highest rates, sets the 1.00 reference exactly as in the paper);
+    company and authority exclude low-coverage astronauts (C -> n/a).
+    """
+    centrality = company_and_authority(sensing, corrected)
+    talking = mission_speech_fraction(sensing, corrected)
+    walking = mission_walking_fraction(sensing, corrected)
+    ids = sensing.assignment.roster.ids
+    talking_norm = _normalize({a: talking.get(a, 0.0) for a in ids})
+    walking_norm = _normalize({a: walking.get(a, 0.0) for a in ids})
+    return Table1(
+        company={a: centrality.company_norm.get(a) for a in ids},
+        authority={a: centrality.authority_norm.get(a) for a in ids},
+        talking=dict(talking_norm),
+        walking=dict(walking_norm),
+    )
+
+
+@dataclass
+class DeploymentStats:
+    """Section V's deployment statistics."""
+
+    total_gib: float
+    worn_fraction: float
+    active_fraction: float
+    worn_by_day: dict[int, float]
+    n_instrumented_days: int
+    n_badges: int
+
+    def compliance_decay(self) -> tuple[float, float]:
+        """(early, late) mean worn fraction — the paper's ~80% -> ~50%."""
+        days = sorted(self.worn_by_day)
+        if len(days) < 2:
+            value = self.worn_by_day.get(days[0], 0.0) if days else 0.0
+            return value, value
+        k = max(1, len(days) // 4)
+        early = float(np.mean([self.worn_by_day[d] for d in days[:k]]))
+        late = float(np.mean([self.worn_by_day[d] for d in days[-k:]]))
+        return early, late
+
+    def __str__(self) -> str:
+        early, late = self.compliance_decay()
+        return (
+            f"{self.total_gib:.0f} GiB over {self.n_instrumented_days} days, "
+            f"{self.n_badges} badges; worn {self.worn_fraction:.0%} of daytime, "
+            f"active {self.active_fraction:.0%}; compliance {early:.0%} -> {late:.0%}"
+        )
+
+
+def deployment_stats(sensing: MissionSensing) -> DeploymentStats:
+    """Compute the deployment statistics over crew badges.
+
+    Worn/active fractions average over badge-days that have data, like
+    the paper's "an average badge was worn for 63% of daytime".
+    """
+    ref = sensing.assignment.reference_id
+    total_bytes = 0.0
+    worn_fracs: list[float] = []
+    active_fracs: list[float] = []
+    worn_by_day: dict[int, list[float]] = {}
+    badges = set()
+    for (badge_id, day), summary in sensing.summaries.items():
+        total_bytes += summary.bytes_recorded
+        if badge_id == ref:
+            continue
+        badges.add(badge_id)
+        n = summary.n_frames
+        worn = float(summary.worn.sum()) / n
+        worn_fracs.append(worn)
+        active_fracs.append(float(summary.active.sum()) / n)
+        worn_by_day.setdefault(day, []).append(worn)
+    return DeploymentStats(
+        total_gib=total_bytes / GIB,
+        worn_fraction=float(np.mean(worn_fracs)) if worn_fracs else 0.0,
+        active_fraction=float(np.mean(active_fracs)) if active_fracs else 0.0,
+        worn_by_day={d: float(np.mean(v)) for d, v in sorted(worn_by_day.items())},
+        n_instrumented_days=len(sensing.days),
+        n_badges=len(badges) + 1,  # + reference badge
+    )

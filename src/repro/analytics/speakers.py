@@ -1,0 +1,148 @@
+"""Speaker identification from microphone features.
+
+The badge microphone was used "notably for identifying the speaker
+during a multi-person conversation and distinguishing between male and
+female speakers".  This module reproduces both: per-frame sex
+classification from the dominant pitch, enrollment of per-astronaut
+voice profiles from each badge's own-speech frames, and nearest-profile
+speaker attribution — which is also what powers the badge-swap anomaly
+detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import BadgeDaySummary, MissionSensing
+from repro.analytics.speech import MACHINE_STABILITY
+from repro.core.errors import DataError
+
+#: Voice level at which the speech is attributed to the wearer.
+OWN_SPEECH_DB = 75.0
+#: Pitch boundary used for sex classification, Hz.
+SEX_BOUNDARY_HZ = 165.0
+
+
+def own_speech_mask(summary: BadgeDaySummary, level_db: float = OWN_SPEECH_DB) -> np.ndarray:
+    """Frames whose voice is loud enough to be the wearer's own."""
+    voice = np.nan_to_num(summary.voice_db, nan=-np.inf)
+    stability = np.nan_to_num(summary.pitch_stability, nan=1.0)
+    return (
+        summary.worn
+        & (voice >= level_db)
+        & ~np.isnan(summary.dominant_pitch_hz)
+        & (stability < MACHINE_STABILITY)
+    )
+
+
+def classify_sex(pitch_hz: np.ndarray, boundary_hz: float = SEX_BOUNDARY_HZ) -> np.ndarray:
+    """'f'/'m' per frame from pitch (NaN-safe; NaN -> '?')."""
+    pitch_hz = np.asarray(pitch_hz, dtype=np.float64)
+    out = np.full(pitch_hz.shape, "?", dtype="<U1")
+    known = ~np.isnan(pitch_hz)
+    out[known & (pitch_hz >= boundary_hz)] = "f"
+    out[known & (pitch_hz < boundary_hz)] = "m"
+    return out
+
+
+@dataclass(frozen=True)
+class VoiceProfile:
+    """An enrolled speaker's voice statistics."""
+
+    astro_id: str
+    median_pitch_hz: float
+    pitch_iqr_hz: float
+    n_frames: int
+
+    @property
+    def sex(self) -> str:
+        return "f" if self.median_pitch_hz >= SEX_BOUNDARY_HZ else "m"
+
+
+def enroll_profiles(
+    sensing: MissionSensing, corrected: bool = True, min_frames: int = 300
+) -> dict[str, VoiceProfile]:
+    """Build per-astronaut voice profiles from own-speech frames.
+
+    Each badge's loud, worn, human-pitched frames are attributed to its
+    wearer; pooling them across the mission yields the enrollment set.
+    """
+    pooled: dict[str, list[np.ndarray]] = {}
+    for (badge_id, day), summary in sensing.summaries.items():
+        astro = sensing.wearer_of(badge_id, day, corrected)
+        if astro is None:
+            continue
+        mask = own_speech_mask(summary)
+        if mask.any():
+            pooled.setdefault(astro, []).append(summary.dominant_pitch_hz[mask])
+    profiles: dict[str, VoiceProfile] = {}
+    for astro, chunks in pooled.items():
+        pitches = np.concatenate(chunks)
+        if pitches.size < min_frames:
+            continue
+        q25, q75 = np.percentile(pitches, [25, 75])
+        profiles[astro] = VoiceProfile(
+            astro_id=astro,
+            median_pitch_hz=float(np.median(pitches)),
+            pitch_iqr_hz=float(q75 - q25),
+            n_frames=int(pitches.size),
+        )
+    return profiles
+
+
+def identify_speakers(
+    summary: BadgeDaySummary,
+    profiles: dict[str, VoiceProfile],
+    level_db: float = 60.0,
+) -> np.ndarray:
+    """Attribute each loud frame to the nearest enrolled voice.
+
+    Returns an object array of astronaut ids ('' where no attribution).
+    Machine-like frames are never attributed to a human.
+    """
+    if not profiles:
+        raise DataError("no enrolled voice profiles")
+    ids = sorted(profiles)
+    centers = np.array([profiles[a].median_pitch_hz for a in ids])
+    voice = np.nan_to_num(summary.voice_db, nan=-np.inf)
+    stability = np.nan_to_num(summary.pitch_stability, nan=1.0)
+    loud = (
+        summary.active
+        & (voice >= level_db)
+        & ~np.isnan(summary.dominant_pitch_hz)
+        & (stability < MACHINE_STABILITY)
+    )
+    out = np.full(summary.n_frames, "", dtype=object)
+    idx = np.flatnonzero(loud)
+    if idx.size:
+        pitches = summary.dominant_pitch_hz[idx, None].astype(np.float64)
+        nearest = np.argmin(np.abs(pitches - centers[None, :]), axis=1)
+        out[idx] = [ids[k] for k in nearest]
+    return out
+
+
+def sex_classification_report(
+    sensing: MissionSensing, corrected: bool = True
+) -> dict[str, float]:
+    """Per-astronaut accuracy of frame-level sex classification.
+
+    Ground truth is the roster's sex; predictions come from each badge's
+    own-speech pitch — the capability the paper highlights.
+    """
+    roster = sensing.assignment.roster
+    correct: dict[str, int] = {}
+    total: dict[str, int] = {}
+    for (badge_id, day), summary in sensing.summaries.items():
+        astro = sensing.wearer_of(badge_id, day, corrected)
+        if astro is None:
+            continue
+        mask = own_speech_mask(summary)
+        if not mask.any():
+            continue
+        predicted = classify_sex(summary.dominant_pitch_hz[mask])
+        truth_sex = roster.profile(astro).sex
+        correct[astro] = correct.get(astro, 0) + int((predicted == truth_sex).sum())
+        total[astro] = total.get(astro, 0) + int(mask.sum())
+    return {a: correct[a] / total[a] for a in total if total[a] > 0}

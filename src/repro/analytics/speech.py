@@ -1,0 +1,121 @@
+"""Speech detection (paper Figure 6 and Table I column b).
+
+"A 15 s interval is considered as speech if there are voice frequencies
+detected of at least 60 dB and for at least 20% of the interval.  The
+boundary values were determined experimentally and correspond to a
+conversation at a distance of at most 2.5 m."
+
+The detector optionally rejects machine speech: the assistive screen
+reader that read texts to astronaut A is conspicuously monotone (high
+pitch-stability), and the paper "had to modify the algorithm for
+conversation analysis to not be misled by a computer program reading out
+texts".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import BadgeDaySummary, MissionSensing
+
+#: The paper's experimentally determined thresholds.
+WINDOW_S = 15.0
+LEVEL_DB = 60.0
+MIN_FRACTION = 0.2
+#: Pitch-stability above which a frame is attributed to machine speech.
+MACHINE_STABILITY = 0.80
+#: A window must be at least half recorded to be classified at all.
+MIN_ACTIVE_FRACTION = 0.5
+
+
+@dataclass
+class SpeechWindows:
+    """Windowed speech classification for one badge-day."""
+
+    t0: float
+    window_s: float
+    is_speech: np.ndarray   # bool per window
+    recorded: np.ndarray    # bool per window (enough active frames)
+    loud_fraction: np.ndarray  # fraction of loud frames per window
+
+    def fraction(self) -> float:
+        """Speech windows over recorded windows."""
+        n_recorded = int(self.recorded.sum())
+        if n_recorded == 0:
+            return 0.0
+        return float((self.is_speech & self.recorded).sum()) / n_recorded
+
+
+def loud_voice_mask(
+    summary: BadgeDaySummary,
+    level_db: float = LEVEL_DB,
+    reject_machine: bool = True,
+    machine_stability: float = MACHINE_STABILITY,
+) -> np.ndarray:
+    """Frames with voice-band level above threshold (optionally human-only)."""
+    voice = summary.voice_db
+    loud = summary.active & ~np.isnan(voice) & (voice >= level_db)
+    if reject_machine:
+        stability = summary.pitch_stability
+        machine = ~np.isnan(stability) & (stability >= machine_stability)
+        loud &= ~machine
+    return loud
+
+
+def speech_windows(
+    summary: BadgeDaySummary,
+    window_s: float = WINDOW_S,
+    level_db: float = LEVEL_DB,
+    min_fraction: float = MIN_FRACTION,
+    reject_machine: bool = True,
+) -> SpeechWindows:
+    """Classify a badge-day into 15-second speech/non-speech windows."""
+    loud = loud_voice_mask(summary, level_db, reject_machine)
+    factor = max(1, int(round(window_s / summary.dt)))
+    blocks = summary.n_frames // factor
+    loud_frac = loud[: blocks * factor].reshape(blocks, factor).mean(axis=1)
+    active_frac = summary.active[: blocks * factor].reshape(blocks, factor).mean(axis=1)
+    return SpeechWindows(
+        t0=summary.t0,
+        window_s=factor * summary.dt,
+        is_speech=loud_frac >= min_fraction,
+        recorded=active_frac >= MIN_ACTIVE_FRACTION,
+        loud_fraction=loud_frac,
+    )
+
+
+def daily_speech_fraction(
+    sensing: MissionSensing,
+    corrected: bool = True,
+    reject_machine: bool = True,
+) -> dict[str, dict[int, float]]:
+    """Per-astronaut, per-day speech fraction (the Fig 6 series)."""
+    out: dict[str, dict[int, float]] = {}
+    for astro, summaries in sensing.astro_summaries(corrected).items():
+        series: dict[int, float] = {}
+        for summary in summaries:
+            series[summary.day] = speech_windows(
+                summary, reject_machine=reject_machine
+            ).fraction()
+        if series:
+            out[astro] = dict(sorted(series.items()))
+    return out
+
+
+def mission_speech_fraction(
+    sensing: MissionSensing, corrected: bool = True, reject_machine: bool = True
+) -> dict[str, float]:
+    """Whole-mission speech fraction per astronaut (Table I column b)."""
+    out: dict[str, float] = {}
+    for astro, summaries in sensing.astro_summaries(corrected).items():
+        n_speech = 0
+        n_recorded = 0
+        for summary in summaries:
+            windows = speech_windows(summary, reject_machine=reject_machine)
+            n_speech += int((windows.is_speech & windows.recorded).sum())
+            n_recorded += int(windows.recorded.sum())
+        if n_recorded > 0:
+            out[astro] = n_speech / n_recorded
+    return out

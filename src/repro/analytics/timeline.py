@@ -1,0 +1,107 @@
+"""Day timelines (paper Figure 5).
+
+"Fraction of time with detected speech and location: timeline for all
+astronauts, for the day when C left the habitat" — per-astronaut binned
+speech fractions plus the dominant room per bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+from repro.analytics.speech import loud_voice_mask
+
+#: Default timeline bin, seconds.
+BIN_S = 300.0
+
+
+@dataclass
+class AstronautTimeline:
+    """One astronaut's track in a day timeline."""
+
+    astro_id: str
+    badge_id: int
+    speech_fraction: np.ndarray  # per bin
+    dominant_room: np.ndarray    # int8 per bin; -1 unknown/unworn
+
+
+@dataclass
+class DayTimeline:
+    """A full Figure-5-style day timeline."""
+
+    day: int
+    t0: float
+    bin_s: float
+    tracks: list[AstronautTimeline]
+
+    def bin_times(self) -> np.ndarray:
+        """Start time (seconds of day) of each bin."""
+        n_bins = len(self.tracks[0].speech_fraction) if self.tracks else 0
+        return self.t0 + np.arange(n_bins) * self.bin_s
+
+    def track(self, astro_id: str) -> AstronautTimeline:
+        for track in self.tracks:
+            if track.astro_id == astro_id:
+                return track
+        raise KeyError(astro_id)
+
+
+def day_timeline(
+    sensing: MissionSensing,
+    day: int,
+    bin_s: float = BIN_S,
+    corrected: bool = True,
+) -> DayTimeline:
+    """Build the day's per-astronaut speech/location timeline."""
+    badges = sensing.badges_on(day)
+    tracks: list[AstronautTimeline] = []
+    t0 = 0.0
+    for badge_id in badges:
+        astro = sensing.wearer_of(badge_id, day, corrected)
+        if astro is None:
+            continue
+        summary = sensing.summary(badge_id, day)
+        t0 = summary.t0
+        factor = max(1, int(round(bin_s / summary.dt)))
+        blocks = summary.n_frames // factor
+
+        loud = loud_voice_mask(summary)[: blocks * factor].reshape(blocks, factor)
+        speech_fraction = loud.mean(axis=1)
+
+        located = np.where(summary.worn, summary.room, -1)[: blocks * factor]
+        located = located.reshape(blocks, factor)
+        dominant = _dominant_per_row(located)
+
+        tracks.append(
+            AstronautTimeline(
+                astro_id=astro, badge_id=badge_id,
+                speech_fraction=speech_fraction.astype(np.float32),
+                dominant_room=dominant,
+            )
+        )
+    tracks.sort(key=lambda t: t.astro_id)
+    return DayTimeline(day=day, t0=t0, bin_s=bin_s, tracks=tracks)
+
+
+def _dominant_per_row(labels: np.ndarray) -> np.ndarray:
+    """Most frequent non-negative label per row; -1 if none."""
+    n_rows = labels.shape[0]
+    out = np.full(n_rows, -1, dtype=np.int8)
+    for i in range(n_rows):
+        row = labels[i]
+        row = row[row >= 0]
+        if row.size:
+            values, counts = np.unique(row, return_counts=True)
+            out[i] = values[np.argmax(counts)]
+    return out
+
+
+def crew_in_room_bins(timeline: DayTimeline, room: int) -> np.ndarray:
+    """Per-bin count of astronauts whose dominant room is ``room``."""
+    if not timeline.tracks:
+        return np.zeros(0, dtype=np.int64)
+    stacked = np.vstack([t.dominant_room for t in timeline.tracks])
+    return (stacked == room).sum(axis=0)

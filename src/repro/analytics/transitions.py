@@ -1,0 +1,91 @@
+"""Room-to-room transition analysis (paper Figure 2).
+
+"For each pair of rooms (X, Y), we measured how many times an astronaut
+moved from X to Y and spent in Y at least 10 s" — the minimal interval
+filters doorway beacon leakage.  The matrix excludes the main hall
+("the main room adjacent to all other rooms is not considered"), so a
+passage office -> hall -> kitchen counts as office -> kitchen when the
+hall crossing is brief.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+from repro.analytics.occupancy import MIN_STAY_S, stays
+from repro.habitat.rooms import ROOM_NAMES
+
+
+def transition_counts_day(
+    sensing: MissionSensing,
+    badge_id: int,
+    day: int,
+    min_stay_s: float = MIN_STAY_S,
+    exclude: tuple[str, ...] = ("main",),
+) -> np.ndarray:
+    """``(rooms, rooms)`` passage counts for one badge-day.
+
+    Rooms in ``exclude`` are removed from the stay sequence entirely, so
+    passing through them links the surrounding rooms.
+    """
+    plan = sensing.plan
+    excluded = {plan.index_of(name) for name in exclude}
+    n = len(ROOM_NAMES)
+    counts = np.zeros((n, n), dtype=np.int64)
+    sequence = [
+        s.room for s in stays(sensing.summary(badge_id, day), min_stay_s)
+        if s.room not in excluded
+    ]
+    for a, b in zip(sequence, sequence[1:]):
+        if a != b and a < n and b < n:
+            counts[a, b] += 1
+    return counts
+
+
+def transition_matrix(
+    sensing: MissionSensing,
+    min_stay_s: float = MIN_STAY_S,
+    exclude: tuple[str, ...] = ("main",),
+) -> tuple[list[str], np.ndarray]:
+    """Mission-wide transition matrix over the paper's eight rooms.
+
+    Returns ``(room_names, counts)`` with ``counts[i, j]`` the number of
+    passages from room i to room j summed over all badges and days.
+    """
+    n = len(ROOM_NAMES)
+    total = np.zeros((n, n), dtype=np.int64)
+    ref = sensing.assignment.reference_id
+    for (badge_id, day) in sensing.summaries:
+        if badge_id == ref:
+            continue
+        total += transition_counts_day(sensing, badge_id, day, min_stay_s, exclude)
+    return list(ROOM_NAMES), total
+
+
+def top_transitions(
+    names: list[str], counts: np.ndarray, k: int = 5
+) -> list[tuple[str, str, int]]:
+    """The ``k`` most frequent passages, descending."""
+    flat = [
+        (names[i], names[j], int(counts[i, j]))
+        for i in range(len(names))
+        for j in range(len(names))
+        if counts[i, j] > 0
+    ]
+    flat.sort(key=lambda item: -item[2])
+    return flat[:k]
+
+
+def kitchen_inflow_share(names: list[str], counts: np.ndarray) -> dict[str, float]:
+    """Fraction of kitchen-bound passages originating from each room.
+
+    The paper: "from these two rooms, especially the office, most
+    astronauts went directly to the kitchen".
+    """
+    j = names.index("kitchen")
+    inflow = counts[:, j].astype(np.float64)
+    total = inflow.sum()
+    if total == 0:
+        return {name: 0.0 for name in names}
+    return {name: float(inflow[i] / total) for i, name in enumerate(names)}

@@ -1,0 +1,69 @@
+"""Walking detection from the accelerometer (paper Figure 4).
+
+A frame counts as walking when the badge is worn and its RMS dynamic
+acceleration exceeds a gait threshold.  Daily fractions are taken over
+*recorded* time, as in "fraction of recorded time spent on walking".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.dataset import BadgeDaySummary, MissionSensing
+
+#: RMS acceleration above which the wearer is considered walking, m/s^2.
+WALK_THRESHOLD = 1.2
+
+
+def walking_mask(summary: BadgeDaySummary, threshold: float = WALK_THRESHOLD) -> np.ndarray:
+    """Per-frame walking classification for one badge-day."""
+    accel = summary.accel_rms
+    return summary.worn & ~np.isnan(accel) & (accel > threshold)
+
+
+def walking_fraction(summary: BadgeDaySummary, threshold: float = WALK_THRESHOLD) -> float:
+    """Walking frames over worn frames for one badge-day.
+
+    The denominator is worn (not merely active) time: a badge on a desk
+    records but cannot testify about its owner's gait, so including those
+    frames would make the fraction decay with wear compliance rather
+    than with actual mobility.
+    """
+    worn = float(summary.worn.sum())
+    if worn == 0:
+        return 0.0
+    return float(walking_mask(summary, threshold).sum()) / worn
+
+
+def daily_walking_fraction(
+    sensing: MissionSensing,
+    corrected: bool = True,
+    threshold: float = WALK_THRESHOLD,
+) -> dict[str, dict[int, float]]:
+    """Per-astronaut, per-day walking fractions (the Fig 4 series)."""
+    out: dict[str, dict[int, float]] = {}
+    for astro, summaries in sensing.astro_summaries(corrected).items():
+        series: dict[int, float] = {}
+        for summary in summaries:
+            series[summary.day] = walking_fraction(summary, threshold)
+        if series:
+            out[astro] = dict(sorted(series.items()))
+    return out
+
+
+def mission_walking_fraction(
+    sensing: MissionSensing, corrected: bool = True, threshold: float = WALK_THRESHOLD
+) -> dict[str, float]:
+    """Whole-mission walking fraction per astronaut (Table I column c).
+
+    Aggregated as total walking seconds over total recorded seconds, so
+    astronauts with partial missions (C) are averaged over their own
+    recorded time only.
+    """
+    out: dict[str, float] = {}
+    for astro, summaries in sensing.astro_summaries(corrected).items():
+        walked = sum(float(walking_mask(s, threshold).sum()) * s.dt for s in summaries)
+        worn = sum(s.worn_seconds() for s in summaries)
+        if worn > 0:
+            out[astro] = walked / worn
+    return out

@@ -1,0 +1,27 @@
+"""Badge substrate: the wearable sociometric badge fleet.
+
+Device model, badge-to-astronaut assignment (including the real
+deployment's swap and reuse anomalies), the wear-compliance model,
+battery and SD-card accounting, per-sensor synthesis, and the day-level
+sensing pipeline that turns ground truth into observations.
+"""
+
+from repro.badges.assignment import BadgeAssignment, REFERENCE_BADGE_ID
+from repro.badges.badge import Badge, badge_fleet
+from repro.badges.pipeline import BadgeDayObservations, PairwiseDay, SensingModels, sense_day
+from repro.badges.sdcard import SdCardAccountant
+from repro.badges.wear import WearDay, WearModel
+
+__all__ = [
+    "Badge",
+    "BadgeAssignment",
+    "BadgeDayObservations",
+    "PairwiseDay",
+    "REFERENCE_BADGE_ID",
+    "SdCardAccountant",
+    "SensingModels",
+    "WearDay",
+    "WearModel",
+    "badge_fleet",
+    "sense_day",
+]

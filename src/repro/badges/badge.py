@@ -1,0 +1,73 @@
+"""The badge device.
+
+"Its dimensions are 140 mm x 84 mm x 10 mm and its weight, including all
+electronics, a battery, a 3D-printed casing, and a cord, is just 111 g"
+— worn on a neck cord.  Each badge has its own drifting clock, battery,
+and SD card; six primary badges were assigned to the crew, six backups
+waited in storage, and a permanently-charged reference badge sat at the
+charging station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.clock import ClockModel
+from repro.core.errors import ConfigError
+
+#: Physical constants from the paper.
+BADGE_DIMENSIONS_MM = (140.0, 84.0, 10.0)
+BADGE_WEIGHT_G = 111.0
+
+#: Crystal drift spread across the fleet, ppm.
+DRIFT_SIGMA_PPM = 12.0
+#: Initial clock offset spread at deployment, seconds.
+INITIAL_OFFSET_SIGMA_S = 4.0
+
+
+@dataclass
+class Badge:
+    """One physical badge."""
+
+    badge_id: int
+    clock: ClockModel = field(default_factory=ClockModel)
+    is_reference: bool = False
+    is_backup: bool = False
+    #: Day on which the badge permanently failed, or ``None``.
+    failed_on_day: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.badge_id < 0:
+            raise ConfigError("badge_id must be non-negative")
+
+    def alive_on(self, day: int) -> bool:
+        """Whether the badge still works on ``day``."""
+        return self.failed_on_day is None or day < self.failed_on_day
+
+
+def badge_fleet(
+    n_primary: int,
+    rng: np.random.Generator,
+    n_backup: int | None = None,
+) -> dict[int, Badge]:
+    """Create the deployed fleet: primaries, backups, and the reference.
+
+    Badge ids ``0 .. n_primary-1`` are the primary badges (id ``i``
+    nominally belongs to crew member ``i``); the next ``n_backup`` ids
+    are backups; the highest id is the reference badge, whose clock is
+    by definition the time standard (zero offset/drift).
+    """
+    if n_backup is None:
+        n_backup = n_primary  # the deployment carried one backup each
+    fleet: dict[int, Badge] = {}
+    for i in range(n_primary + n_backup):
+        clock = ClockModel(
+            offset_s=float(rng.normal(0.0, INITIAL_OFFSET_SIGMA_S)),
+            drift_ppm=float(rng.normal(0.0, DRIFT_SIGMA_PPM)),
+        )
+        fleet[i] = Badge(badge_id=i, clock=clock, is_backup=i >= n_primary)
+    ref_id = n_primary + n_backup
+    fleet[ref_id] = Badge(badge_id=ref_id, clock=ClockModel(), is_reference=True)
+    return fleet

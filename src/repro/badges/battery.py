@@ -1,0 +1,86 @@
+"""Badge battery model.
+
+Raw-data logging "inherently led to increased energy consumption; we
+required each badge to be charged overnight".  Overnight charging is
+imperfect, so a badge starts the day with 75-100% charge, drains while
+recording, and either tops up at the charging station mid-day (the badge
+is off the neck and not recording during the stint) or dies before the
+evening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.units import HOUR
+
+
+@dataclass(frozen=True)
+class BatteryModel:
+    """Daily battery behaviour parameters.
+
+    Attributes:
+        full_runtime_s: recording time a full charge supports.
+        morning_charge_lo/hi: uniform range of the day-start charge level.
+        topup_threshold: charge fraction below which the wearer docks the
+            badge for a top-up stint.
+        topup_duration_s: length of a mid-day charging stint.
+    """
+
+    full_runtime_s: float = 15.0 * HOUR
+    morning_charge_lo: float = 0.75
+    morning_charge_hi: float = 1.0
+    topup_threshold: float = 0.15
+    topup_duration_s: float = 1.2 * HOUR
+    #: Probability the wearer actually notices and docks the badge when
+    #: the threshold is crossed (otherwise it runs until it dies).
+    topup_diligence: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.full_runtime_s <= 0 or self.topup_duration_s <= 0:
+            raise ConfigError("runtimes must be positive")
+        if not 0 < self.morning_charge_lo <= self.morning_charge_hi <= 1.0:
+            raise ConfigError("invalid morning charge range")
+        if not 0 < self.topup_threshold < 1:
+            raise ConfigError("topup_threshold must be in (0, 1)")
+
+    def plan_day(
+        self, daytime_s: float, rng: np.random.Generator
+    ) -> list[tuple[float, float]]:
+        """Inactive windows (relative seconds within daytime) for one day.
+
+        Returns a list of ``(start, end)`` windows during which the badge
+        is not recording: a charging stint and/or a dead tail.
+        """
+        charge = rng.uniform(self.morning_charge_lo, self.morning_charge_hi)
+        windows: list[tuple[float, float]] = []
+        t = 0.0
+        while t < daytime_s:
+            runtime_left = charge * self.full_runtime_s
+            threshold_in = (charge - self.topup_threshold) * self.full_runtime_s
+            if t + runtime_left >= daytime_s and t + threshold_in >= daytime_s:
+                break  # makes it to the evening without intervention
+            if rng.random() < self.topup_diligence:
+                # People dock opportunistically somewhere before the low
+                # battery warning, not all at the same instant -- this
+                # staggers outages so fleet-wide coverage gaps are rare.
+                dock_at = t + max(threshold_in, 0.0) * rng.uniform(0.35, 0.95)
+                dock_end = min(dock_at + self.topup_duration_s, daytime_s)
+                if dock_at < daytime_s:
+                    windows.append((dock_at, dock_end))
+                charge_at_dock = charge - (dock_at - t) / self.full_runtime_s
+                charge = min(
+                    1.0,
+                    charge_at_dock
+                    + (dock_end - dock_at) / self.topup_duration_s * 0.8,
+                )
+                t = dock_end
+            else:
+                died_at = t + runtime_left
+                if died_at < daytime_s:
+                    windows.append((died_at, daytime_s))
+                break
+        return windows

@@ -1,0 +1,256 @@
+"""Day-level sensing pipeline: ground truth -> badge observations.
+
+For each instrumented day this module works out who wears which badge
+(:mod:`repro.badges.assignment`), simulates wear state and badge
+whereabouts, and synthesizes every sensor stream plus the pairwise radio
+links.  The output is exactly what the offline analytics consume — the
+analytics never see ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.badge import Badge, badge_fleet
+from repro.badges.battery import BatteryModel
+from repro.badges.sdcard import SdCardAccountant
+from repro.badges.sensors.accelerometer import AccelerometerModel
+from repro.badges.sensors.environment import EnvironmentSensors
+from repro.badges.sensors.imu import ImuModel
+from repro.badges.sensors.microphone import MicrophoneModel, MicrophoneOutput, SpeechSources
+from repro.badges.wear import WearDay, WearModel
+from repro.core.config import MissionConfig
+from repro.core.rng import RngRegistry
+from repro.core.units import DAY
+from repro.crew.trace import MissionTruth
+from repro.habitat.beacons import Beacon, place_beacons
+from repro.habitat.environment import Environment
+from repro.habitat.floorplan import FloorPlan
+from repro.radio.ble import BleScanModel
+from repro.radio.infrared import IrModel
+from repro.radio.subghz import SubGhzModel
+from repro.radio.timesync import SyncEvent, TimeSyncSimulator
+
+
+@dataclass
+class BadgeDayObservations:
+    """Everything one badge logged on one day."""
+
+    badge_id: int
+    day: int
+    t0: float
+    dt: float
+    active: np.ndarray
+    worn: np.ndarray
+    ble_rssi: np.ndarray          # (frames, n_beacons); NaN = not heard
+    accel_rms: np.ndarray
+    gyro_rms: np.ndarray
+    heading_rad: np.ndarray
+    voice_db: np.ndarray
+    dominant_pitch_hz: np.ndarray
+    pitch_stability: np.ndarray
+    sound_db: np.ndarray
+    temperature_c: np.ndarray
+    pressure_hpa: np.ndarray
+    light_lux: np.ndarray
+    clock_error_s: np.ndarray
+    sync_events: list[SyncEvent]
+    bytes_recorded: float
+    #: Ground-truth badge room (simulator-only; used to *evaluate* the
+    #: localization pipeline, never as its input).
+    true_room: np.ndarray | None = None
+
+    def drop_ble(self) -> None:
+        """Free the (large) scan matrix once localization has consumed it."""
+        self.ble_rssi = np.empty((0, 0), dtype=np.float32)
+
+
+@dataclass
+class PairwiseDay:
+    """Badge-to-badge observations for one day (keys ``(i, j)``, i < j)."""
+
+    day: int
+    ir_contact: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+    subghz_rssi: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class SensingModels:
+    """The bundle of device/channel models used for synthesis."""
+
+    plan: FloorPlan
+    beacons: list[Beacon]
+    env: Environment = field(default_factory=Environment)
+    ble: BleScanModel = field(default_factory=BleScanModel)
+    subghz: SubGhzModel = field(default_factory=SubGhzModel)
+    ir: IrModel = field(default_factory=IrModel)
+    microphone: MicrophoneModel = field(default_factory=MicrophoneModel)
+    accelerometer: AccelerometerModel = field(default_factory=AccelerometerModel)
+    imu: ImuModel = field(default_factory=ImuModel)
+    env_sensors: EnvironmentSensors = field(default_factory=EnvironmentSensors)
+    battery: BatteryModel = field(default_factory=BatteryModel)
+
+    @classmethod
+    def default(cls, cfg: MissionConfig, plan: FloorPlan) -> "SensingModels":
+        return cls(plan=plan, beacons=place_beacons(plan, cfg.n_beacons))
+
+
+def sense_day(
+    truth: MissionTruth,
+    day: int,
+    assignment: BadgeAssignment,
+    models: SensingModels,
+    fleet: dict[int, Badge],
+    rngs: RngRegistry,
+    sdcard: SdCardAccountant | None = None,
+) -> tuple[dict[int, BadgeDayObservations], PairwiseDay]:
+    """Synthesize all badge observations for one day.
+
+    Badge clocks in ``fleet`` are mutated (drift accumulates, syncs
+    apply), so call with consecutive days for realistic clock behaviour.
+    """
+    cfg = truth.cfg
+    plan = models.plan
+    wear_model = WearModel(cfg, plan, battery=models.battery)
+    timesync = TimeSyncSimulator(station_xy=wear_model.station_xy)
+    n = cfg.frames_per_day
+    t0 = cfg.daytime_start_s
+    dt = cfg.frame_dt
+    t_abs = (day - 1) * DAY + t0 + np.arange(n) * dt
+    wall_matrix = plan.wall_matrix()
+    noise_floors = np.array(
+        [models.env.noise_floor_db(room.name) for room in plan.rooms]
+    )
+    sources = SpeechSources.from_truth(truth, day)
+
+    mapping = assignment.actual(day)
+    observations: dict[int, BadgeDayObservations] = {}
+    wear_days: dict[int, WearDay] = {}
+
+    for badge_id, astro in sorted(mapping.items()):
+        badge = fleet[badge_id]
+        if not badge.alive_on(day):
+            continue
+        trace = truth.trace(astro, day)
+        rng = rngs.get(f"badges.{badge_id}.day{day}")
+        wear = wear_model.simulate_day(
+            trace, rng, diligence=truth.roster.profile(astro).wear_diligence
+        )
+        wear_days[badge_id] = wear
+
+        # Clock: overnight dock syncs at day start, then drifts/syncs.
+        badge.clock.correct(reference_local=t0, own_local=badge.clock.local_time(t0))
+        clock_errors, sync_events = timesync.run_day(
+            badge.clock, wear.badge_xy, wear.active, t0, dt
+        )
+
+        ble_rssi = models.ble.scan(
+            plan, models.beacons, wear.badge_xy, wear.badge_room, wear.active, rng
+        )
+        accel = models.accelerometer.synthesize(
+            trace.walking, wear.worn, wear.active, trace.activity, rng
+        )
+        gyro, heading = models.imu.synthesize(trace.walking, wear.worn, wear.active, rng)
+        mic: MicrophoneOutput = models.microphone.synthesize(
+            sources, wear.badge_xy, wear.badge_room, wear.active,
+            wall_matrix, noise_floors, rng,
+        )
+        temp, pressure, light = models.env_sensors.synthesize(
+            models.env, plan, wear.badge_room, wear.worn, wear.active, t_abs, rng
+        )
+        bytes_recorded = 0.0
+        if sdcard is not None:
+            bytes_recorded = sdcard.record_day(badge_id, day, float(wear.active.sum()) * dt)
+
+        observations[badge_id] = BadgeDayObservations(
+            badge_id=badge_id, day=day, t0=t0, dt=dt,
+            active=wear.active, worn=wear.worn,
+            ble_rssi=ble_rssi,
+            accel_rms=accel, gyro_rms=gyro, heading_rad=heading,
+            voice_db=mic.voice_db, dominant_pitch_hz=mic.dominant_pitch_hz,
+            pitch_stability=mic.pitch_stability, sound_db=mic.sound_db,
+            temperature_c=temp, pressure_hpa=pressure, light_lux=light,
+            clock_error_s=clock_errors, sync_events=sync_events,
+            bytes_recorded=bytes_recorded,
+            true_room=wear.badge_room,
+        )
+
+    # Reference badge: permanently charged and recording at the station.
+    ref_id = assignment.reference_id
+    ref_rng = rngs.get(f"badges.{ref_id}.day{day}")
+    ref_active = np.ones(n, dtype=bool)
+    ref_xy = np.tile(np.float32(wear_model.station_xy), (n, 1))
+    ref_room = np.full(n, wear_model.station_room, dtype=np.int8)
+    ref_worn = np.zeros(n, dtype=bool)
+    ref_mic = models.microphone.synthesize(
+        sources, ref_xy, ref_room, ref_active, wall_matrix, noise_floors, ref_rng
+    )
+    ref_temp, ref_pressure, ref_light = models.env_sensors.synthesize(
+        models.env, plan, ref_room, ref_worn, ref_active, t_abs, ref_rng
+    )
+    if sdcard is not None:
+        ref_bytes = sdcard.record_day(ref_id, day, float(n) * dt)
+    else:
+        ref_bytes = 0.0
+    observations[ref_id] = BadgeDayObservations(
+        badge_id=ref_id, day=day, t0=t0, dt=dt,
+        active=ref_active, worn=ref_worn,
+        ble_rssi=models.ble.scan(plan, models.beacons, ref_xy, ref_room, ref_active, ref_rng),
+        accel_rms=models.accelerometer.synthesize(
+            np.zeros(n, dtype=bool), ref_worn, ref_active, np.zeros(n, dtype=np.int8), ref_rng
+        ),
+        gyro_rms=np.full(n, 0.01, dtype=np.float32),
+        heading_rad=np.zeros(n, dtype=np.float32),
+        voice_db=ref_mic.voice_db, dominant_pitch_hz=ref_mic.dominant_pitch_hz,
+        pitch_stability=ref_mic.pitch_stability, sound_db=ref_mic.sound_db,
+        temperature_c=ref_temp, pressure_hpa=ref_pressure, light_lux=ref_light,
+        clock_error_s=np.zeros(n), sync_events=[],
+        bytes_recorded=ref_bytes,
+    )
+
+    pairwise = _pairwise_day(truth, day, mapping, wear_days, models, rngs)
+    return observations, pairwise
+
+
+def _pairwise_day(
+    truth: MissionTruth,
+    day: int,
+    mapping: dict[int, str],
+    wear_days: dict[int, WearDay],
+    models: SensingModels,
+    rngs: RngRegistry,
+) -> PairwiseDay:
+    """Synthesize IR and sub-GHz badge-to-badge observations."""
+    rng = rngs.get(f"badges.pairwise.day{day}")
+    badge_xy = {b: w.badge_xy.astype(np.float64) for b, w in wear_days.items()}
+    badge_room = {b: w.badge_room for b, w in wear_days.items()}
+    active = {b: w.active for b, w in wear_days.items()}
+    worn = {b: w.worn for b, w in wear_days.items()}
+    walking = {
+        b: truth.trace(mapping[b], day).walking & wear_days[b].worn
+        for b in wear_days
+    }
+    pairwise = PairwiseDay(day=day)
+    if len(wear_days) >= 2:
+        pairwise.subghz_rssi = models.subghz.pairwise(
+            models.plan, badge_xy, badge_room, active, rng
+        )
+        pairwise.ir_contact = models.ir.pairwise(badge_xy, badge_room, worn, walking, rng)
+    return pairwise
+
+
+def make_fleet(assignment: BadgeAssignment, rngs: RngRegistry) -> dict[int, Badge]:
+    """Create the mission's badge fleet, applying scripted failures.
+
+    F's own badge fails on the morning of the reuse day, which is why F
+    picked up C's.
+    """
+    fleet = badge_fleet(assignment.roster.size, rngs.get("badges.fleet"))
+    cfg = assignment.cfg
+    if cfg.events is not None and cfg.event_active("badge_reuse_day") and "F" in assignment.roster.ids:
+        f_badge = assignment.roster.index("F")
+        fleet[f_badge].failed_on_day = cfg.events.badge_reuse_day
+    return fleet

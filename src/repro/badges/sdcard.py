@@ -1,0 +1,75 @@
+"""On-board SD-card storage accounting.
+
+"Because of the novelty and unpredictability of the deployment, we
+decided to collect frequently sampled raw data and store them on an
+on-board SD card for offline analyses" — yielding about 150 GiB over the
+13 instrumented days.  The accountant tracks bytes written per badge per
+day from per-sensor logging rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError
+from repro.core.units import GIB
+
+#: Raw logging rates while active, bytes per second.  Audio features and
+#: high-rate IMU dominate, matching the paper's ~150 GiB total.
+DEFAULT_RATES_BPS: dict[str, float] = {
+    "microphone": 34_000.0,
+    "imu": 7_200.0,
+    "ble_scans": 1_400.0,
+    "subghz": 400.0,
+    "environment": 150.0,
+    "infrared": 60.0,
+}
+
+#: SD card capacity per badge, bytes.
+CARD_CAPACITY_BYTES = 64 * GIB
+
+
+@dataclass
+class SdCardAccountant:
+    """Accumulates bytes written across the fleet."""
+
+    rates_bps: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_RATES_BPS))
+    capacity_bytes: float = CARD_CAPACITY_BYTES
+    #: (badge_id, day) -> bytes written that day.
+    written: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if any(rate < 0 for rate in self.rates_bps.values()):
+            raise ConfigError("logging rates must be non-negative")
+        if self.capacity_bytes <= 0:
+            raise ConfigError("capacity must be positive")
+
+    @property
+    def total_rate_bps(self) -> float:
+        """Aggregate logging rate while active."""
+        return sum(self.rates_bps.values())
+
+    def record_day(self, badge_id: int, day: int, active_seconds: float) -> float:
+        """Account one badge-day of logging; returns bytes written."""
+        if active_seconds < 0:
+            raise ConfigError("active_seconds must be non-negative")
+        written = active_seconds * self.total_rate_bps
+        self.written[(badge_id, day)] = written
+        return written
+
+    def badge_total(self, badge_id: int) -> float:
+        """Total bytes a badge has written so far."""
+        return sum(v for (b, _), v in self.written.items() if b == badge_id)
+
+    def total_bytes(self) -> float:
+        """Total bytes across the fleet."""
+        return sum(self.written.values())
+
+    def total_gib(self) -> float:
+        """Fleet total in GiB (the paper reports ~150 GiB)."""
+        return self.total_bytes() / GIB
+
+    def over_capacity(self) -> list[int]:
+        """Badges whose cumulative writes exceed their card capacity."""
+        badges = {b for b, _ in self.written}
+        return sorted(b for b in badges if self.badge_total(b) > self.capacity_bytes)

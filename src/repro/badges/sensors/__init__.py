@@ -1,0 +1,20 @@
+"""Per-sensor observation synthesis for the badge.
+
+Each module turns ground truth plus wear state into the feature stream
+the real badge firmware logged: motion features from the IMU, voice-band
+levels and pitch from the microphone (never raw audio — recording
+conversations was prohibited), and environmental readings.
+"""
+
+from repro.badges.sensors.accelerometer import AccelerometerModel
+from repro.badges.sensors.environment import EnvironmentSensors
+from repro.badges.sensors.imu import ImuModel
+from repro.badges.sensors.microphone import MicrophoneModel, SpeechSources
+
+__all__ = [
+    "AccelerometerModel",
+    "EnvironmentSensors",
+    "ImuModel",
+    "MicrophoneModel",
+    "SpeechSources",
+]

@@ -1,0 +1,70 @@
+"""Accelerometer feature synthesis.
+
+The firmware logs a per-frame RMS of the dynamic (gravity-removed)
+acceleration.  Walking produces a strong rhythmic signature; seated work
+produces micro-motion; a badge on a desk is almost perfectly still.  The
+walking analysis (paper Fig. 4) thresholds this feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.crew.tasks import Activity
+
+
+@dataclass(frozen=True)
+class AccelerometerModel:
+    """Gaussian activity-conditioned RMS acceleration, m/s^2.
+
+    Attributes:
+        walk_mean/walk_sigma: level while the wearer walks.
+        still_mean/still_sigma: level while worn but stationary.
+        desk_mean/desk_sigma: level while off the neck on a surface.
+        bump_prob: per-frame probability of a spurious knock while
+            stationary (tools, table bumps) that can fool the classifier.
+    """
+
+    walk_mean: float = 2.2
+    walk_sigma: float = 0.35
+    still_mean: float = 0.30
+    still_sigma: float = 0.12
+    desk_mean: float = 0.03
+    desk_sigma: float = 0.015
+    bump_prob: float = 0.004
+    bump_level: float = 1.8
+
+    def __post_init__(self) -> None:
+        if min(self.walk_mean, self.still_mean, self.desk_mean) < 0:
+            raise ConfigError("acceleration means must be non-negative")
+        if not 0 <= self.bump_prob < 1:
+            raise ConfigError("bump_prob must be in [0, 1)")
+
+    def synthesize(
+        self,
+        walking: np.ndarray,
+        worn: np.ndarray,
+        active: np.ndarray,
+        activity: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-frame RMS acceleration; NaN where the badge is inactive."""
+        n = walking.shape[0]
+        out = np.full(n, np.nan, dtype=np.float32)
+        desk = active & ~worn
+        out[desk] = rng.normal(self.desk_mean, self.desk_sigma, int(desk.sum()))
+        still = active & worn & ~walking
+        values = rng.normal(self.still_mean, self.still_sigma, int(still.sum()))
+        # Exercise shakes the wearer even between steps.
+        exercising = activity[still] == int(Activity.EXERCISE)
+        values[exercising] += 1.2
+        bumps = rng.random(values.shape) < self.bump_prob
+        values[bumps] += self.bump_level
+        out[still] = values
+        moving = active & worn & walking
+        out[moving] = rng.normal(self.walk_mean, self.walk_sigma, int(moving.sum()))
+        np.clip(out, 0.0, None, out=out)
+        return out

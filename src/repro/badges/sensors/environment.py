@@ -1,0 +1,70 @@
+"""Thermometer, barometer, and light-sensor synthesis.
+
+Environmental readings come from the room the *badge* is in (not the
+wearer — a badge on a desk reports the desk's room), plus sensor noise.
+The reference badge at the charging station sampled these continuously,
+giving the fleet a common baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.habitat.environment import Environment
+from repro.habitat.floorplan import FloorPlan
+
+
+@dataclass(frozen=True)
+class EnvironmentSensors:
+    """Noise parameters of the badge's environmental sensors."""
+
+    temp_noise_c: float = 0.15
+    pressure_noise_hpa: float = 0.4
+    light_noise_rel: float = 0.08
+    #: Light multiplier when the badge lies face-up on a desk vs on a
+    #: chest (cord shadowing) -- worn badges read slightly darker.
+    worn_light_factor: float = 0.8
+
+    def synthesize(
+        self,
+        env: Environment,
+        plan: FloorPlan,
+        badge_room: np.ndarray,
+        worn: np.ndarray,
+        active: np.ndarray,
+        t_abs: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns ``(temperature_c, pressure_hpa, light_lux)`` per frame.
+
+        NaN wherever the badge is inactive.
+        """
+        n = badge_room.shape[0]
+        temp = np.full(n, np.nan, dtype=np.float32)
+        light = np.full(n, np.nan, dtype=np.float32)
+
+        for room_idx in np.unique(badge_room):
+            if room_idx < 0:
+                continue
+            mask = active & (badge_room == room_idx)
+            if not mask.any():
+                continue
+            name = plan.name_of(int(room_idx))
+            temp[mask] = env.temperature_c(name, t_abs[mask])
+            light[mask] = env.light_lux(name, t_abs[mask])
+
+        temp[active] += rng.normal(0.0, self.temp_noise_c, int(active.sum()))
+        light_factor = np.where(worn, self.worn_light_factor, 1.0)
+        noisy = light * light_factor * (
+            1.0 + rng.normal(0.0, self.light_noise_rel, n)
+        )
+        light = np.where(active, np.maximum(noisy, 0.0), np.nan).astype(np.float32)
+
+        pressure = np.full(n, np.nan, dtype=np.float32)
+        pressure[active] = (
+            env.pressure_hpa(t_abs[active])
+            + rng.normal(0.0, self.pressure_noise_hpa, int(active.sum()))
+        )
+        return temp, pressure, light

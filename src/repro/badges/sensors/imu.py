@@ -1,0 +1,55 @@
+"""Gyroscope and magnetometer feature synthesis.
+
+The localization pipeline deliberately does *not* use the inertial
+sensors ("the accuracy was high even without employing the inertial
+sensors of a badge"), but the firmware logged them and the ablation
+benchmarks exercise them, so the features exist: per-frame gyroscope RMS
+(turn intensity) and a magnetometer heading that random-walks while the
+wearer moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ImuModel:
+    """Gyro/magnetometer synthesis parameters."""
+
+    gyro_walk_mean: float = 0.9     # rad/s RMS while walking (turning)
+    gyro_walk_sigma: float = 0.3
+    gyro_still_mean: float = 0.08
+    gyro_still_sigma: float = 0.04
+    heading_step_walk_rad: float = 0.35
+    heading_noise_rad: float = 0.02
+
+    def synthesize(
+        self,
+        walking: np.ndarray,
+        worn: np.ndarray,
+        active: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Returns ``(gyro_rms, heading_rad)`` per frame; NaN when inactive."""
+        n = walking.shape[0]
+        gyro = np.full(n, np.nan, dtype=np.float32)
+        still = active & ~(worn & walking)
+        gyro[still] = np.abs(
+            rng.normal(self.gyro_still_mean, self.gyro_still_sigma, int(still.sum()))
+        )
+        moving = active & worn & walking
+        gyro[moving] = np.abs(
+            rng.normal(self.gyro_walk_mean, self.gyro_walk_sigma, int(moving.sum()))
+        )
+
+        steps = np.where(
+            worn & walking,
+            rng.normal(0.0, self.heading_step_walk_rad, n),
+            rng.normal(0.0, self.heading_noise_rad, n),
+        )
+        heading = np.mod(np.cumsum(steps), 2.0 * np.pi).astype(np.float32)
+        heading[~active] = np.nan
+        return gyro, heading

@@ -1,0 +1,134 @@
+"""A minimal discrete-event simulation engine.
+
+The habitat *support system* prototype (:mod:`repro.support`) — message
+bus, delayed Earth link, failover, authorization rounds — runs on this
+engine.  The crew/sensor trace generation is segment-based and does not
+need it, which keeps the hot path vectorizable.
+
+The engine is deliberately small: a time-ordered heap of callbacks with
+stable FIFO ordering for simultaneous events, cancellation, and a few
+run-control helpers.  No coroutines, no magic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.core.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`Simulator.schedule`.
+
+    Events are compared by (time, sequence-number) so simultaneous events
+    fire in scheduling order.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.3f} {name}{state}>"
+
+
+class Simulator:
+    """Time-ordered event loop.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "a")
+    >>> _ = sim.schedule(3.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains (or ``max_events`` fire)."""
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            fired = 0
+            while self.step():
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    return
+        finally:
+            self._running = False
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp <= ``time``; advance clock to ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time} < now {self._now}")
+        while True:
+            upcoming = self.peek()
+            if upcoming is None or upcoming > time:
+                break
+            self.step()
+        self._now = max(self._now, time)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

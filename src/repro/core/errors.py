@@ -1,0 +1,25 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid state (a bug or misuse)."""
+
+
+class DataError(ReproError):
+    """A dataset is missing, malformed, or inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """A distributed-system protocol invariant was violated."""

@@ -1,0 +1,109 @@
+"""A small keyed dataset store with directory persistence.
+
+Mission outputs (ground truth, sensor observations, analysis products)
+are keyed by string tuples like ``("gt", "A", "4")`` and hold numpy
+arrays or JSON-serializable metadata.  The store can round-trip to a
+directory of ``.npz`` / ``.json`` files so experiments can cache the
+expensive simulation step.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.errors import DataError
+
+_KEY_SEP = "__"
+
+
+def _encode_key(key: tuple[str, ...]) -> str:
+    for part in key:
+        if _KEY_SEP in part or "/" in part:
+            raise DataError(f"key part {part!r} contains a reserved character")
+    return _KEY_SEP.join(key)
+
+
+def _decode_key(name: str) -> tuple[str, ...]:
+    return tuple(name.split(_KEY_SEP))
+
+
+class DataStore:
+    """In-memory map from key tuples to array bundles and metadata."""
+
+    def __init__(self) -> None:
+        self._arrays: dict[tuple[str, ...], dict[str, np.ndarray]] = {}
+        self._meta: dict[tuple[str, ...], Any] = {}
+
+    # -- arrays --------------------------------------------------------
+
+    def put_arrays(self, key: tuple[str, ...], **arrays: np.ndarray) -> None:
+        """Store a named bundle of arrays under ``key`` (replaces any prior)."""
+        self._arrays[key] = {name: np.asarray(arr) for name, arr in arrays.items()}
+
+    def get_arrays(self, key: tuple[str, ...]) -> dict[str, np.ndarray]:
+        """Fetch the array bundle stored under ``key``."""
+        try:
+            return self._arrays[key]
+        except KeyError:
+            raise DataError(f"no arrays stored under key {key!r}") from None
+
+    def has_arrays(self, key: tuple[str, ...]) -> bool:
+        """Whether an array bundle exists for ``key``."""
+        return key in self._arrays
+
+    # -- metadata -------------------------------------------------------
+
+    def put_meta(self, key: tuple[str, ...], value: Any) -> None:
+        """Store JSON-serializable metadata under ``key``."""
+        json.dumps(value)  # fail fast on unserializable input
+        self._meta[key] = value
+
+    def get_meta(self, key: tuple[str, ...]) -> Any:
+        """Fetch metadata stored under ``key``."""
+        try:
+            return self._meta[key]
+        except KeyError:
+            raise DataError(f"no metadata stored under key {key!r}") from None
+
+    # -- enumeration ----------------------------------------------------
+
+    def keys(self, prefix: tuple[str, ...] = ()) -> Iterator[tuple[str, ...]]:
+        """All array keys starting with ``prefix``, sorted."""
+        for key in sorted(self._arrays):
+            if key[: len(prefix)] == prefix:
+                yield key
+
+    def __len__(self) -> int:
+        return len(self._arrays) + len(self._meta)
+
+    # -- persistence ------------------------------------------------------
+
+    def save_dir(self, path: str | Path) -> None:
+        """Write the store to a directory (``.npz`` per array key, one
+        ``meta.json``)."""
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        for key, bundle in self._arrays.items():
+            np.savez_compressed(root / f"{_encode_key(key)}.npz", **bundle)
+        meta = {_encode_key(key): value for key, value in self._meta.items()}
+        (root / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True))
+
+    @classmethod
+    def load_dir(cls, path: str | Path) -> "DataStore":
+        """Read a store previously written by :meth:`save_dir`."""
+        root = Path(path)
+        if not root.is_dir():
+            raise DataError(f"{root} is not a directory")
+        store = cls()
+        for npz_path in sorted(root.glob("*.npz")):
+            with np.load(npz_path) as data:
+                store._arrays[_decode_key(npz_path.stem)] = {k: data[k] for k in data.files}
+        meta_path = root / "meta.json"
+        if meta_path.exists():
+            raw = json.loads(meta_path.read_text())
+            store._meta = {_decode_key(name): value for name, value in raw.items()}
+        return store

@@ -1,0 +1,102 @@
+"""Regularly-sampled time series on a per-day grid.
+
+Ground-truth traces and sensor observations are stored as 1 Hz (by
+default) arrays covering one mission day's *daytime*.  ``TimeSeries``
+bundles the grid definition with the samples and provides windowed
+reductions used by the analytics (15-second speech intervals, 1-second
+dominant-position frames, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.core.intervals import IntervalSet
+
+
+class TimeSeries:
+    """Samples on a regular grid ``t0 + i * dt`` for ``i in range(n)``.
+
+    Sample ``i`` describes the half-open slice ``[t0 + i*dt, t0 + (i+1)*dt)``.
+    """
+
+    __slots__ = ("t0", "dt", "values")
+
+    def __init__(self, t0: float, dt: float, values: np.ndarray):
+        if dt <= 0:
+            raise DataError("dt must be positive")
+        values = np.asarray(values)
+        if values.ndim < 1:
+            raise DataError("values must have at least one dimension")
+        self.t0 = float(t0)
+        self.dt = float(dt)
+        self.values = values
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def t1(self) -> float:
+        """End of the covered window."""
+        return self.t0 + len(self) * self.dt
+
+    def times(self) -> np.ndarray:
+        """Sample start timestamps."""
+        return self.t0 + np.arange(len(self)) * self.dt
+
+    def index_of(self, t: float) -> int:
+        """Grid index covering timestamp ``t``."""
+        if not self.t0 <= t < self.t1:
+            raise DataError(f"timestamp {t} outside [{self.t0}, {self.t1})")
+        return int((t - self.t0) // self.dt)
+
+    def at(self, t: float) -> np.ndarray:
+        """Sample value covering timestamp ``t``."""
+        return self.values[self.index_of(t)]
+
+    def slice(self, lo: float, hi: float) -> "TimeSeries":
+        """Sub-series covering ``[lo, hi)`` (clipped to the grid)."""
+        i0 = max(0, int(np.ceil((lo - self.t0) / self.dt - 1e-9)))
+        i1 = min(len(self), int(np.ceil((hi - self.t0) / self.dt - 1e-9)))
+        i1 = max(i0, i1)
+        return TimeSeries(self.t0 + i0 * self.dt, self.dt, self.values[i0:i1])
+
+    def where(self, predicate: Callable[[np.ndarray], np.ndarray]) -> IntervalSet:
+        """Intervals on which ``predicate(values)`` is true."""
+        mask = np.asarray(predicate(self.values), dtype=bool)
+        if mask.shape != (len(self),):
+            raise DataError("predicate must return one boolean per sample")
+        return IntervalSet.from_mask(mask, t0=self.t0, dt=self.dt)
+
+    def downsample(self, factor: int, reduce: Callable[[np.ndarray], np.ndarray] = None) -> "TimeSeries":
+        """Reduce blocks of ``factor`` samples into one (default: mean).
+
+        A trailing partial block is dropped; ``reduce`` is applied along
+        axis 1 of the ``(blocks, factor, ...)`` reshaped array.
+        """
+        if factor < 1:
+            raise DataError("factor must be >= 1")
+        blocks = len(self) // factor
+        trimmed = self.values[: blocks * factor]
+        shaped = trimmed.reshape((blocks, factor) + trimmed.shape[1:])
+        if reduce is None:
+            reduced = shaped.mean(axis=1)
+        else:
+            reduced = reduce(shaped)
+        return TimeSeries(self.t0, self.dt * factor, reduced)
+
+    def windowed_fraction(self, window_s: float, mask: np.ndarray) -> "TimeSeries":
+        """Per-window fraction of true samples; the paper's 15-second
+        speech-interval reduction is ``windowed_fraction(15.0, loud_mask)``."""
+        factor = int(round(window_s / self.dt))
+        if factor < 1:
+            raise DataError("window shorter than the sampling period")
+        mask = np.asarray(mask, dtype=float)
+        if mask.shape[0] != len(self):
+            raise DataError("mask length mismatch")
+        blocks = len(self) // factor
+        fractions = mask[: blocks * factor].reshape(blocks, factor).mean(axis=1)
+        return TimeSeries(self.t0, self.dt * factor, fractions)

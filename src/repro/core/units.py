@@ -1,0 +1,49 @@
+"""Unit constants and small formatting helpers.
+
+Mission time throughout the library is measured in seconds since local
+midnight of a mission day (``float``), or in absolute seconds since the
+start of day 1 when a day index is combined with an in-day offset.
+"""
+
+from __future__ import annotations
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+CM = 0.01
+METER = 1.0
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def hhmm(seconds_of_day: float) -> str:
+    """Format an in-day offset as ``HH:MM`` (e.g. ``hhmm(45000) == '12:30'``)."""
+    total_minutes = int(seconds_of_day // MINUTE)
+    return f"{total_minutes // 60:02d}:{total_minutes % 60:02d}"
+
+
+def hhmmss(seconds_of_day: float) -> str:
+    """Format an in-day offset as ``HH:MM:SS``."""
+    s = int(seconds_of_day)
+    return f"{s // 3600:02d}:{s % 3600 // 60:02d}:{s % 60:02d}"
+
+
+def parse_hhmm(text: str) -> float:
+    """Parse ``'HH:MM'`` (or ``'HH:MM:SS'``) into seconds of day."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"expected HH:MM or HH:MM:SS, got {text!r}")
+    hours, minutes = int(parts[0]), int(parts[1])
+    seconds = int(parts[2]) if len(parts) == 3 else 0
+    if not (0 <= minutes < 60 and 0 <= seconds < 60):
+        raise ValueError(f"invalid time of day: {text!r}")
+    return hours * HOUR + minutes * MINUTE + seconds
+
+
+def gib(num_bytes: float) -> float:
+    """Convert a byte count to GiB."""
+    return num_bytes / GIB

@@ -1,0 +1,29 @@
+"""Crew substrate: agent-based behavior simulation of the ICAres-1 crew.
+
+Personality profiles, the six-astronaut roster, the mission's strict
+30-minute-slot schedule, movement and conversation models, and the
+scripted atypical events (the death of astronaut C, the famine, the
+mission-control reprimand).  The output is a *ground-truth* mission
+trace that the badge/radio layer degrades into sensor observations.
+"""
+
+from repro.crew.astronaut import Profile
+from repro.crew.behavior import simulate_mission
+from repro.crew.roster import CREW_IDS, icares_roster, Roster
+from repro.crew.schedule import DaySchedule, Slot, build_day_schedule
+from repro.crew.tasks import Activity
+from repro.crew.trace import DayTrace, MissionTruth
+
+__all__ = [
+    "Activity",
+    "CREW_IDS",
+    "DaySchedule",
+    "DayTrace",
+    "MissionTruth",
+    "Profile",
+    "Roster",
+    "Slot",
+    "build_day_schedule",
+    "icares_roster",
+    "simulate_mission",
+]

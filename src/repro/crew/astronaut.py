@@ -1,0 +1,71 @@
+"""Astronaut personality / ability profiles.
+
+The paper characterizes the crew indirectly — "D and F were described as
+energetic, E was more reserved while B, as Mission Commander, had to
+spend more time on paperwork"; C was "an energetic conversationalist";
+A was visually impaired with limited hand function.  Profiles encode
+those descriptions as behavioral parameters that the movement and
+conversation models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Behavioral parameters of one astronaut."""
+
+    astro_id: str
+    role: str
+    #: 'f' or 'm'; the badge microphone distinguished male/female voices.
+    sex: str
+    #: Relative propensity to move around (scales in-room wandering).
+    mobility: float
+    #: Probability weight of speaking in a group conversation turn.
+    talkativeness: float
+    #: Probability of seeking company (co-working, social breaks).
+    sociability: float
+    #: Walking speed, m/s.
+    walk_speed: float = 1.0
+    #: Fraction of a room's extent used when wandering (impaired A keeps
+    #: to the middle of rooms, away from corners).
+    wander_extent: float = 0.85
+    #: Whether the astronaut uses assistive technology (screen reader).
+    impaired: bool = False
+    #: Preferred work rooms with weights (must sum to ~1).
+    work_rooms: dict[str, float] = field(default_factory=dict)
+    #: Mean voice fundamental frequency, Hz (used by speaker ID).
+    voice_pitch_hz: float = 160.0
+    #: Whether this astronaut makes supervision rounds (the Commander
+    #: "cooperated, supervised, and kept company with the crew").
+    supervises: bool = False
+    #: Multiplier on the mission-wide wear-compliance target.  The badge
+    #: "hanging on their neck in the laboratory or workshop ... turned
+    #: out to be a burden", and impaired A struggled with it most.
+    wear_diligence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sex not in ("f", "m"):
+            raise ConfigError(f"sex must be 'f' or 'm', got {self.sex!r}")
+        for name in ("mobility", "talkativeness", "sociability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 2.0:
+                raise ConfigError(f"{name} must be in [0, 2], got {value}")
+        if self.walk_speed <= 0:
+            raise ConfigError("walk_speed must be positive")
+        if not 0.05 <= self.wander_extent <= 1.0:
+            raise ConfigError("wander_extent must be in [0.05, 1]")
+        if self.work_rooms:
+            total = sum(self.work_rooms.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ConfigError(f"work_rooms weights must sum to 1, got {total}")
+            if any(w < 0 for w in self.work_rooms.values()):
+                raise ConfigError("work_rooms weights must be non-negative")
+        if self.voice_pitch_hz <= 0:
+            raise ConfigError("voice_pitch_hz must be positive")
+        if not 0.1 <= self.wear_diligence <= 1.0:
+            raise ConfigError("wear_diligence must be in [0.1, 1]")

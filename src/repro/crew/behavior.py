@@ -1,0 +1,300 @@
+"""Mission-level behavior orchestration.
+
+``simulate_mission`` ties the crew substrate together: for every day it
+builds the schedule, injects scripted events, adds micro-interruptions
+(restroom visits, the Commander's supervision rounds), runs the movement
+model, and generates conversations — yielding a complete
+:class:`~repro.crew.trace.MissionTruth`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MissionConfig
+from repro.core.rng import RngRegistry
+from repro.core.units import MINUTE
+from repro.crew.conversation import ConversationModel
+from repro.crew.events_script import (
+    DECEASED,
+    apply_scripted_events,
+    day_mobility_factor,
+    day_talk_factor,
+    deceased_absent,
+)
+from repro.crew.movement import MovementModel
+from repro.crew.roster import Roster, icares_roster
+from repro.crew.schedule import DaySchedule, Slot, build_day_schedule, override_slots
+from repro.crew.tasks import Activity
+from repro.crew.trace import DayTrace, MissionTruth
+from repro.habitat.floorplan import FloorPlan, lunares_floorplan
+
+#: Restroom visits per astronaut per day (mean of a Poisson draw).
+RESTROOM_VISITS_MEAN = 2.5
+RESTROOM_MIN_S, RESTROOM_MAX_S = 3 * MINUTE, 5 * MINUTE
+
+#: Supervision rounds by supervising astronauts (the Commander).
+SUPERVISION_VISITS_PER_DAY = 9
+SUPERVISION_MIN_S, SUPERVISION_MAX_S = 5 * MINUTE, 11 * MINUTE
+
+#: Social/consultation visits: astronauts drop by a colleague's room
+#: (mean visits per day, scaled by sociability; targets drawn by affinity).
+SOCIAL_VISITS_MEAN = 1.6
+SOCIAL_VISIT_MIN_S, SOCIAL_VISIT_MAX_S = 5 * MINUTE, 12 * MINUTE
+
+#: Private chats: a pair slips away to talk tete-a-tete.  Each pair's
+#: daily chat count is Poisson with rate proportional to squared
+#: affinity, so close pairs (A-F) chat far more than distant ones (D-E)
+#: -- the source of the paper's "~5 h more private talk".
+PRIVATE_CHAT_RATE_PER_AFFINITY2 = 0.38
+PRIVATE_CHAT_MIN_S, PRIVATE_CHAT_MAX_S = 10 * MINUTE, 22 * MINUTE
+
+#: Water trips: absorbed office/workshop workers dash to the kitchen to
+#: rehydrate (mean extra trips per day per absorbed worker).
+WATER_TRIPS_MEAN = 1.6
+WATER_TRIP_MIN_S, WATER_TRIP_MAX_S = 1.5 * MINUTE, 4 * MINUTE
+
+
+def simulate_mission(
+    cfg: MissionConfig,
+    roster: Roster | None = None,
+    plan: FloorPlan | None = None,
+    rngs: RngRegistry | None = None,
+) -> MissionTruth:
+    """Simulate the full mission and return its ground truth.
+
+    Deterministic given ``cfg.seed`` (or the supplied registry).
+    """
+    roster = roster if roster is not None else icares_roster(cfg.crew_size)
+    plan = plan if plan is not None else lunares_floorplan()
+    rngs = rngs if rngs is not None else RngRegistry(cfg.seed)
+
+    truth = MissionTruth(cfg=cfg, roster=roster, plan=plan)
+    movement = MovementModel(plan, dt=cfg.frame_dt)
+    conversation = ConversationModel(roster.profiles, dt=cfg.frame_dt)
+    n_frames = cfg.frames_per_day
+    t0 = cfg.daytime_start_s
+
+    for day in range(1, cfg.days + 1):
+        sched_rng = rngs.get(f"crew.schedule.day{day}")
+        absent = {DECEASED} if deceased_absent(cfg, day) else set()
+        sched = build_day_schedule(cfg, roster, day, sched_rng, absent)
+        truth.events.extend(apply_scripted_events(sched, cfg, roster, day))
+        _insert_restroom_visits(sched, roster, rngs.get(f"crew.restroom.day{day}"))
+        _insert_supervision_rounds(sched, roster, rngs.get(f"crew.supervision.day{day}"))
+        _insert_social_visits(sched, roster, rngs.get(f"crew.visits.day{day}"))
+        _insert_private_chats(sched, roster, rngs.get(f"crew.chats.day{day}"))
+        _insert_water_trips(sched, roster, rngs.get(f"crew.water.day{day}"))
+        truth.schedules[day] = sched
+
+        mobility_factor = day_mobility_factor(cfg, day)
+        day_arrays = {}
+        for astro in roster.ids:
+            move_rng = rngs.get(f"crew.movement.{astro}.day{day}")
+            day_arrays[astro] = movement.fill_day(
+                roster.profile(astro), sched.of(astro), t0, n_frames, move_rng,
+                mobility_factor=mobility_factor,
+            )
+
+        rooms = np.vstack([day_arrays[a].room for a in roster.ids])
+        activities = np.vstack([day_arrays[a].activity for a in roster.ids])
+        speech = conversation.generate(
+            rooms, activities, rngs.get(f"crew.conversation.day{day}"),
+            talk_factor=day_talk_factor(cfg, day),
+        )
+
+        for row, astro in enumerate(roster.ids):
+            arrays = day_arrays[astro]
+            truth.traces[(astro, day)] = DayTrace(
+                astro_id=astro,
+                day=day,
+                t0=t0,
+                dt=cfg.frame_dt,
+                room=arrays.room,
+                x=arrays.x,
+                y=arrays.y,
+                walking=arrays.walking,
+                speaking=speech.speaking[row],
+                loudness=speech.loudness[row],
+                machine_speech=speech.machine_speech[row],
+                activity=arrays.activity,
+            )
+    return truth
+
+
+# -- micro-interruptions ---------------------------------------------------
+
+
+def _workable_windows(slots: list[Slot], min_len_s: float) -> list[Slot]:
+    """Work slots long enough to host an interruption."""
+    return [
+        s for s in slots
+        if s.activity == Activity.WORK and s.room is not None and s.duration >= min_len_s
+    ]
+
+
+def _insert_restroom_visits(sched: DaySchedule, roster: Roster,
+                            rng: np.random.Generator) -> None:
+    """Scatter short restroom visits through each astronaut's work slots."""
+    for astro in roster.ids:
+        slots = sched.slots[astro]
+        if all(s.activity == Activity.ABSENT for s in slots):
+            continue
+        n_visits = int(rng.poisson(RESTROOM_VISITS_MEAN))
+        for _ in range(n_visits):
+            hosts = _workable_windows(sched.slots[astro], 20 * MINUTE)
+            if not hosts:
+                break
+            host = hosts[int(rng.integers(len(hosts)))]
+            duration = rng.uniform(RESTROOM_MIN_S, RESTROOM_MAX_S)
+            start = rng.uniform(host.t0 + MINUTE, host.t1 - duration - MINUTE)
+            sched.slots[astro] = override_slots(
+                sched.slots[astro], start, start + duration,
+                Activity.RESTROOM, "restroom", "restroom",
+            )
+
+
+def _room_of(slots: list[Slot], t: float) -> str | None:
+    """Room an astronaut is scheduled in at time ``t``."""
+    for slot in slots:
+        if slot.t0 <= t < slot.t1:
+            return slot.room
+    return None
+
+
+def _insert_social_visits(sched: DaySchedule, roster: Roster,
+                          rng: np.random.Generator) -> None:
+    """Astronauts drop by colleagues' rooms to consult or socialize.
+
+    Targets are drawn by pair affinity, so the knowledgeable and
+    well-liked (C) attract visitors, and close pairs (A-F) see each
+    other far more than distant ones (D-E).
+    """
+    present = [
+        a for a in roster.ids
+        if not all(s.activity == Activity.ABSENT for s in sched.slots[a])
+    ]
+    for astro in present:
+        profile = roster.profile(astro)
+        n_visits = int(rng.poisson(SOCIAL_VISITS_MEAN * profile.sociability))
+        for _ in range(n_visits):
+            hosts = _workable_windows(sched.slots[astro], 25 * MINUTE)
+            if not hosts:
+                break
+            host = hosts[int(rng.integers(len(hosts)))]
+            duration = rng.uniform(SOCIAL_VISIT_MIN_S, SOCIAL_VISIT_MAX_S)
+            start = rng.uniform(host.t0 + MINUTE, host.t1 - duration - MINUTE)
+            others = [o for o in present if o != astro]
+            weights = np.array([roster.pair_affinity(astro, o) for o in others])
+            if weights.sum() <= 0:
+                continue
+            target = others[int(rng.choice(len(others), p=weights / weights.sum()))]
+            room = _room_of(sched.slots[target], start)
+            if room is None or room == host.room:
+                continue
+            sched.slots[astro] = override_slots(
+                sched.slots[astro], start, start + duration,
+                Activity.WORK, room, "visit",
+            )
+
+
+def _insert_private_chats(sched: DaySchedule, roster: Roster,
+                          rng: np.random.Generator) -> None:
+    """Pairs retreat for short private conversations.
+
+    The pair slips to the kitchen ("favored by the crew as the cosiest
+    room") or a bedroom corner; both schedules get the same override.
+    """
+    from itertools import combinations
+
+    present = [
+        a for a in roster.ids
+        if not all(s.activity == Activity.ABSENT for s in sched.slots[a])
+    ]
+    for a, b in combinations(present, 2):
+        rate = PRIVATE_CHAT_RATE_PER_AFFINITY2 * roster.pair_affinity(a, b) ** 2
+        for _ in range(int(rng.poisson(rate))):
+            hosts = _workable_windows(sched.slots[a], 25 * MINUTE)
+            if not hosts:
+                continue
+            host = hosts[int(rng.integers(len(hosts)))]
+            duration = rng.uniform(PRIVATE_CHAT_MIN_S, PRIVATE_CHAT_MAX_S)
+            start = rng.uniform(host.t0 + MINUTE, host.t1 - duration - MINUTE)
+            # The partner must also be in interruptible work at that moment.
+            partner_slot = next(
+                (s for s in sched.slots[b] if s.t0 <= start and start + duration <= s.t1),
+                None,
+            )
+            if partner_slot is None or partner_slot.activity != Activity.WORK:
+                continue
+            room = "kitchen" if rng.random() < 0.3 else "bedroom"
+            for astro in (a, b):
+                sched.slots[astro] = override_slots(
+                    sched.slots[astro], start, start + duration,
+                    Activity.BREAK, room, "private-chat",
+                )
+
+
+def _insert_water_trips(sched: DaySchedule, roster: Roster,
+                        rng: np.random.Generator) -> None:
+    """Quick kitchen dashes by absorbed office/workshop workers.
+
+    These dominate the paper's Fig. 2: office->kitchen (and back) are
+    the most frequent passages because people "forgot about breaks and
+    in the end had to quickly supplement water in the kitchen".
+    """
+    from repro.crew.schedule import ABSORBING_ROOMS
+
+    for astro in roster.ids:
+        slots = sched.slots[astro]
+        if all(s.activity == Activity.ABSENT for s in slots):
+            continue
+        n_trips = int(rng.poisson(WATER_TRIPS_MEAN))
+        for _ in range(n_trips):
+            hosts = [
+                s for s in _workable_windows(sched.slots[astro], 25 * MINUTE)
+                if s.room in ABSORBING_ROOMS
+            ]
+            if not hosts:
+                break
+            host = hosts[int(rng.integers(len(hosts)))]
+            duration = rng.uniform(WATER_TRIP_MIN_S, WATER_TRIP_MAX_S)
+            start = rng.uniform(host.t0 + MINUTE, host.t1 - duration - MINUTE)
+            sched.slots[astro] = override_slots(
+                sched.slots[astro], start, start + duration,
+                Activity.BREAK, "kitchen", "water-trip",
+            )
+
+
+def _insert_supervision_rounds(sched: DaySchedule, roster: Roster,
+                               rng: np.random.Generator) -> None:
+    """Supervising astronauts drop in on colleagues' work rooms.
+
+    This is what makes the Commander "the person who was the most
+    central and available to the others" (Table I).
+    """
+    for astro in roster.ids:
+        if not roster.profile(astro).supervises:
+            continue
+        slots = sched.slots[astro]
+        if all(s.activity == Activity.ABSENT for s in slots):
+            continue
+        for _ in range(SUPERVISION_VISITS_PER_DAY):
+            hosts = _workable_windows(sched.slots[astro], 25 * MINUTE)
+            if not hosts:
+                break
+            host = hosts[int(rng.integers(len(hosts)))]
+            duration = rng.uniform(SUPERVISION_MIN_S, SUPERVISION_MAX_S)
+            start = rng.uniform(host.t0 + MINUTE, host.t1 - duration - MINUTE)
+            occupied = {
+                room for other in roster.ids if other != astro
+                for room in [_room_of(sched.slots[other], start)]
+                if room is not None and room != host.room
+            }
+            if not occupied:
+                continue
+            target = sorted(occupied)[int(rng.integers(len(occupied)))]
+            sched.slots[astro] = override_slots(
+                sched.slots[astro], start, start + duration,
+                Activity.WORK, target, "supervision",
+            )

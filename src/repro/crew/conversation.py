@@ -1,0 +1,196 @@
+"""Conversation model: who speaks, when, and how loudly.
+
+Conversations happen between co-located astronauts and follow the talk
+regime of the ongoing activity (meals are chatty, the consolation
+meeting was "clearly quieter than ... lunch").  Within a conversation
+burst, speakers alternate in turns drawn by talkativeness — this is what
+makes C's voice "dominate during meetings".
+
+The model also emits the assistive screen-reader (TTS) audio that
+accompanied impaired astronaut A's office work; the paper had to teach
+its conversation analysis "to not be misled by a computer program
+reading out texts for A", and so does ours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crew.astronaut import Profile
+from repro.crew.tasks import SILENT_ACTIVITIES, Activity, talk_regime
+
+#: TTS regime for the impaired astronaut's screen reader.
+TTS_DUTY = 0.35
+TTS_BURST_MEAN_S = 22.0
+TTS_LOUDNESS_DB = 58.0
+#: Rooms where the screen reader is in use.
+TTS_ROOMS = ("office", "biolab")
+
+#: Ignore co-location segments shorter than this (people passing through).
+MIN_SEGMENT_S = 5.0
+
+#: Speaker turn length bounds within a burst, seconds.
+TURN_MIN_S, TURN_MAX_S = 2.0, 9.0
+
+
+@dataclass
+class SpeechArrays:
+    """Per-crew speech output for one day."""
+
+    speaking: np.ndarray        # (crew, frames) bool
+    loudness: np.ndarray        # (crew, frames) float32, dB SPL at 1 m
+    machine_speech: np.ndarray  # (crew, frames) bool
+
+
+class ConversationModel:
+    """Generates speech from co-location and activity ground truth."""
+
+    def __init__(self, profiles: tuple[Profile, ...], dt: float = 1.0):
+        self.profiles = profiles
+        self.dt = float(dt)
+
+    def generate(
+        self,
+        rooms: np.ndarray,
+        activities: np.ndarray,
+        rng: np.random.Generator,
+        talk_factor: float = 1.0,
+    ) -> SpeechArrays:
+        """Build speech arrays for one day.
+
+        Args:
+            rooms: ``(crew, frames)`` ground-truth room indices.
+            activities: ``(crew, frames)`` activity codes.
+            rng: this component's random stream.
+            talk_factor: scripted day-level mood multiplier on talk duty
+                (the paper's Fig. 6 decline and the famine/reprimand
+                collapse enter here).
+
+        Returns:
+            :class:`SpeechArrays` for the whole crew.
+        """
+        n_crew, n_frames = rooms.shape
+        out = SpeechArrays(
+            speaking=np.zeros((n_crew, n_frames), dtype=bool),
+            loudness=np.zeros((n_crew, n_frames), dtype=np.float32),
+            machine_speech=np.zeros((n_crew, n_frames), dtype=bool),
+        )
+        for seg_start, seg_end in self._segments(rooms, activities):
+            if (seg_end - seg_start) * self.dt < MIN_SEGMENT_S:
+                continue
+            self._fill_segment(out, rooms, activities, seg_start, seg_end, rng, talk_factor)
+        self._fill_tts(out, rooms, activities, rng)
+        return out
+
+    # -- internals -------------------------------------------------------
+
+    def _segments(self, rooms: np.ndarray, activities: np.ndarray | None = None) -> list[tuple[int, int]]:
+        """Frame ranges over which rooms (and activities) are constant.
+
+        Activity changes split segments too: six people switching from
+        TRANSIT to MEAL the moment they reach the kitchen table must
+        start a fresh (talkative) segment even though no room changed.
+        """
+        n_frames = rooms.shape[1]
+        if n_frames == 0:
+            return []
+        changed = (rooms[:, 1:] != rooms[:, :-1]).any(axis=0)
+        if activities is not None:
+            changed |= (activities[:, 1:] != activities[:, :-1]).any(axis=0)
+        boundaries = np.concatenate([[0], np.flatnonzero(changed) + 1, [n_frames]])
+        return list(zip(boundaries[:-1], boundaries[1:]))
+
+    def _fill_segment(
+        self,
+        out: SpeechArrays,
+        rooms: np.ndarray,
+        activities: np.ndarray,
+        s: int,
+        e: int,
+        rng: np.random.Generator,
+        talk_factor: float,
+    ) -> None:
+        room_now = rooms[:, s]
+        act_now = activities[:, s]
+        for room in np.unique(room_now):
+            if room < 0:
+                continue
+            members = np.flatnonzero(
+                (room_now == room)
+                & ~np.isin(act_now, [int(a) for a in SILENT_ACTIVITIES])
+            )
+            if members.size < 2:
+                continue
+            activity = Activity(int(act_now[members[0]]))
+            duty, burst_mean, loud_db = talk_regime(activity)
+            # Chattier groups chat more: scale duty by mean talkativeness
+            # (a group around C barely stops talking).
+            mean_talk = float(
+                np.mean([self.profiles[m].talkativeness for m in members])
+            )
+            duty = min(0.95, duty * talk_factor * (0.55 + 0.9 * mean_talk))
+            if duty <= 0.0:
+                continue
+            self._burst_process(out, members, s, e, duty, burst_mean, loud_db, rng)
+
+    def _burst_process(
+        self,
+        out: SpeechArrays,
+        members: np.ndarray,
+        s: int,
+        e: int,
+        duty: float,
+        burst_mean_s: float,
+        loud_db: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Alternating burst/gap process with talkativeness-weighted turns."""
+        weights = np.array([self.profiles[m].talkativeness for m in members])
+        weights = weights / weights.sum()
+        gap_mean_s = burst_mean_s * (1.0 - duty) / max(duty, 1e-6)
+        t = s
+        # Randomize the phase: start mid-gap half the time.
+        if rng.random() > duty:
+            t += int(rng.exponential(gap_mean_s) / self.dt)
+        while t < e:
+            burst_frames = max(1, int(rng.exponential(burst_mean_s) / self.dt))
+            burst_end = min(t + burst_frames, e)
+            while t < burst_end:
+                turn_frames = max(1, int(rng.uniform(TURN_MIN_S, TURN_MAX_S) / self.dt))
+                turn_end = min(t + turn_frames, burst_end)
+                speaker = members[int(rng.choice(members.size, p=weights))]
+                out.speaking[speaker, t:turn_end] = True
+                out.loudness[speaker, t:turn_end] = loud_db + rng.normal(0.0, 1.5)
+                t = turn_end
+            t = burst_end + max(1, int(rng.exponential(gap_mean_s) / self.dt))
+
+    def _fill_tts(
+        self,
+        out: SpeechArrays,
+        rooms: np.ndarray,
+        activities: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Screen-reader audio accompanying impaired astronauts' work."""
+        from repro.habitat.rooms import ROOM_NAMES  # index order matches plan
+
+        tts_room_idx = [ROOM_NAMES.index(r) for r in TTS_ROOMS]
+        for row, profile in enumerate(self.profiles):
+            if not profile.impaired:
+                continue
+            eligible = np.isin(rooms[row], tts_room_idx) & (
+                activities[row] == int(Activity.WORK)
+            )
+            if not eligible.any():
+                continue
+            gap_mean_s = TTS_BURST_MEAN_S * (1.0 - TTS_DUTY) / TTS_DUTY
+            n = rooms.shape[1]
+            t = int(rng.exponential(gap_mean_s) / self.dt)
+            while t < n:
+                burst = max(1, int(rng.exponential(TTS_BURST_MEAN_S) / self.dt))
+                end = min(t + burst, n)
+                window = eligible[t:end]
+                out.machine_speech[row, t:end] = window
+                t = end + max(1, int(rng.exponential(gap_mean_s) / self.dt))

@@ -1,0 +1,112 @@
+"""Scripted mission events and their behavioral consequences.
+
+ICAres-1 deliberately injected atypical situations: astronaut C left the
+habitat "virtually dead" on day 4 (followed by an unplanned consolation
+meeting in the kitchen, "clearly quieter than ... lunch"), an extreme
+food shortage was announced on day 11, and on day 12 delayed mission-
+control instructions contradicted the crew's action and earned them a
+reprimand.  The paper's Figures 4-6 visibly carry these events; this
+module injects them into the schedule and the day-level mood factors.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MissionConfig
+from repro.core.units import MINUTE, parse_hhmm
+from repro.crew.roster import Roster
+from repro.crew.schedule import DaySchedule, override_slots
+from repro.crew.tasks import Activity
+from repro.crew.trace import EventRecord
+
+#: The astronaut who leaves the habitat on the death day.
+DECEASED = "C"
+
+#: Baseline talk-mood decline across the mission ("they talked less the
+#: closer the mission end was"): linear from START at day 2 to END at day 14.
+TALK_DECLINE_START = 1.0
+TALK_DECLINE_END = 0.50
+FAMINE_TALK_FACTOR = 0.22
+REPRIMAND_TALK_FACTOR = 0.18
+GRIEF_TALK_FACTOR = 0.80
+
+CALM_DAY = 3
+CALM_MOBILITY_FACTOR = 0.85
+POST_DEATH_MOBILITY_FACTOR = 1.08
+FAMINE_MOBILITY_FACTOR = 0.85
+
+
+def deceased_absent(cfg: MissionConfig, day: int) -> bool:
+    """Whether astronaut C is absent for the *whole* of ``day``."""
+    return cfg.event_active("death_day") and day > cfg.events.death_day
+
+
+def day_talk_factor(cfg: MissionConfig, day: int) -> float:
+    """Scripted multiplier on conversation duty for a day."""
+    if cfg.days > 2:
+        frac = (day - 2) / max(cfg.days - 2, 1)
+        factor = TALK_DECLINE_START + (TALK_DECLINE_END - TALK_DECLINE_START) * max(frac, 0.0)
+    else:
+        factor = TALK_DECLINE_START
+    if cfg.events is not None:
+        if cfg.event_active("famine_day") and day == cfg.events.famine_day:
+            factor = min(factor, FAMINE_TALK_FACTOR)
+        if cfg.event_active("reprimand_day") and day == cfg.events.reprimand_day:
+            factor = min(factor, REPRIMAND_TALK_FACTOR)
+        if cfg.event_active("death_day") and day == cfg.events.death_day + 1:
+            factor *= GRIEF_TALK_FACTOR
+    return factor
+
+
+def day_mobility_factor(cfg: MissionConfig, day: int) -> float:
+    """Scripted multiplier on in-room wandering rate for a day."""
+    factor = 1.0
+    if day == CALM_DAY:
+        factor *= CALM_MOBILITY_FACTOR
+    if cfg.events is not None:
+        if cfg.event_active("death_day") and day > cfg.events.death_day:
+            factor *= POST_DEATH_MOBILITY_FACTOR
+        if cfg.event_active("famine_day") and day >= cfg.events.famine_day:
+            factor *= FAMINE_MOBILITY_FACTOR
+    return factor
+
+
+def apply_scripted_events(
+    sched: DaySchedule, cfg: MissionConfig, roster: Roster, day: int
+) -> list[EventRecord]:
+    """Mutate a day's schedule for scripted events; return event records."""
+    records: list[EventRecord] = []
+    events = cfg.events
+    if events is None:
+        return records
+
+    day_end = sched.end_s
+    if cfg.event_active("death_day") and day == events.death_day and DECEASED in sched.slots:
+        death_s = min(parse_hhmm(events.death_time), day_end - MINUTE)
+        conso_s = parse_hhmm(events.consolation_time)
+        conso_e = min(conso_s + events.consolation_duration_s, day_end)
+        # C suits up for the fatal EVA, then is gone.
+        prep_s = max(sched.start_s, death_s - 30 * MINUTE)
+        if prep_s < death_s:
+            sched.slots[DECEASED] = override_slots(
+                sched.slots[DECEASED], prep_s, death_s, Activity.EVA_PREP, "airlock", "fatal-eva-prep"
+            )
+        sched.slots[DECEASED] = override_slots(
+            sched.slots[DECEASED], death_s, day_end, Activity.ABSENT, None, "deceased"
+        )
+        records.append(EventRecord(day, death_s, "death", {"astronaut": DECEASED}))
+        # The unplanned consolation meeting: everyone else in the kitchen.
+        if conso_s < conso_e:
+            for astro in roster.ids:
+                if astro == DECEASED:
+                    continue
+                sched.slots[astro] = override_slots(
+                    sched.slots[astro], conso_s, conso_e,
+                    Activity.CONSOLATION, "kitchen", "consolation",
+                )
+            records.append(EventRecord(day, conso_s, "consolation", {"until": conso_e}))
+
+    if cfg.event_active("famine_day") and day == events.famine_day:
+        records.append(EventRecord(day, sched.start_s, "famine", {"ration_kcal": 500}))
+    if cfg.event_active("reprimand_day") and day == events.reprimand_day:
+        records.append(EventRecord(day, sched.start_s + 7 * 3600.0, "reprimand", {}))
+    return records

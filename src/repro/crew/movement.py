@@ -1,0 +1,278 @@
+"""Movement model: from schedule slots to frame-aligned trajectories.
+
+Astronauts walk between rooms along door-constrained paths through the
+main hall, and wander within rooms while working (more if energetic,
+barely if reserved).  The impaired astronaut A moves slowly, keeps to
+the middle of rooms, and "did not approach corners" — realized by a
+shrunken wandering extent around the room center (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.crew.astronaut import Profile
+from repro.crew.schedule import Slot
+from repro.crew.tasks import Activity
+from repro.habitat.floorplan import OUTSIDE, FloorPlan
+from repro.habitat.geometry import Point, Rect
+
+#: Mean seconds between in-room position changes, by activity, for an
+#: astronaut of mobility 1.0 (scaled by 1/mobility otherwise).
+DWELL_MEAN_S: dict[Activity, float] = {
+    Activity.WORK: 20.0,
+    Activity.MEAL: 420.0,
+    Activity.BRIEFING: 600.0,
+    Activity.BREAK: 70.0,
+    Activity.PERSONAL: 150.0,
+    Activity.EXERCISE: 25.0,
+    Activity.RESTROOM: 240.0,
+    Activity.CONSOLATION: 600.0,
+    Activity.EVA_PREP: 30.0,
+    Activity.EVA_POST: 30.0,
+    Activity.EVA: 35.0,
+}
+
+#: Margin kept from walls when sampling anchors (meters).
+WALL_MARGIN_M = 0.5
+
+#: Radius of the shared table area used during group gatherings.
+GATHER_RADIUS_M = 1.1
+
+
+@dataclass
+class DayArrays:
+    """Mutable per-day output arrays being filled by the movement model."""
+
+    room: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    walking: np.ndarray
+    activity: np.ndarray
+
+    @classmethod
+    def empty(cls, n_frames: int) -> "DayArrays":
+        return cls(
+            room=np.full(n_frames, OUTSIDE, dtype=np.int8),
+            x=np.full(n_frames, np.nan, dtype=np.float32),
+            y=np.full(n_frames, np.nan, dtype=np.float32),
+            walking=np.zeros(n_frames, dtype=bool),
+            activity=np.zeros(n_frames, dtype=np.int8),
+        )
+
+
+def wander_rect(profile: Profile, room_rect: Rect) -> Rect:
+    """The sub-rectangle an astronaut wanders within.
+
+    Centered on the room center and scaled by the profile's wander
+    extent; impaired A (extent 0.35) thus never reaches corners.
+    """
+    inner = room_rect.shrink(WALL_MARGIN_M)
+    cx, cy = inner.center
+    half_w = inner.width / 2.0 * profile.wander_extent
+    half_h = inner.height / 2.0 * profile.wander_extent
+    return Rect(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+
+def sample_anchor(profile: Profile, room_rect: Rect, activity: Activity,
+                  rng: np.random.Generator) -> Point:
+    """Sample a position to settle at for the current activity."""
+    if activity.is_group:
+        cx, cy = room_rect.center
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        radius = rng.uniform(0.3, GATHER_RADIUS_M)
+        p = (cx + radius * np.cos(angle), cy + radius * np.sin(angle))
+        return room_rect.shrink(WALL_MARGIN_M / 2).clamp(p)
+    pt = wander_rect(profile, room_rect).sample(rng, 1)[0]
+    return (float(pt[0]), float(pt[1]))
+
+
+def _rasterize_walk(a: Point, waypoints: list[Point], speed: float, dt: float) -> np.ndarray:
+    """Positions at each frame while walking a -> waypoints at ``speed``."""
+    points = [a] + list(waypoints)
+    xs, ys, lengths = [], [], []
+    for p, q in zip(points, points[1:]):
+        seg = float(np.hypot(q[0] - p[0], q[1] - p[1]))
+        lengths.append(seg)
+    total = sum(lengths)
+    n_frames = max(1, int(np.ceil(total / (speed * dt))))
+    dist_at = np.arange(1, n_frames + 1) * speed * dt
+    dist_at = np.minimum(dist_at, total)
+    out = np.empty((n_frames, 2), dtype=np.float64)
+    cum = np.concatenate([[0.0], np.cumsum(lengths)])
+    seg_idx = np.searchsorted(cum, dist_at, side="right") - 1
+    seg_idx = np.clip(seg_idx, 0, len(lengths) - 1)
+    for k in range(n_frames):
+        i = seg_idx[k]
+        seg_len = lengths[i] if lengths[i] > 0 else 1.0
+        frac = (dist_at[k] - cum[i]) / seg_len
+        p, q = points[i], points[i + 1]
+        out[k, 0] = p[0] + frac * (q[0] - p[0])
+        out[k, 1] = p[1] + frac * (q[1] - p[1])
+    return out
+
+
+class MovementModel:
+    """Fills a day's trajectory arrays from a slot list."""
+
+    def __init__(self, plan: FloorPlan, dt: float = 1.0):
+        self.plan = plan
+        self.dt = float(dt)
+
+    def fill_day(
+        self,
+        profile: Profile,
+        slots: list[Slot],
+        t0: float,
+        n_frames: int,
+        rng: np.random.Generator,
+        mobility_factor: float = 1.0,
+    ) -> DayArrays:
+        """Simulate one astronaut's day.
+
+        ``mobility_factor`` is the scripted per-day modifier (calm day 3,
+        post-incident bustle, famine lethargy).
+        """
+        arrays = DayArrays.empty(n_frames)
+        plan, dt = self.plan, self.dt
+        # Wake up in the bedroom.
+        bedroom = plan.room("bedroom")
+        cur_pos: Point = bedroom.rect.center
+        cur_room_name = "bedroom"
+
+        for slot in slots:
+            i0 = int(round((slot.t0 - t0) / dt))
+            i1 = int(round((slot.t1 - t0) / dt))
+            i0, i1 = max(0, i0), min(n_frames, i1)
+            if i1 <= i0:
+                continue
+            if slot.activity == Activity.ABSENT:
+                arrays.activity[i0:i1] = int(Activity.ABSENT)
+                cur_room_name = ""
+                continue
+            if slot.room is None:  # EVA on the surface
+                self._fill_outside(arrays, profile, i0, i1, rng)
+                cur_pos = plan.room("airlock").rect.center
+                cur_room_name = "airlock"
+                continue
+            i = i0
+            if slot.room != cur_room_name or not cur_room_name:
+                origin = cur_room_name or "airlock"
+                anchor = sample_anchor(profile, plan.room(slot.room).rect, slot.activity, rng)
+                waypoints = plan.path(origin, slot.room, cur_pos, anchor)
+                walk = _rasterize_walk(cur_pos, waypoints[1:], profile.walk_speed, dt)
+                n_walk = min(len(walk), i1 - i)
+                if n_walk > 0:
+                    seg = walk[:n_walk]
+                    arrays.x[i:i + n_walk] = seg[:, 0]
+                    arrays.y[i:i + n_walk] = seg[:, 1]
+                    arrays.room[i:i + n_walk] = plan.locate_many(seg)
+                    arrays.walking[i:i + n_walk] = True
+                    arrays.activity[i:i + n_walk] = int(Activity.TRANSIT)
+                    cur_pos = (float(seg[-1, 0]), float(seg[-1, 1]))
+                    i += n_walk
+                if n_walk == len(walk):
+                    cur_room_name = slot.room
+                else:  # slot too short to arrive; stay mid-path
+                    cur_room_name = plan.name_of(int(plan.locate(cur_pos)))
+            if cur_room_name == slot.room:
+                cur_pos = self._wander(
+                    arrays, profile, slot, i, i1, cur_pos, rng, mobility_factor
+                )
+        return arrays
+
+    # -- internals ------------------------------------------------------
+
+    def _wander(
+        self,
+        arrays: DayArrays,
+        profile: Profile,
+        slot: Slot,
+        i_start: int,
+        i_end: int,
+        pos: Point,
+        rng: np.random.Generator,
+        mobility_factor: float,
+    ) -> Point:
+        """Dwell/move loop inside the slot's room; returns final position."""
+        plan, dt = self.plan, self.dt
+        room = plan.room(slot.room)
+        room_idx = room.index
+        dwell_mean = DWELL_MEAN_S.get(slot.activity, 90.0)
+        rate = max(profile.mobility * mobility_factor, 0.05)
+        i = i_start
+        while i < i_end:
+            dwell_s = float(np.clip(rng.exponential(dwell_mean / rate), 8.0, 900.0))
+            n_dwell = max(1, int(round(dwell_s / dt)))
+            j = min(i + n_dwell, i_end)
+            arrays.x[i:j] = pos[0]
+            arrays.y[i:j] = pos[1]
+            arrays.room[i:j] = room_idx
+            arrays.activity[i:j] = int(slot.activity)
+            i = j
+            if i >= i_end:
+                break
+            target = self._distant_anchor(profile, room.rect, slot.activity, pos, rng)
+            walk = _rasterize_walk(pos, [target], profile.walk_speed, dt)
+            n_walk = min(len(walk), i_end - i)
+            if n_walk <= 0:
+                break
+            seg = walk[:n_walk]
+            arrays.x[i:i + n_walk] = seg[:, 0]
+            arrays.y[i:i + n_walk] = seg[:, 1]
+            arrays.room[i:i + n_walk] = room_idx
+            arrays.walking[i:i + n_walk] = True
+            arrays.activity[i:i + n_walk] = int(slot.activity)
+            pos = (float(seg[-1, 0]), float(seg[-1, 1]))
+            i += n_walk
+        return pos
+
+    def _distant_anchor(
+        self,
+        profile: Profile,
+        room_rect: Rect,
+        activity: Activity,
+        pos: Point,
+        rng: np.random.Generator,
+        min_distance: float = 1.3,
+        tries: int = 5,
+    ) -> Point:
+        """Sample a wander target a meaningful distance away.
+
+        People cross the room to fetch a tool, not shuffle 20 cm; the
+        minimum is capped by the wanderable area so constrained movers
+        (A) are not forced beyond their comfortable extent.
+        """
+        allowed = wander_rect(profile, room_rect)
+        cap = 0.7 * float(np.hypot(allowed.width, allowed.height))
+        threshold = min(min_distance, cap)
+        target = sample_anchor(profile, room_rect, activity, rng)
+        for _ in range(tries):
+            if np.hypot(target[0] - pos[0], target[1] - pos[1]) >= threshold:
+                break
+            target = sample_anchor(profile, room_rect, activity, rng)
+        return target
+
+    def _fill_outside(self, arrays: DayArrays, profile: Profile, i0: int, i1: int,
+                      rng: np.random.Generator) -> None:
+        """Fill an EVA window: on the regolith, outside badge coverage."""
+        hangar = self.plan.hangar
+        i = i0
+        pos = hangar.center
+        while i < i1:
+            n_dwell = max(1, int(rng.exponential(DWELL_MEAN_S[Activity.EVA])))
+            j = min(i + n_dwell, i1)
+            arrays.x[i:j] = pos[0]
+            arrays.y[i:j] = pos[1]
+            arrays.room[i:j] = OUTSIDE
+            arrays.activity[i:j] = int(Activity.EVA)
+            i = j
+            if i >= i1:
+                break
+            pt = hangar.shrink(0.5).sample(rng, 1)[0]
+            pos = (float(pt[0]), float(pt[1]))
+        if i1 > i0 and arrays.activity[i0] != int(Activity.EVA):
+            raise SimulationError("EVA fill failed to cover its window")

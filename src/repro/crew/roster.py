@@ -1,0 +1,176 @@
+"""The six-astronaut ICAres-1 roster and pairwise affinities.
+
+Parameter values are calibrated so that the sensing pipeline reproduces
+the paper's Table I orderings and magnitudes (see DESIGN.md §4):
+walking  C > F > D > E > B > A, talking C > F > A ~ D > B > E,
+company/centrality  B > D > F > A > E, and the strong A-F / weak D-E
+pair relations ("A and F talked privately with each other for about 5 h
+more than D and E").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.crew.astronaut import Profile
+
+#: Crew identifiers in paper order.
+CREW_IDS = ("A", "B", "C", "D", "E", "F")
+
+
+def _default_profiles() -> tuple[Profile, ...]:
+    return (
+        Profile(
+            astro_id="A",
+            role="Science Officer",
+            sex="f",
+            mobility=0.42,
+            talkativeness=0.62,
+            sociability=0.25,
+            walk_speed=0.75,
+            wander_extent=0.35,
+            impaired=True,
+            # Part of A's work is solo sample/inventory processing in the
+            # storage module (reachable, low-clutter -- ability-based
+            # assignment), which keeps A's accompanied time below the rest.
+            work_rooms={"biolab": 0.20, "office": 0.20, "storage": 0.60},
+            voice_pitch_hz=208.0,
+            wear_diligence=0.80,
+        ),
+        Profile(
+            astro_id="B",
+            role="Mission Commander",
+            sex="m",
+            mobility=0.33,
+            talkativeness=0.55,
+            sociability=1.00,
+            work_rooms={"office": 0.7, "workshop": 0.15, "biolab": 0.15},
+            voice_pitch_hz=118.0,
+            supervises=True,
+        ),
+        Profile(
+            astro_id="C",
+            role="Engineer",
+            sex="m",
+            mobility=1.00,
+            talkativeness=1.00,
+            sociability=0.97,
+            walk_speed=1.15,
+            work_rooms={"workshop": 0.5, "biolab": 0.3, "office": 0.2},
+            voice_pitch_hz=126.0,
+        ),
+        Profile(
+            astro_id="D",
+            role="Structural Material Scientist",
+            sex="f",
+            mobility=0.66,
+            talkativeness=0.58,
+            sociability=1.00,
+            work_rooms={"workshop": 0.75, "biolab": 0.25},
+            voice_pitch_hz=201.0,
+        ),
+        Profile(
+            astro_id="E",
+            role="Chief Medical Officer",
+            sex="m",
+            mobility=0.42,
+            talkativeness=0.45,
+            sociability=0.35,
+            work_rooms={"biolab": 0.75, "office": 0.25},
+            voice_pitch_hz=112.0,
+        ),
+        Profile(
+            astro_id="F",
+            role="Communications Officer",
+            sex="f",
+            mobility=0.70,
+            talkativeness=0.80,
+            sociability=0.50,
+            work_rooms={"workshop": 0.5, "office": 0.5},
+            voice_pitch_hz=216.0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class Roster:
+    """An ordered crew with a symmetric pair-affinity matrix.
+
+    ``affinity[i, j]`` weights how likely astronauts i and j are to pair
+    up for co-work and private conversations.
+    """
+
+    profiles: tuple[Profile, ...]
+    affinity: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.profiles)
+        ids = [p.astro_id for p in self.profiles]
+        if len(set(ids)) != n:
+            raise ConfigError("duplicate astronaut ids in roster")
+        if self.affinity.shape != (n, n):
+            raise ConfigError(f"affinity must be {n}x{n}")
+        if not np.allclose(self.affinity, self.affinity.T):
+            raise ConfigError("affinity matrix must be symmetric")
+        if (self.affinity < 0).any():
+            raise ConfigError("affinities must be non-negative")
+
+    @property
+    def ids(self) -> tuple[str, ...]:
+        return tuple(p.astro_id for p in self.profiles)
+
+    @property
+    def size(self) -> int:
+        return len(self.profiles)
+
+    def index(self, astro_id: str) -> int:
+        """Position of an astronaut id in the roster order."""
+        try:
+            return self.ids.index(astro_id)
+        except ValueError:
+            raise ConfigError(f"unknown astronaut {astro_id!r}") from None
+
+    def profile(self, astro_id: str) -> Profile:
+        """Profile by astronaut id."""
+        return self.profiles[self.index(astro_id)]
+
+    def pair_affinity(self, a: str, b: str) -> float:
+        """Affinity weight between two astronauts."""
+        return float(self.affinity[self.index(a), self.index(b)])
+
+
+def icares_roster(crew_size: int = 6) -> Roster:
+    """The default calibrated roster (optionally truncated for tests).
+
+    Truncating keeps the first ``crew_size`` profiles; the full ICAres-1
+    crew is six.
+    """
+    profiles = _default_profiles()
+    if not 2 <= crew_size <= len(profiles):
+        raise ConfigError(f"crew_size must be in [2, {len(profiles)}]")
+    profiles = profiles[:crew_size]
+    n = len(profiles)
+    affinity = np.ones((n, n))
+    np.fill_diagonal(affinity, 0.0)
+    ids = [p.astro_id for p in profiles]
+
+    def set_pair(a: str, b: str, value: float) -> None:
+        if a in ids and b in ids:
+            i, j = ids.index(a), ids.index(b)
+            affinity[i, j] = affinity[j, i] = value
+
+    set_pair("A", "F", 2.8)   # close friends (5 h more private talk than D-E)
+    set_pair("D", "E", 0.25)  # distant pair
+    set_pair("B", "E", 1.2)
+    set_pair("B", "D", 1.7)   # the Commander leans on the energetic duo
+    set_pair("B", "F", 1.0)
+    set_pair("D", "F", 1.4)
+    # C "had already taken part in a two-week mission, knew the place
+    # perfectly, and shared his knowledge with others" -- everyone seeks
+    # C out, which is what makes C the dominant conversationalist.
+    for other in ("A", "B", "D", "E", "F"):
+        set_pair("C", other, 1.9)
+    return Roster(profiles=tuple(profiles), affinity=affinity)

@@ -1,0 +1,326 @@
+"""The mission's strict daily schedule.
+
+"All of the activities had been determined a priori and organized into a
+strict and precise plan, divided into 30 min slots ... 14 h of daytime
+[with] only two 30 min-long breaks [and] 1.5 h in total spent on eating
+meals."  This module builds per-astronaut slot lists for each day:
+shared meals and briefings, individual work blocks with partner-based
+room assignment, EVAs, breaks (often skipped by absorbed office and
+workshop workers, who then dash to the kitchen for water — the source of
+the paper's dominant office->kitchen transition counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.config import MissionConfig
+from repro.core.errors import ConfigError
+from repro.core.units import HOUR, MINUTE, parse_hhmm
+from repro.crew.roster import Roster
+from repro.crew.tasks import Activity
+
+#: Probability an office/workshop worker skips a scheduled break.
+SKIP_BREAK_PROB = 0.8
+#: Duration of the post-skip kitchen water dash.
+WATER_DASH_S = 2 * MINUTE
+#: Rooms whose work absorbs people into skipping breaks.
+ABSORBING_ROOMS = ("office", "workshop")
+#: Probability of an evening exercise session instead of late work.
+EXERCISE_PROB = 0.3
+#: EVA cadence: an EVA happens on days where ``day % EVA_PERIOD == EVA_PHASE``.
+EVA_PERIOD = 3
+EVA_PHASE = 0
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One contiguous scheduled activity: ``[t0, t1)`` seconds of day."""
+
+    t0: float
+    t1: float
+    activity: Activity
+    #: Room name, or ``None`` when outside the habitat (EVA surface work).
+    room: str | None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.t1 <= self.t0:
+            raise ConfigError(f"empty slot {self.label!r} [{self.t0}, {self.t1})")
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class DaySchedule:
+    """Per-astronaut slot lists for one mission day."""
+
+    day: int
+    start_s: float
+    end_s: float
+    slots: dict[str, list[Slot]] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check every astronaut's slots tile the daytime contiguously."""
+        for astro, slots in self.slots.items():
+            if not slots:
+                raise ConfigError(f"{astro} has no slots on day {self.day}")
+            if abs(slots[0].t0 - self.start_s) > 1e-6 or abs(slots[-1].t1 - self.end_s) > 1e-6:
+                raise ConfigError(f"{astro} slots do not cover daytime on day {self.day}")
+            for prev, cur in zip(slots, slots[1:]):
+                if abs(prev.t1 - cur.t0) > 1e-6:
+                    raise ConfigError(
+                        f"{astro} has a gap/overlap at {prev.t1} on day {self.day}"
+                    )
+
+    def of(self, astro_id: str) -> list[Slot]:
+        return self.slots[astro_id]
+
+
+def override_slots(slots: list[Slot], t0: float, t1: float, activity: Activity,
+                   room: str | None, label: str = "") -> list[Slot]:
+    """Replace the window ``[t0, t1)`` of a slot list with one new slot.
+
+    Used by the scripted-events layer (e.g., inserting the consolation
+    meeting into everyone's afternoon).
+    """
+    if t1 <= t0:
+        raise ConfigError("override window must be non-empty")
+    out: list[Slot] = []
+    inserted = False
+    for slot in slots:
+        if slot.t1 <= t0 or slot.t0 >= t1:
+            out.append(slot)
+            continue
+        if slot.t0 < t0:
+            out.append(replace(slot, t1=t0))
+        if not inserted:
+            out.append(Slot(t0, t1, activity, room, label))
+            inserted = True
+        if slot.t1 > t1:
+            out.append(replace(slot, t0=t1))
+    if not inserted:
+        raise ConfigError("override window lies outside the schedule")
+    return out
+
+
+def _work_blocks(start: float) -> list[tuple[float, float, str]]:
+    """The daily template relative to daytime start (07:00)."""
+    t = start
+    return [
+        (t, t + 30 * MINUTE, "breakfast"),
+        (t + 30 * MINUTE, t + 1.0 * HOUR, "briefing"),
+        (t + 1.0 * HOUR, t + 3.5 * HOUR, "work1"),
+        (t + 3.5 * HOUR, t + 4.0 * HOUR, "break1"),
+        (t + 4.0 * HOUR, t + 5.5 * HOUR, "work2"),
+        (t + 5.5 * HOUR, t + 6.0 * HOUR, "lunch"),
+        (t + 6.0 * HOUR, t + 8.5 * HOUR, "work3"),
+        (t + 8.5 * HOUR, t + 9.0 * HOUR, "break2"),
+        (t + 9.0 * HOUR, t + 11.5 * HOUR, "work4"),
+        (t + 11.5 * HOUR, t + 12.0 * HOUR, "dinner"),
+        (t + 12.0 * HOUR, t + 13.5 * HOUR, "work5"),
+        (t + 13.5 * HOUR, t + 14.0 * HOUR, "debrief"),
+    ]
+
+
+def _assign_work_rooms(
+    roster: Roster,
+    present: list[str],
+    rng: np.random.Generator,
+    carry: dict[str, str] | None = None,
+    persistence: float = 0.55,
+) -> dict[str, str]:
+    """Assign each present astronaut a work room, pairing by affinity.
+
+    With probability ``persistence`` an astronaut sticks with the room
+    they worked the previous block (projects span blocks — this is what
+    produces the paper's ~5 h office/workshop sessions); otherwise a
+    sociable astronaut proposes co-work to a partner drawn by affinity,
+    and accepted pairs share a room sampled from their combined
+    preferences.
+    """
+    rooms: dict[str, str] = {}
+    if carry:
+        for astro in present:
+            prev = carry.get(astro)
+            if prev is not None and rng.random() < persistence:
+                rooms[astro] = prev
+    order = list(present)
+    rng.shuffle(order)
+    for astro in order:
+        if astro in rooms:
+            continue
+        profile = roster.profile(astro)
+        free = [o for o in order if o != astro and o not in rooms]
+        partner = None
+        if free and rng.random() < 0.8 * profile.sociability:
+            weights = np.array([roster.pair_affinity(astro, o) for o in free])
+            if weights.sum() > 0:
+                candidate = free[int(rng.choice(len(free), p=weights / weights.sum()))]
+                # Affinity steers who is asked; whether the candidate says
+                # yes is mostly their own sociability (capped affinity
+                # boost, so a solitary worker stays solitary even with a
+                # close friend around -- friendship shows in chats, not
+                # in every work block).
+                accept = min(
+                    1.0,
+                    roster.profile(candidate).sociability
+                    * min(roster.pair_affinity(astro, candidate), 1.5),
+                )
+                if rng.random() < accept:
+                    partner = candidate
+        if partner is not None:
+            prefs: dict[str, float] = {}
+            for member in (astro, partner):
+                for room, w in roster.profile(member).work_rooms.items():
+                    prefs[room] = prefs.get(room, 0.0) + w
+            # Nobody co-works in the cramped storage module.
+            if "storage" in prefs and len(prefs) > 1:
+                del prefs["storage"]
+            names = list(prefs)
+            probs = np.array([prefs[n] for n in names])
+            room = names[int(rng.choice(len(names), p=probs / probs.sum()))]
+            rooms[astro] = rooms[partner] = room
+        else:
+            names = list(profile.work_rooms)
+            probs = np.array([profile.work_rooms[n] for n in names])
+            rooms[astro] = names[int(rng.choice(len(names), p=probs / probs.sum()))]
+    return rooms
+
+
+def _eva_pair(roster: Roster, present: list[str], day: int) -> tuple[str, ...]:
+    """Deterministic EVA pair rotation over the present crew."""
+    if len(present) < 2:
+        return ()
+    k = day % len(present)
+    return (present[k], present[(k + 1) % len(present)])
+
+
+def build_day_schedule(
+    cfg: MissionConfig,
+    roster: Roster,
+    day: int,
+    rng: np.random.Generator,
+    absent: set[str] = frozenset(),
+) -> DaySchedule:
+    """Build one day's schedule for the whole crew.
+
+    ``absent`` astronauts (C after the day-4 incident) receive a single
+    ABSENT slot; scripted-event overrides are applied afterwards by
+    :mod:`repro.crew.events_script`.
+    """
+    start = cfg.daytime_start_s
+    end = start + cfg.daytime_s
+    sched = DaySchedule(day=day, start_s=start, end_s=end)
+    present = [a for a in roster.ids if a not in absent]
+    template = _work_blocks(start)
+    # Per-block room assignments, with cross-block persistence.
+    block_rooms: dict[str, dict[str, str]] = {}
+    carry: dict[str, str] | None = None
+    for _, _, label in template:
+        if label.startswith("work"):
+            block_rooms[label] = _assign_work_rooms(roster, present, rng, carry)
+            carry = block_rooms[label]
+    eva_pair = _eva_pair(roster, present, day) if day % EVA_PERIOD == EVA_PHASE else ()
+
+    for astro in roster.ids:
+        if astro in absent:
+            sched.slots[astro] = [Slot(start, end, Activity.ABSENT, None, "absent")]
+            continue
+        profile = roster.profile(astro)
+        slots: list[Slot] = []
+        # Break-skipping state: absorbed office/workshop workers keep the
+        # same task through the break and the next block, then dash to
+        # the kitchen for water ("people used to be absorbed in their
+        # office/workshop work, forgot about breaks, and in the end had
+        # to quickly supplement water in the kitchen").
+        forced_room: str | None = None
+        dash_pending = False
+        last_work_room: str | None = None
+        for t0, t1, label in template:
+            if t0 >= end:
+                break
+            t1 = min(t1, end)
+            if label in ("breakfast", "lunch", "dinner"):
+                slots.append(Slot(t0, t1, Activity.MEAL, "kitchen", label))
+                dash_pending = False  # already in the kitchen
+            elif label in ("briefing", "debrief"):
+                slots.append(Slot(t0, t1, Activity.BRIEFING, "office", label))
+            elif label.startswith("break"):
+                if last_work_room in ABSORBING_ROOMS and rng.random() < SKIP_BREAK_PROB:
+                    slots.append(Slot(t0, t1, Activity.WORK, last_work_room, label + "-skipped"))
+                    forced_room = last_work_room
+                    dash_pending = True
+                else:
+                    social = rng.random() < profile.sociability
+                    where = "kitchen" if social else "bedroom"
+                    slots.append(Slot(t0, t1, Activity.BREAK, where, label))
+            elif label == "work1" and astro in eva_pair:
+                third = (t1 - t0) / 5.0
+                slots.append(Slot(t0, t0 + 0.8 * third, Activity.EVA_PREP, "airlock", "eva-prep"))
+                slots.append(Slot(t0 + 0.8 * third, t1 - 0.8 * third, Activity.EVA, None, "eva"))
+                slots.append(Slot(t1 - 0.8 * third, t1, Activity.EVA_POST, "airlock", "eva-post"))
+                last_work_room = "airlock"
+            elif label == "work5":
+                if rng.random() < EXERCISE_PROB:
+                    mid = t0 + (t1 - t0) / 2.0
+                    slots.append(Slot(t0, mid, Activity.EXERCISE, "main", "exercise"))
+                    slots.append(Slot(mid, t1, Activity.PERSONAL, "bedroom", "personal"))
+                else:
+                    room = block_rooms[label][astro]
+                    slots.append(Slot(t0, t1, Activity.WORK, room, label))
+                    last_work_room = room
+            else:  # regular work block
+                room = forced_room if forced_room is not None else block_rooms[label][astro]
+                forced_room = None
+                if dash_pending:
+                    slots.append(Slot(t0, t1 - WATER_DASH_S, Activity.WORK, room, label))
+                    slots.append(Slot(t1 - WATER_DASH_S, t1, Activity.BREAK, "kitchen", "water-dash"))
+                    dash_pending = False
+                else:
+                    slots.append(Slot(t0, t1, Activity.WORK, room, label))
+                last_work_room = room
+        sched.slots[astro] = slots
+    sched.validate()
+    return sched
+
+
+def group_windows(sched: DaySchedule, activity: Activity) -> list[tuple[float, float, str]]:
+    """Windows (t0, t1, label) during which a given group activity is
+    scheduled (taken from the first present astronaut's slots)."""
+    for slots in sched.slots.values():
+        windows = [(s.t0, s.t1, s.label) for s in slots if s.activity == activity]
+        if windows:
+            return windows
+    return []
+
+
+def scheduled_meal_times(cfg: MissionConfig) -> dict[str, float]:
+    """Canonical meal start times (seconds of day) from the template."""
+    start = cfg.daytime_start_s
+    return {
+        "breakfast": start,
+        "lunch": start + 5.5 * HOUR,
+        "dinner": start + 11.5 * HOUR,
+    }
+
+
+def lunch_time_s(cfg: MissionConfig) -> float:
+    """Lunch start (12:30 with the default 07:00 daytime start)."""
+    return scheduled_meal_times(cfg)["lunch"]
+
+
+__all__ = [
+    "DaySchedule",
+    "Slot",
+    "build_day_schedule",
+    "group_windows",
+    "lunch_time_s",
+    "override_slots",
+    "parse_hhmm",
+    "scheduled_meal_times",
+]

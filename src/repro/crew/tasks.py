@@ -1,0 +1,70 @@
+"""Activity taxonomy of the mission.
+
+Every frame of ground truth carries one activity code; the conversation
+model uses the code to pick a talk regime (meals are chatty, EVAs are
+silent inside the habitat, the consolation meeting is quiet).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Activity(enum.IntEnum):
+    """What an astronaut is doing during a frame."""
+
+    ABSENT = 0
+    MEAL = 1
+    BRIEFING = 2
+    WORK = 3
+    BREAK = 4
+    EVA_PREP = 5
+    EVA = 6
+    EVA_POST = 7
+    EXERCISE = 8
+    RESTROOM = 9
+    PERSONAL = 10
+    CONSOLATION = 11
+    TRANSIT = 12
+
+    @property
+    def is_group(self) -> bool:
+        """Whether the activity is inherently a whole-crew gathering."""
+        return self in (Activity.MEAL, Activity.BRIEFING, Activity.CONSOLATION)
+
+    @property
+    def badge_wearable(self) -> bool:
+        """Whether a badge may be worn during this activity.
+
+        The crew was not allowed to wear badges during EVAs (suits),
+        in restrooms, or during physical exercise.
+        """
+        return self not in (Activity.EVA, Activity.RESTROOM, Activity.EXERCISE)
+
+
+#: Talk regimes: (duty cycle of conversation bursts, mean burst length s,
+#: speech loudness dB SPL at 1 m).  Applied when >= 2 people share a room.
+#: Loudness ~68 dB at 1 m puts a speaker right at the paper's 60 dB
+#: detection threshold from 2.5 m away; the consolation meeting is
+#: "clearly quieter" and only detectable close-by.
+TALK_REGIMES: dict[Activity, tuple[float, float, float]] = {
+    Activity.MEAL: (0.80, 60.0, 68.0),
+    Activity.BRIEFING: (0.85, 90.0, 67.0),
+    Activity.WORK: (0.58, 40.0, 66.0),
+    Activity.BREAK: (0.70, 50.0, 67.0),
+    Activity.PERSONAL: (0.45, 40.0, 65.0),
+    Activity.EXERCISE: (0.15, 15.0, 67.0),
+    Activity.CONSOLATION: (0.45, 35.0, 62.0),
+    Activity.EVA_PREP: (0.50, 30.0, 66.0),
+    Activity.EVA_POST: (0.50, 30.0, 66.0),
+}
+
+#: Activities with effectively no in-habitat conversation.
+SILENT_ACTIVITIES = frozenset(
+    {Activity.ABSENT, Activity.EVA, Activity.RESTROOM, Activity.TRANSIT}
+)
+
+
+def talk_regime(activity: Activity) -> tuple[float, float, float]:
+    """Talk regime for an activity (duty, mean burst s, loudness dB)."""
+    return TALK_REGIMES.get(activity, (0.3, 30.0, 63.0))

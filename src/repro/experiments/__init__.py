@@ -1,0 +1,22 @@
+"""Experiment drivers: full-mission runs and figure/table generators.
+
+``run_mission`` executes the whole stack — crew simulation, badge/radio
+sensing, localization — and returns the analysis-ready dataset; the
+figure and table modules regenerate every data artifact of the paper's
+evaluation from that dataset.
+"""
+
+from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
+from repro.experiments.mission import MissionResult, run_mission
+from repro.experiments.tables import build_table1
+
+__all__ = [
+    "MissionResult",
+    "build_table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "run_mission",
+]

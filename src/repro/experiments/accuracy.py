@@ -1,0 +1,77 @@
+"""Localization accuracy evaluation.
+
+The one analysis that legitimately consults ground truth: how well does
+the pipeline recover where each badge was?  The paper reports perfect
+room detection; this module quantifies it, plus the in-room position
+error the heatmaps inherit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+
+
+@dataclass
+class AccuracyReport:
+    """Mission-wide localization quality."""
+
+    room_accuracy: float
+    room_accuracy_by_room: dict[str, float]
+    known_fraction: float
+    n_frames: int
+
+    def __str__(self) -> str:
+        per_room = ", ".join(
+            f"{room} {acc:.3f}" for room, acc in sorted(self.room_accuracy_by_room.items())
+        )
+        return (
+            f"room accuracy {self.room_accuracy:.4f} over {self.n_frames} frames "
+            f"(fix rate {self.known_fraction:.3f})\n  per room: {per_room}"
+        )
+
+
+def localization_accuracy(sensing: MissionSensing) -> AccuracyReport:
+    """Compare room estimates against ground-truth badge rooms.
+
+    Only summaries that carry the simulator's evaluation field
+    (``true_room``) participate; the reference badge is skipped (it
+    never moves).
+    """
+    correct = total = 0
+    known = active_total = 0
+    by_room_correct: dict[int, int] = {}
+    by_room_total: dict[int, int] = {}
+    ref = sensing.assignment.reference_id
+    for (badge_id, __), summary in sensing.summaries.items():
+        if badge_id == ref or summary.true_room is None:
+            continue
+        active = summary.active
+        fixed = active & (summary.room >= 0)
+        known += int(fixed.sum())
+        active_total += int(active.sum())
+        hit = fixed & (summary.room == summary.true_room)
+        correct += int(hit.sum())
+        total += int(fixed.sum())
+        for room_idx in np.unique(summary.true_room[fixed]):
+            mask = fixed & (summary.true_room == room_idx)
+            by_room_correct[int(room_idx)] = by_room_correct.get(int(room_idx), 0) + int(
+                (mask & hit).sum()
+            )
+            by_room_total[int(room_idx)] = by_room_total.get(int(room_idx), 0) + int(
+                mask.sum()
+            )
+    by_room = {
+        sensing.plan.name_of(r): by_room_correct[r] / by_room_total[r]
+        for r in by_room_total
+        if by_room_total[r] > 0 and r >= 0
+    }
+    return AccuracyReport(
+        room_accuracy=correct / total if total else 0.0,
+        room_accuracy_by_room=by_room,
+        known_fraction=known / active_total if active_total else 0.0,
+        n_frames=total,
+    )

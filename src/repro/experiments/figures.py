@@ -1,0 +1,110 @@
+"""Figure generators: one function per data figure of the paper.
+
+Each returns the figure's underlying data plus a ``format_*`` helper
+that prints the same rows/series the paper plots (the benchmarks print
+these, since the evaluation is textual in this reproduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.speech import daily_speech_fraction
+from repro.analytics.timeline import DayTimeline, day_timeline
+from repro.analytics.transitions import transition_matrix
+from repro.analytics.walking import daily_walking_fraction
+from repro.core.units import hhmm
+from repro.experiments.mission import MissionResult
+from repro.localization.heatmap import CELL_SIZE_M, Heatmap
+
+
+def fig2(result: MissionResult) -> tuple[list[str], np.ndarray]:
+    """Figure 2: room-to-room passage counts (main hall excluded)."""
+    return transition_matrix(result.sensing)
+
+
+def format_fig2(names: list[str], counts: np.ndarray) -> str:
+    width = max(len(n) for n in names) + 1
+    header = " " * width + " ".join(f"{n[:8]:>8}" for n in names)
+    lines = [header]
+    for i, name in enumerate(names):
+        cells = " ".join(f"{int(counts[i, j]):>8}" for j in range(len(names)))
+        lines.append(f"{name:<{width}}{cells}")
+    return "\n".join(lines)
+
+
+def fig3(result: MissionResult, astro_id: str = "A", cell_m: float = CELL_SIZE_M) -> Heatmap:
+    """Figure 3: whole-mission position heatmap of one astronaut.
+
+    Built from localization estimates of the badges the astronaut
+    actually wore, restricted to worn frames.
+    """
+    heatmap = Heatmap.empty(result.truth.plan.bounds, cell_m)
+    for summary in result.sensing.astro_summaries(corrected=True)[astro_id]:
+        worn = summary.worn
+        heatmap.add(summary.x[worn], summary.y[worn], dt=summary.dt)
+    return heatmap
+
+
+def format_fig3(heatmap: Heatmap, max_width: int = 64) -> str:
+    """ASCII rendering of the log-scale heatmap."""
+    log = heatmap.log_counts()
+    ny, nx = log.shape
+    step = max(1, int(np.ceil(nx / max_width)))
+    shades = " .:-=+*#%@"
+    top = log.max() or 1.0
+    lines = []
+    for iy in range(ny - 1, -1, -step):
+        row = log[iy, ::step]
+        lines.append("".join(shades[int(v / top * (len(shades) - 1))] for v in row))
+    return "\n".join(lines)
+
+
+def fig4(result: MissionResult, days: tuple[int, ...] | None = None) -> dict[str, dict[int, float]]:
+    """Figure 4: per-astronaut daily walking fractions (paper: days 2-8)."""
+    series = daily_walking_fraction(result.sensing)
+    if days is not None:
+        series = {
+            astro: {d: v for d, v in per_day.items() if d in days}
+            for astro, per_day in series.items()
+        }
+    return series
+
+
+def format_series(series: dict[str, dict[int, float]]) -> str:
+    days = sorted({d for per_day in series.values() for d in per_day})
+    header = "id  " + " ".join(f"d{d:<5}" for d in days)
+    lines = [header]
+    for astro in sorted(series):
+        cells = " ".join(
+            f"{series[astro][d]:.3f}" if d in series[astro] else "  --  " for d in days
+        )
+        lines.append(f"{astro:<3} {cells}")
+    return "\n".join(lines)
+
+
+def fig5(result: MissionResult, day: int | None = None, bin_s: float = 300.0) -> DayTimeline:
+    """Figure 5: the death-day timeline (speech fraction + room per bin)."""
+    if day is None:
+        events = result.cfg.events
+        day = events.death_day if events is not None else result.sensing.days[0]
+    return day_timeline(result.sensing, day, bin_s=bin_s)
+
+
+def format_fig5(result: MissionResult, timeline: DayTimeline) -> str:
+    plan = result.truth.plan
+    lines = [f"day {timeline.day} timeline ({int(timeline.bin_s)}s bins)"]
+    times = timeline.bin_times()
+    for track in timeline.tracks:
+        lines.append(f"astronaut {track.astro_id}:")
+        chunks = []
+        for t, frac, room in zip(times, track.speech_fraction, track.dominant_room):
+            if frac >= 0.25 or room >= 0:
+                chunks.append(f"{hhmm(t)} {plan.name_of(int(room))[:7]:<7} {frac:.2f}")
+        lines.append("  " + " | ".join(chunks[:12]) + (" ..." if len(chunks) > 12 else ""))
+    return "\n".join(lines)
+
+
+def fig6(result: MissionResult) -> dict[str, dict[int, float]]:
+    """Figure 6: per-astronaut daily fraction of 15 s intervals with speech."""
+    return daily_speech_fraction(result.sensing)

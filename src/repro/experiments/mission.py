@@ -1,0 +1,78 @@
+"""Full-mission experiment driver.
+
+Runs the complete stack day by day: ground-truth crew simulation, badge
+and radio sensing, localization, and summary reduction.  The large BLE
+scan matrices are consumed and dropped per badge-day, so a full 14-day
+mission stays comfortably in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytics.dataset import BadgeDaySummary, MissionSensing
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.pipeline import SensingModels, make_fleet, sense_day
+from repro.badges.sdcard import SdCardAccountant
+from repro.core.config import MissionConfig
+from repro.core.rng import RngRegistry
+from repro.crew.behavior import simulate_mission
+from repro.crew.trace import MissionTruth
+from repro.localization.pipeline import Localizer
+
+
+@dataclass
+class MissionResult:
+    """Everything a mission run produces."""
+
+    cfg: MissionConfig
+    truth: MissionTruth
+    sensing: MissionSensing
+    models: SensingModels
+    sdcard: SdCardAccountant = field(default_factory=SdCardAccountant)
+
+    @property
+    def assignment(self) -> BadgeAssignment:
+        return self.sensing.assignment
+
+
+def run_mission(
+    cfg: MissionConfig | None = None,
+    truth: MissionTruth | None = None,
+    localizer: Localizer | None = None,
+    models: SensingModels | None = None,
+) -> MissionResult:
+    """Simulate, sense, and localize a full mission.
+
+    Args:
+        cfg: mission configuration (defaults to the paper's mission).
+        truth: reuse a pre-simulated ground truth (must match ``cfg``).
+        localizer: override the localization pipeline (ablations).
+        models: override the sensing models (ablations).
+
+    Returns:
+        A :class:`MissionResult` whose ``sensing`` feeds every analysis.
+    """
+    cfg = cfg if cfg is not None else MissionConfig()
+    truth = truth if truth is not None else simulate_mission(cfg)
+    rngs = RngRegistry(cfg.seed).spawn("sensing")
+    assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
+    models = models if models is not None else SensingModels.default(cfg, truth.plan)
+    localizer = (
+        localizer if localizer is not None else Localizer(truth.plan, models.beacons)
+    )
+    fleet = make_fleet(assignment, rngs)
+    sdcard = SdCardAccountant()
+    sensing = MissionSensing(cfg=cfg, plan=truth.plan, assignment=assignment)
+
+    for day in cfg.instrumented_days:
+        observations, pairwise = sense_day(
+            truth, day, assignment, models, fleet, rngs, sdcard
+        )
+        for badge_id, obs in observations.items():
+            loc = localizer.localize_day(obs.ble_rssi, obs.active)
+            obs.drop_ble()
+            sensing.summaries[(badge_id, day)] = BadgeDaySummary.from_observations(obs, loc)
+        sensing.pairwise[day] = pairwise
+
+    return MissionResult(cfg=cfg, truth=truth, sensing=sensing, models=models, sdcard=sdcard)

@@ -1,0 +1,66 @@
+"""Table generators: Table I and the textual Section-V statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.interactions import (
+    pair_meeting_seconds,
+    private_talk_seconds,
+)
+from repro.analytics.occupancy import typical_stay_hours
+from repro.analytics.reports import DeploymentStats, Table1, deployment_stats, table1
+from repro.experiments.mission import MissionResult
+
+
+def build_table1(result: MissionResult, corrected: bool = True) -> Table1:
+    """The paper's Table I from a mission run."""
+    return table1(result.sensing, corrected=corrected)
+
+
+def build_deployment_stats(result: MissionResult) -> DeploymentStats:
+    """Section V's deployment statistics."""
+    return deployment_stats(result.sensing)
+
+
+@dataclass
+class SectionVClaims:
+    """The quantitative in-text claims of Section V."""
+
+    biolab_stay_h: float
+    office_stay_h: float
+    workshop_stay_h: float
+    af_private_h: float
+    de_private_h: float
+    af_meetings_h: float
+    de_meetings_h: float
+
+    def __str__(self) -> str:
+        return (
+            f"typical stays: biolab {self.biolab_stay_h:.1f} h, "
+            f"office {self.office_stay_h:.1f} h, workshop {self.workshop_stay_h:.1f} h\n"
+            f"private talk: A-F {self.af_private_h:.1f} h vs D-E {self.de_private_h:.1f} h "
+            f"(diff {self.af_private_h - self.de_private_h:+.1f} h)\n"
+            f"all meetings: A-F {self.af_meetings_h:.1f} h vs D-E {self.de_meetings_h:.1f} h "
+            f"(diff {self.af_meetings_h - self.de_meetings_h:+.1f} h)"
+        )
+
+
+def build_section5_claims(result: MissionResult) -> SectionVClaims:
+    """Reproduce the in-text pairwise and stay-duration claims."""
+    sensing = result.sensing
+    private = private_talk_seconds(sensing)
+    meetings = pair_meeting_seconds(sensing)
+
+    def hours(mapping: dict, pair: tuple[str, str]) -> float:
+        return mapping.get(tuple(sorted(pair)), 0.0) / 3600.0
+
+    return SectionVClaims(
+        biolab_stay_h=typical_stay_hours(sensing, "biolab"),
+        office_stay_h=typical_stay_hours(sensing, "office"),
+        workshop_stay_h=typical_stay_hours(sensing, "workshop"),
+        af_private_h=hours(private, ("A", "F")),
+        de_private_h=hours(private, ("D", "E")),
+        af_meetings_h=hours(meetings, ("A", "F")),
+        de_meetings_h=hours(meetings, ("D", "E")),
+    )

@@ -1,0 +1,28 @@
+"""Habitat substrate: the Lunares-like analog habitat.
+
+Geometry primitives, rooms, the floor plan, walls/doors with RF
+attenuation, per-room environmental fields, and BLE beacon placement.
+"""
+
+from repro.habitat.beacons import Beacon, place_beacons
+from repro.habitat.environment import Environment, RoomClimate
+from repro.habitat.floorplan import FloorPlan, lunares_floorplan
+from repro.habitat.geometry import Point, Rect, distance
+from repro.habitat.rooms import MAIN_HALL, ROOM_NAMES, Room
+from repro.habitat.walls import WallModel
+
+__all__ = [
+    "Beacon",
+    "Environment",
+    "FloorPlan",
+    "MAIN_HALL",
+    "Point",
+    "Rect",
+    "Room",
+    "ROOM_NAMES",
+    "RoomClimate",
+    "WallModel",
+    "distance",
+    "lunares_floorplan",
+    "place_beacons",
+]

@@ -1,0 +1,107 @@
+"""Per-room environmental fields: temperature, light, pressure, noise.
+
+The badges carry a thermometer, barometer, and light sensor; the paper
+notes the kitchen was "the cosiest room with the highest temperatures".
+Lighting is entirely artificial and follows the habitat's Martian time
+of day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.clock import MartianClock
+from repro.core.errors import ConfigError
+
+#: Standard sea-level-ish habitat pressure (hPa).
+BASE_PRESSURE_HPA = 1005.0
+
+
+@dataclass(frozen=True)
+class RoomClimate:
+    """Static climate parameters of one room."""
+
+    temperature_c: float
+    light_lux_day: float
+    noise_floor_db: float
+
+    def __post_init__(self) -> None:
+        if self.light_lux_day < 0 or self.noise_floor_db < 0:
+            raise ConfigError("light and noise levels must be non-negative")
+
+
+#: Default per-room climates; kitchen warmest, storage coolest.
+DEFAULT_CLIMATES: dict[str, RoomClimate] = {
+    "airlock": RoomClimate(temperature_c=18.5, light_lux_day=220.0, noise_floor_db=38.0),
+    "bedroom": RoomClimate(temperature_c=20.5, light_lux_day=140.0, noise_floor_db=30.0),
+    "biolab": RoomClimate(temperature_c=21.0, light_lux_day=420.0, noise_floor_db=42.0),
+    "kitchen": RoomClimate(temperature_c=23.5, light_lux_day=320.0, noise_floor_db=44.0),
+    "office": RoomClimate(temperature_c=21.5, light_lux_day=380.0, noise_floor_db=40.0),
+    "restroom": RoomClimate(temperature_c=21.0, light_lux_day=200.0, noise_floor_db=36.0),
+    "storage": RoomClimate(temperature_c=17.5, light_lux_day=160.0, noise_floor_db=34.0),
+    "workshop": RoomClimate(temperature_c=20.0, light_lux_day=400.0, noise_floor_db=46.0),
+    "main": RoomClimate(temperature_c=22.0, light_lux_day=260.0, noise_floor_db=40.0),
+}
+
+
+class Environment:
+    """Time-varying environmental readings per room.
+
+    Temperature wanders slowly around the room setpoint; lights dim to a
+    night level outside the Martian-time day window; pressure drifts with
+    life-support cycling.
+    """
+
+    def __init__(
+        self,
+        climates: dict[str, RoomClimate] | None = None,
+        martian_clock: MartianClock | None = None,
+        night_light_lux: float = 5.0,
+        day_window: tuple[float, float] = (0.25, 0.85),
+    ):
+        self.climates = dict(DEFAULT_CLIMATES if climates is None else climates)
+        self.clock = martian_clock if martian_clock is not None else MartianClock()
+        self.night_light_lux = float(night_light_lux)
+        lo, hi = day_window
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ConfigError("day_window must satisfy 0 <= lo < hi <= 1")
+        self.day_window = (float(lo), float(hi))
+
+    def climate(self, room: str) -> RoomClimate:
+        """Climate parameters of ``room``."""
+        try:
+            return self.climates[room]
+        except KeyError:
+            raise ConfigError(f"no climate defined for room {room!r}") from None
+
+    def temperature_c(self, room: str, t_abs: np.ndarray) -> np.ndarray:
+        """Temperature trace for a room at absolute mission times."""
+        base = self.climate(room).temperature_c
+        t_abs = np.asarray(t_abs, dtype=np.float64)
+        # Slow diurnal wobble (HVAC cycling), +/- 0.6 C.
+        phase = 2.0 * np.pi * self.clock.seconds_of_sol(t_abs) / self.clock.sol_length_s
+        return base + 0.6 * np.sin(phase)
+
+    def is_martian_day(self, t_abs: np.ndarray) -> np.ndarray:
+        """Boolean mask: lights at day level per Martian time of sol."""
+        t_abs = np.asarray(t_abs, dtype=np.float64)
+        frac = self.clock.seconds_of_sol(t_abs) / self.clock.sol_length_s
+        lo, hi = self.day_window
+        return (frac >= lo) & (frac < hi)
+
+    def light_lux(self, room: str, t_abs: np.ndarray) -> np.ndarray:
+        """Illuminance trace for a room at absolute mission times."""
+        day_level = self.climate(room).light_lux_day
+        day = self.is_martian_day(t_abs)
+        return np.where(day, day_level, self.night_light_lux)
+
+    def pressure_hpa(self, t_abs: np.ndarray) -> np.ndarray:
+        """Habitat pressure trace (uniform across rooms)."""
+        t_abs = np.asarray(t_abs, dtype=np.float64)
+        return BASE_PRESSURE_HPA + 1.5 * np.sin(2.0 * np.pi * t_abs / 7200.0)
+
+    def noise_floor_db(self, room: str) -> float:
+        """Ambient (non-speech) noise floor of a room."""
+        return self.climate(room).noise_floor_db

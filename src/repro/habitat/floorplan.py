@@ -1,0 +1,194 @@
+"""The Lunares-like floor plan.
+
+Lunares arranges its rooms "in a semicircle with a place to rest in the
+middle"; we model the topology that the sensing pipeline actually
+observes — every peripheral room opens onto the central main hall, metal
+walls separate rooms, the only exit leads through the airlock into the
+EVA hangar — using a flattened rectangular arrangement.  Geometry is in
+meters.
+
+Layout (not to scale)::
+
+    bedroom | biolab | kitchen | office
+    ----------- main hall --------------
+    workshop| storage| restroom| airlock --> hangar (EVA)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.habitat.geometry import Point, Rect, bounding_box
+from repro.habitat.rooms import MAIN_HALL, NO_BADGE_ROOMS, ROOM_NAMES, Door, Room
+
+#: Integer room code for "not in the habitat" (EVA hangar / absent).
+OUTSIDE = -1
+
+
+@dataclass(frozen=True)
+class FloorPlan:
+    """An immutable habitat layout with integer-coded rooms.
+
+    Room indices: ``0 .. 7`` are :data:`~repro.habitat.rooms.ROOM_NAMES`
+    in order, index ``8`` is the main hall, :data:`OUTSIDE` (-1) is
+    outside the pressurized volume.
+    """
+
+    rooms: tuple[Room, ...]
+    hangar: Rect
+
+    def __post_init__(self) -> None:
+        names = [room.name for room in self.rooms]
+        if len(set(names)) != len(names):
+            raise ConfigError("duplicate room names in floor plan")
+        if MAIN_HALL not in names:
+            raise ConfigError("floor plan must include the main hall")
+        for i, room in enumerate(self.rooms):
+            if room.index != i:
+                raise ConfigError(f"room {room.name!r} has index {room.index}, expected {i}")
+
+    # -- lookup ---------------------------------------------------------
+
+    @property
+    def n_rooms(self) -> int:
+        return len(self.rooms)
+
+    @property
+    def main_index(self) -> int:
+        return self.index_of(MAIN_HALL)
+
+    def room(self, name: str) -> Room:
+        """Room by name."""
+        for room in self.rooms:
+            if room.name == name:
+                return room
+        raise ConfigError(f"no room named {name!r}")
+
+    def index_of(self, name: str) -> int:
+        """Integer code of a room name."""
+        return self.room(name).index
+
+    def name_of(self, index: int) -> str:
+        """Room name for an integer code (``OUTSIDE`` -> ``'outside'``)."""
+        if index == OUTSIDE:
+            return "outside"
+        return self.rooms[index].name
+
+    @property
+    def bounds(self) -> Rect:
+        """Bounding box of the pressurized volume."""
+        return bounding_box(room.rect for room in self.rooms)
+
+    # -- point location ---------------------------------------------------
+
+    def locate(self, p: Point) -> int:
+        """Room index containing point ``p`` (peripheral rooms win over
+        the hall on shared boundaries); ``OUTSIDE`` if nowhere."""
+        hit = OUTSIDE
+        for room in self.rooms:
+            if room.rect.contains(p):
+                if room.name != MAIN_HALL:
+                    return room.index
+                hit = room.index
+        return hit
+
+    def locate_many(self, points_xy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`locate` over an ``(n, 2)`` array."""
+        points_xy = np.asarray(points_xy)
+        out = np.full(points_xy.shape[0], OUTSIDE, dtype=np.int8)
+        main_idx = self.main_index
+        # Hall first so peripheral rooms overwrite shared boundaries.
+        out[self.rooms[main_idx].rect.contains_many(points_xy)] = main_idx
+        for room in self.rooms:
+            if room.index == main_idx:
+                continue
+            out[room.rect.contains_many(points_xy)] = room.index
+        nan_rows = np.isnan(points_xy).any(axis=1)
+        out[nan_rows] = OUTSIDE
+        return out
+
+    # -- topology ---------------------------------------------------------
+
+    def wall_matrix(self) -> np.ndarray:
+        """``(n, n)`` matrix of wall counts separating room pairs.
+
+        0 within a room, 1 across a door-connected pair, 2 otherwise.
+        The habitat's metal walls make each crossing strongly attenuating,
+        which is why the paper reports perfect room detection.
+        """
+        n = self.n_rooms
+        walls = np.full((n, n), 2, dtype=np.int8)
+        np.fill_diagonal(walls, 0)
+        for room in self.rooms:
+            for door in room.doors:
+                a, b = (self.index_of(name) for name in door.connects)
+                walls[a, b] = walls[b, a] = 1
+        return walls
+
+    def door_between(self, a: str, b: str) -> Door:
+        """The door connecting rooms ``a`` and ``b``."""
+        return self.room(a).door_to(b)
+
+    def path(self, origin: str, target: str, origin_point: Point, target_point: Point) -> list[Point]:
+        """Walking waypoints from a point in ``origin`` to one in ``target``.
+
+        All peripheral rooms connect through the main hall, so paths are
+        at most origin -> own door -> target's door -> target point.
+        """
+        if origin == target:
+            return [origin_point, target_point]
+        hall_inner = self.room(MAIN_HALL).rect.shrink(0.4)
+        waypoints: list[Point] = [origin_point]
+        if origin != MAIN_HALL:
+            door = self.door_between(origin, MAIN_HALL).position
+            waypoints.append(door)
+            # Step off the shared wall into the hall proper, so the
+            # corridor leg is unambiguously classified as the hall.
+            waypoints.append(hall_inner.clamp(door))
+        if target != MAIN_HALL:
+            door = self.door_between(target, MAIN_HALL).position
+            waypoints.append(hall_inner.clamp(door))
+            waypoints.append(door)
+        waypoints.append(target_point)
+        return waypoints
+
+
+def lunares_floorplan(room_w: float = 4.0, room_d: float = 3.0, hall_d: float = 4.0) -> FloorPlan:
+    """Build the default Lunares-like floor plan.
+
+    ``room_w`` x ``room_d`` peripheral rooms in two rows of four around a
+    central hall of depth ``hall_d``; the hangar extends past the airlock.
+    """
+    if min(room_w, room_d, hall_d) <= 0:
+        raise ConfigError("floor plan dimensions must be positive")
+    top = ("bedroom", "biolab", "kitchen", "office")
+    bottom = ("workshop", "storage", "restroom", "airlock")
+    width = room_w * 4
+
+    def door(x: float, y: float, other: str) -> Door:
+        return Door(position=(x, y), connects=(other, MAIN_HALL))
+
+    rooms: dict[str, Room] = {}
+    for col, name in enumerate(top):
+        rect = Rect(col * room_w, hall_d, (col + 1) * room_w, hall_d + room_d)
+        doors = (door(col * room_w + room_w / 2, hall_d, name),)
+        rooms[name] = Room(name=name, rect=rect, doors=doors,
+                           badge_prohibited=name in NO_BADGE_ROOMS)
+    for col, name in enumerate(bottom):
+        rect = Rect(col * room_w, -room_d, (col + 1) * room_w, 0.0)
+        doors = (door(col * room_w + room_w / 2, 0.0, name),)
+        rooms[name] = Room(name=name, rect=rect, doors=doors,
+                           badge_prohibited=name in NO_BADGE_ROOMS)
+    hall_doors = tuple(room.doors[0] for room in rooms.values())
+    rooms[MAIN_HALL] = Room(name=MAIN_HALL, rect=Rect(0.0, 0.0, width, hall_d), doors=hall_doors)
+
+    ordered = [rooms[name] for name in ROOM_NAMES] + [rooms[MAIN_HALL]]
+    indexed = tuple(
+        Room(name=r.name, rect=r.rect, doors=r.doors, badge_prohibited=r.badge_prohibited, index=i)
+        for i, r in enumerate(ordered)
+    )
+    hangar = Rect(width, -room_d, width + 10.0, 0.0)
+    return FloorPlan(rooms=indexed, hangar=hangar)

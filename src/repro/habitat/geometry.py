@@ -1,0 +1,137 @@
+"""Planar geometry primitives used by the habitat model.
+
+The habitat is modeled in a 2-D metric coordinate system (meters).
+Rooms are axis-aligned rectangles, which is sufficient for everything
+the sensing pipeline observes (containment, distances, door proximity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+#: A point is an (x, y) pair in meters.
+Point = tuple[float, float]
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def distances_to(points_xy: np.ndarray, target: Point) -> np.ndarray:
+    """Euclidean distances from an ``(n, 2)`` array of points to ``target``."""
+    points_xy = np.asarray(points_xy, dtype=np.float64)
+    return np.hypot(points_xy[:, 0] - target[0], points_xy[:, 1] - target[1])
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x0, x1] x [y0, y1]``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ConfigError(f"degenerate rectangle {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def contains(self, p: Point) -> bool:
+        """Whether ``p`` lies inside the rectangle (boundary inclusive)."""
+        return self.x0 <= p[0] <= self.x1 and self.y0 <= p[1] <= self.y1
+
+    def contains_many(self, points_xy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over an ``(n, 2)`` array."""
+        points_xy = np.asarray(points_xy)
+        x, y = points_xy[:, 0], points_xy[:, 1]
+        return (self.x0 <= x) & (x <= self.x1) & (self.y0 <= y) & (y <= self.y1)
+
+    def clamp(self, p: Point) -> Point:
+        """The nearest point of the rectangle to ``p``."""
+        return (min(max(p[0], self.x0), self.x1), min(max(p[1], self.y0), self.y1))
+
+    def shrink(self, margin: float) -> "Rect":
+        """The rectangle with ``margin`` removed from every side.
+
+        Collapses toward the center rather than inverting when the margin
+        exceeds half the extent.
+        """
+        half_w, half_h = self.width / 2.0, self.height / 2.0
+        mx = min(margin, half_w)
+        my = min(margin, half_h)
+        return Rect(self.x0 + mx, self.y0 + my, self.x1 - mx, self.y1 - my)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Uniformly sample ``n`` points inside the rectangle, ``(n, 2)``."""
+        xs = rng.uniform(self.x0, self.x1, size=n)
+        ys = rng.uniform(self.y0, self.y1, size=n)
+        return np.column_stack([xs, ys])
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Whether two rectangles share interior area."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """Whether two rectangles share at least an edge segment (or overlap)."""
+        return (
+            self.x0 <= other.x1
+            and other.x0 <= self.x1
+            and self.y0 <= other.y1
+            and other.y0 <= self.y1
+        )
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """The smallest rectangle containing all of ``rects``."""
+    rects = list(rects)
+    if not rects:
+        raise ConfigError("bounding_box of no rectangles")
+    return Rect(
+        min(r.x0 for r in rects),
+        min(r.y0 for r in rects),
+        max(r.x1 for r in rects),
+        max(r.y1 for r in rects),
+    )
+
+
+def segment_points(a: Point, b: Point, step: float) -> np.ndarray:
+    """Points along segment a->b spaced ``step`` apart (including both ends).
+
+    Used to rasterize walking trajectories at the frame rate.
+    """
+    if step <= 0:
+        raise ConfigError("step must be positive")
+    length = distance(a, b)
+    n = max(2, int(math.ceil(length / step)) + 1)
+    ts = np.linspace(0.0, 1.0, n)
+    xs = a[0] + (b[0] - a[0]) * ts
+    ys = a[1] + (b[1] - a[1]) * ts
+    return np.column_stack([xs, ys])

@@ -1,0 +1,24 @@
+"""Localization pipeline: BLE scans -> rooms and in-room positions.
+
+RSSI smoothing, strongest-beacon room detection (perfect in the shielded
+habitat, modulo doorway leakage), weighted-centroid trilateration with
+an optional Gauss-Newton refinement, 1-second dominant-position frames,
+and the 28 cm heatmap grids of the paper's Figure 3.
+"""
+
+from repro.localization.heatmap import Heatmap, build_heatmap
+from repro.localization.pipeline import LocalizationResult, Localizer
+from repro.localization.room_detector import RoomDetector
+from repro.localization.rssi import ema_smooth
+from repro.localization.trilateration import gauss_newton_refine, weighted_centroid
+
+__all__ = [
+    "Heatmap",
+    "LocalizationResult",
+    "Localizer",
+    "RoomDetector",
+    "build_heatmap",
+    "ema_smooth",
+    "gauss_newton_refine",
+    "weighted_centroid",
+]

@@ -1,0 +1,115 @@
+"""The end-to-end per-day localizer.
+
+Scans -> (optional smoothing) -> room detection -> in-room weighted
+centroid, with estimates clamped into the detected room's geometry.
+This is the positioning algorithm "based on triangulation" the paper fed
+its beacon messages into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.habitat.beacons import Beacon, beacon_positions, beacon_rooms
+from repro.habitat.floorplan import FloorPlan
+from repro.localization.room_detector import RoomDetector
+from repro.localization.rssi import boxcar_smooth
+from repro.localization.trilateration import gauss_newton_batch, weighted_centroid
+
+
+@dataclass
+class LocalizationResult:
+    """Per-frame localization output for one badge-day."""
+
+    room: np.ndarray   # int8; -1 unknown
+    x: np.ndarray      # float32; NaN unknown
+    y: np.ndarray      # float32; NaN unknown
+
+    def known_fraction(self) -> float:
+        """Fraction of frames with a room fix."""
+        return float((self.room >= 0).mean())
+
+
+class Localizer:
+    """Localizes badge-days from their BLE scan matrices."""
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        beacons: list[Beacon],
+        smooth_window: int | None = 5,
+        vote_window: int = 3,
+        tx_power_dbm: float = -59.0,
+        path_loss_exponent: float = 2.2,
+        refine: bool = True,
+    ):
+        if not beacons:
+            raise ConfigError("localizer needs at least one beacon")
+        self.plan = plan
+        self.beacons = beacons
+        self.beacon_xy = beacon_positions(beacons)
+        self.beacon_room = beacon_rooms(beacons).astype(np.int64)
+        self.smooth_window = smooth_window
+        self.detector = RoomDetector(self.beacon_room, vote_window=vote_window)
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.path_loss_exponent = float(path_loss_exponent)
+        self.refine = bool(refine)
+
+    def localize_day(self, ble_rssi: np.ndarray, active: np.ndarray) -> LocalizationResult:
+        """Localize one badge-day.
+
+        Args:
+            ble_rssi: ``(frames, n_beacons)`` scan matrix.
+            active: ``(frames,)`` recording mask.
+
+        Returns:
+            Room and position estimates per frame.
+        """
+        rssi = ble_rssi
+        if self.smooth_window is not None and self.smooth_window > 1:
+            rssi = boxcar_smooth(rssi, window=self.smooth_window)
+        room = self.detector.detect(rssi, active)
+
+        # Restrict position estimation to the detected room's beacons.
+        in_room_mask = self.beacon_room[None, :] == room[:, None]
+        xy = weighted_centroid(
+            rssi,
+            self.beacon_xy,
+            weight_mask=in_room_mask,
+            tx_power_dbm=self.tx_power_dbm,
+            path_loss_exponent=self.path_loss_exponent,
+        )
+        if self.refine:
+            # Range-based least squares recovers positions outside the
+            # beacons' convex hull (the centroid alone compresses the
+            # occupancy maps toward the room centers).
+            xy = gauss_newton_batch(
+                xy, rssi, self.beacon_xy,
+                weight_mask=in_room_mask,
+                tx_power_dbm=self.tx_power_dbm,
+                path_loss_exponent=self.path_loss_exponent,
+            )
+        xy = self._clamp_to_rooms(xy, room)
+        return LocalizationResult(
+            room=room.astype(np.int8),
+            x=xy[:, 0].astype(np.float32),
+            y=xy[:, 1].astype(np.float32),
+        )
+
+    def _clamp_to_rooms(self, xy: np.ndarray, room: np.ndarray) -> np.ndarray:
+        """Clamp estimates into the detected room's rectangle."""
+        out = xy.copy()
+        eps = 1e-6  # keep clamped points off shared walls
+        for room_idx in np.unique(room):
+            if room_idx < 0:
+                continue
+            rect = self.plan.rooms[int(room_idx)].rect
+            rows = room == room_idx
+            out[rows, 0] = np.clip(out[rows, 0], rect.x0 + eps, rect.x1 - eps)
+            out[rows, 1] = np.clip(out[rows, 1], rect.y0 + eps, rect.y1 - eps)
+        unknown = room < 0
+        out[unknown] = np.nan
+        return out

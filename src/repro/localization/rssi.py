@@ -1,0 +1,92 @@
+"""RSSI conditioning: exponential smoothing over noisy scan streams.
+
+BLE RSSI carries several dB of shadowing noise frame to frame; a light
+exponential moving average per beacon stabilizes both room votes and
+centroid weights without adding meaningful lag at walking speeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+
+def ema_smooth(rssi: np.ndarray, alpha: float = 0.4, max_gap: int = 5) -> np.ndarray:
+    """Exponentially smooth a ``(frames, beacons)`` RSSI matrix.
+
+    NaNs (beacon not heard) do not update the average; the previous
+    smoothed value is carried over for up to ``max_gap`` frames, after
+    which the stream is considered lost and resets to NaN.
+
+    Args:
+        rssi: raw scan matrix, NaN = not heard.
+        alpha: EMA weight of the newest sample.
+        max_gap: maximum frames a stale value may be carried.
+
+    Returns:
+        Smoothed matrix of the same shape.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigError("alpha must be in (0, 1]")
+    if max_gap < 0:
+        raise ConfigError("max_gap must be non-negative")
+    rssi = np.asarray(rssi, dtype=np.float64)
+    out = np.full_like(rssi, np.nan)
+    state = np.full(rssi.shape[1], np.nan)
+    staleness = np.zeros(rssi.shape[1], dtype=np.int64)
+    for i in range(rssi.shape[0]):
+        row = rssi[i]
+        fresh = ~np.isnan(row)
+        new_state = np.where(
+            fresh,
+            np.where(np.isnan(state), row, alpha * row + (1 - alpha) * state),
+            state,
+        )
+        staleness = np.where(fresh, 0, staleness + 1)
+        new_state = np.where(staleness > max_gap, np.nan, new_state)
+        state = new_state
+        out[i] = state
+    return out
+
+
+def boxcar_smooth(rssi: np.ndarray, window: int = 5) -> np.ndarray:
+    """NaN-aware centered moving average over a ``(frames, beacons)`` matrix.
+
+    Fully vectorized (cumulative sums), so it is the default smoother in
+    the localization pipeline; :func:`ema_smooth` remains available when
+    strictly causal filtering matters.  Cells with no finite sample in
+    their window stay NaN.
+    """
+    if window < 1:
+        raise ConfigError("window must be >= 1")
+    rssi = np.asarray(rssi, dtype=np.float64)
+    if window == 1 or rssi.shape[0] == 0:
+        return rssi.copy()
+    n = rssi.shape[0]
+    half = window // 2
+    finite = np.isfinite(rssi)
+    values = np.where(finite, rssi, 0.0)
+    cum_values = np.zeros((n + 1,) + rssi.shape[1:])
+    cum_counts = np.zeros((n + 1,) + rssi.shape[1:])
+    np.cumsum(values, axis=0, out=cum_values[1:])
+    np.cumsum(finite, axis=0, out=cum_counts[1:])
+    lo = np.clip(np.arange(n) - half, 0, n)
+    hi = np.clip(np.arange(n) + half + 1, 0, n)
+    sums = cum_values[hi] - cum_values[lo]
+    counts = cum_counts[hi] - cum_counts[lo]
+    with np.errstate(invalid="ignore"):
+        out = sums / counts
+    out[counts == 0] = np.nan
+    return out
+
+
+def strongest_beacon(rssi: np.ndarray) -> np.ndarray:
+    """Index of the loudest beacon per frame; -1 where nothing is heard."""
+    rssi = np.asarray(rssi)
+    filled = np.where(np.isnan(rssi), -np.inf, rssi)
+    best = np.argmax(filled, axis=1)
+    silent = ~np.isfinite(filled).any(axis=1)
+    best = best.astype(np.int64)
+    best[silent] = -1
+    return best

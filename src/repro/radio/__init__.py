@@ -1,0 +1,23 @@
+"""Radio substrate: RF propagation and the badges' three wireless links.
+
+The badge carries an 868 MHz radio, a 2.4 GHz BLE radio, and an infrared
+transceiver; the first two act as proximity sensors with different
+attenuation properties, the third detects true face-to-face encounters.
+This package synthesizes what those links observe, plus the clock-drift
+and opportunistic time-sync behaviour of the fleet.
+"""
+
+from repro.radio.ble import BleScanModel
+from repro.radio.infrared import IrModel
+from repro.radio.propagation import PropagationModel
+from repro.radio.subghz import SubGhzModel
+from repro.radio.timesync import SyncEvent, TimeSyncSimulator
+
+__all__ = [
+    "BleScanModel",
+    "IrModel",
+    "PropagationModel",
+    "SubGhzModel",
+    "SyncEvent",
+    "TimeSyncSimulator",
+]

@@ -1,0 +1,82 @@
+"""BLE beacon scanning as seen by a badge.
+
+Each beacon broadcasts ~3 advertisements per second; a badge's scanner
+aggregates the advertisements it catches into one RSSI observation per
+frame per beacon.  Misses happen (scanner duty cycling, collisions) and
+weak signals fall below the receiver sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.habitat.beacons import Beacon
+from repro.habitat.floorplan import FloorPlan
+from repro.radio.propagation import BLE_2G4, PropagationModel
+
+
+@dataclass(frozen=True)
+class BleScanModel:
+    """Per-frame BLE scan synthesis.
+
+    Attributes:
+        propagation: the 2.4 GHz band model.
+        sensitivity_dbm: RSSI below this is never received.
+        detection_prob: probability that at least one advertisement of an
+            in-range beacon is caught in a frame.
+    """
+
+    propagation: PropagationModel = BLE_2G4
+    sensitivity_dbm: float = -95.0
+    detection_prob: float = 0.93
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.detection_prob <= 1.0:
+            raise ConfigError("detection_prob must be in (0, 1]")
+
+    def scan(
+        self,
+        plan: FloorPlan,
+        beacons: list[Beacon],
+        badge_xy: np.ndarray,
+        badge_room: np.ndarray,
+        active: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Synthesize one day of scans for one badge.
+
+        Args:
+            plan: floor plan.
+            beacons: deployed beacons.
+            badge_xy: ``(frames, 2)`` badge positions (NaN when the badge
+                is outside the habitat).
+            badge_room: ``(frames,)`` badge room indices.
+            active: ``(frames,)`` mask of frames the badge is recording.
+            rng: random stream.
+
+        Returns:
+            ``(frames, n_beacons)`` float32 RSSI matrix; NaN = not heard.
+        """
+        n = badge_xy.shape[0]
+        out = np.full((n, len(beacons)), np.nan, dtype=np.float32)
+        usable = active & ~np.isnan(badge_xy).any(axis=1)
+        if not usable.any():
+            return out
+        idx = np.flatnonzero(usable)
+        xy = badge_xy[idx]
+        rooms = badge_room[idx]
+        for k, beacon in enumerate(beacons):
+            rssi = self.propagation.received_dbm(
+                plan, beacon.tx_power_dbm, beacon.position, int(beacon.room),
+                xy, rooms, rng,
+            )
+            heard = rssi >= self.sensitivity_dbm
+            if self.detection_prob < 1.0:
+                heard &= rng.random(rssi.shape) < self.detection_prob
+            col = np.full(idx.shape, np.nan, dtype=np.float32)
+            col[heard] = rssi[heard].astype(np.float32)
+            out[idx, k] = col
+        return out

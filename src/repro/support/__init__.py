@@ -1,0 +1,41 @@
+"""The habitat mission support system (paper Section VI).
+
+A working prototype of the envisioned distributed support system: a
+message bus over habitat links, streaming sensor-analysis units,
+an alert engine (fatigue, passivity, dehydration), a 20-minute-delayed
+mission-control link with contradiction detection (the day-12 incident),
+primary/backup unit replication with heartbeat failover (what the
+non-replicated reference badge lacked), multi-party authorization for
+system changes, and privacy controls the crew can invoke.
+"""
+
+from repro.support.alerts import Alert, AlertEngine
+from repro.support.authorization import AuthorizationService, Proposal
+from repro.support.bus import Message, Network, Node
+from repro.support.hydration import HydrationTracker
+from repro.support.mission_control import EarthLink, MissionControl
+from repro.support.privacy import PrivacyManager
+from repro.support.replication import ReplicatedService, Replica
+from repro.support.scheduling import Advice, CrewLoad, ReschedulingAdvisor
+from repro.support.stream import SensorStream, StreamWindow
+
+__all__ = [
+    "Advice",
+    "Alert",
+    "AlertEngine",
+    "AuthorizationService",
+    "CrewLoad",
+    "EarthLink",
+    "HydrationTracker",
+    "Message",
+    "MissionControl",
+    "Network",
+    "Node",
+    "PrivacyManager",
+    "Proposal",
+    "Replica",
+    "ReplicatedService",
+    "ReschedulingAdvisor",
+    "SensorStream",
+    "StreamWindow",
+]

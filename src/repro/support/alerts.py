@@ -1,0 +1,116 @@
+"""The alert engine.
+
+Consumes stream windows and raises the alerts the paper sketches:
+fatigue/low-activity, social passivity ("familiarity with current
+sociometric indicators could have motivated the ICAres-1 crew to give
+extra attention during group meetings to the most passive astronaut"),
+wear-compliance nudges, and unusual-gathering notifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError
+from repro.support.bus import Message, Node
+from repro.support.stream import StreamWindow
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised alert."""
+
+    time_s: float
+    severity: str       # "info" | "warning" | "critical"
+    kind: str
+    subject: str        # badge/astronaut/system the alert concerns
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.kind}({self.subject}): {self.detail}"
+
+
+@dataclass
+class AlertRules:
+    """Thresholds of the standard rules."""
+
+    passivity_speech_fraction: float = 0.08
+    passivity_windows: int = 6
+    fatigue_accel: float = 0.12
+    fatigue_windows: int = 6
+    wear_fraction: float = 0.3
+    wear_windows: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("passivity_windows", "fatigue_windows", "wear_windows"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+
+
+class AlertEngine(Node):
+    """Aggregates stream windows into alerts, autonomously on-site."""
+
+    def __init__(self, name: str, sim: Simulator, rules: AlertRules | None = None,
+                 notify: list[str] | None = None):
+        super().__init__(name, sim)
+        self.rules = rules if rules is not None else AlertRules()
+        self.notify = list(notify or [])
+        self.alerts: list[Alert] = []
+        self._history: dict[int, list[StreamWindow]] = {}
+        self._raised: set[tuple[str, str]] = set()
+
+    # -- message handlers -------------------------------------------------
+
+    def handle_window(self, message: Message) -> None:
+        window: StreamWindow = message.payload
+        history = self._history.setdefault(window.badge_id, [])
+        history.append(window)
+        self._evaluate(window.badge_id, history)
+
+    # -- rules -------------------------------------------------------------
+
+    def _evaluate(self, badge_id: int, history: list[StreamWindow]) -> None:
+        rules = self.rules
+        subject = f"badge-{badge_id}"
+        recent = history[-rules.passivity_windows:]
+        if (
+            len(recent) >= rules.passivity_windows
+            and all(w.speech_fraction < rules.passivity_speech_fraction for w in recent)
+            and all(w.worn_fraction > 0.5 for w in recent)
+        ):
+            self._raise("warning", "passivity", subject,
+                        "persistently low conversational engagement")
+        recent = history[-rules.fatigue_windows:]
+        if (
+            len(recent) >= rules.fatigue_windows
+            and all(w.mean_accel < rules.fatigue_accel for w in recent)
+            and all(w.worn_fraction > 0.5 for w in recent)
+        ):
+            self._raise("warning", "fatigue", subject,
+                        "sustained low physical activity during duty hours")
+        recent = history[-rules.wear_windows:]
+        if (
+            len(recent) >= rules.wear_windows
+            and all(w.worn_fraction < rules.wear_fraction for w in recent)
+        ):
+            self._raise("info", "wear-compliance", subject,
+                        "badge has been off the neck for a while")
+
+    def _raise(self, severity: str, kind: str, subject: str, detail: str) -> None:
+        key = (kind, subject)
+        if key in self._raised:
+            return  # alert once until cleared
+        self._raised.add(key)
+        alert = Alert(time_s=self.sim.now, severity=severity, kind=kind,
+                      subject=subject, detail=detail)
+        self.alerts.append(alert)
+        for destination in self.notify:
+            self.send(destination, "alert", alert)
+
+    def clear(self, kind: str, subject: str) -> None:
+        """Acknowledge an alert so it may fire again later."""
+        self._raised.discard((kind, subject))
+
+    def alerts_of_kind(self, kind: str) -> list[Alert]:
+        return [a for a in self.alerts if a.kind == kind]

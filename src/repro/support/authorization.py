@@ -1,0 +1,158 @@
+"""Multi-party authorization of system changes.
+
+"To protect the system from harmful changes introduced by disobedient
+individuals, it might be worthwhile to require approvals from all the
+teammates and the mission control before any significant change to the
+system is applied."  A :class:`Proposal` gathers crew votes locally and
+a (delayed) mission-control vote; quorum rules decide, with an explicit
+emergency path for time-critical cases where "terrestrial assistance is
+not sufficient".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError, ProtocolError
+from repro.support.bus import Message, Node
+
+
+class ProposalState(enum.Enum):
+    PENDING = "pending"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+
+
+@dataclass
+class Proposal:
+    """A proposed change to the deployed system."""
+
+    proposal_id: int
+    description: str
+    proposer: str
+    emergency: bool = False
+    votes: dict[str, bool] = field(default_factory=dict)
+    earth_vote: bool | None = None
+    state: ProposalState = ProposalState.PENDING
+    decided_at: float | None = None
+
+
+class AuthorizationService(Node):
+    """Collects votes and decides proposals.
+
+    Normal path: every crew member votes, mission control confirms
+    (arriving after the link delay); unanimous crew approval plus an
+    Earth yes approves.  Any rejection rejects.  Emergency path: a crew
+    majority alone approves after ``emergency_quorum`` yes votes — when
+    lives are at stake the 40-minute round trip cannot gate action.
+    Undecided proposals expire after ``timeout_s``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        crew: list[str],
+        earth: str = "earth",
+        timeout_s: float = 3 * 3600.0,
+    ):
+        super().__init__(name, sim)
+        if not crew:
+            raise ConfigError("authorization needs a crew")
+        self.crew = list(crew)
+        self.earth = earth
+        self.timeout_s = timeout_s
+        self.proposals: dict[int, Proposal] = {}
+        self._next_id = 0
+
+    # -- API -----------------------------------------------------------------
+
+    def propose(self, proposer: str, description: str, emergency: bool = False) -> Proposal:
+        """Open a proposal; the proposer implicitly votes yes."""
+        if proposer not in self.crew:
+            raise ProtocolError(f"unknown proposer {proposer!r}")
+        proposal = Proposal(self._next_id, description, proposer, emergency=emergency)
+        proposal.votes[proposer] = True
+        self._next_id += 1
+        self.proposals[proposal.proposal_id] = proposal
+        if not emergency:
+            self.send(self.earth, "vote_request", proposal.proposal_id)
+        self.sim.schedule(self.timeout_s, self._expire, proposal.proposal_id)
+        self._evaluate(proposal)
+        return proposal
+
+    def vote(self, proposal_id: int, voter: str, approve: bool) -> None:
+        """Record a crew vote."""
+        proposal = self._get(proposal_id)
+        if voter not in self.crew:
+            raise ProtocolError(f"unknown voter {voter!r}")
+        if proposal.state is not ProposalState.PENDING:
+            return
+        proposal.votes[voter] = approve
+        self._evaluate(proposal)
+
+    def handle_earth_vote(self, message: Message) -> None:
+        proposal_id, approve = message.payload
+        proposal = self.proposals.get(proposal_id)
+        if proposal is None or proposal.state is not ProposalState.PENDING:
+            return
+        proposal.earth_vote = bool(approve)
+        self._evaluate(proposal)
+
+    # -- decision logic ---------------------------------------------------------
+
+    @property
+    def emergency_quorum(self) -> int:
+        """Majority of the crew."""
+        return len(self.crew) // 2 + 1
+
+    def _evaluate(self, proposal: Proposal) -> None:
+        if proposal.state is not ProposalState.PENDING:
+            return
+        if any(not v for v in proposal.votes.values()) or proposal.earth_vote is False:
+            self._decide(proposal, ProposalState.REJECTED)
+            return
+        yes = sum(1 for v in proposal.votes.values() if v)
+        if proposal.emergency:
+            if yes >= self.emergency_quorum:
+                self._decide(proposal, ProposalState.APPROVED)
+            return
+        if yes == len(self.crew) and proposal.earth_vote is True:
+            self._decide(proposal, ProposalState.APPROVED)
+
+    def _decide(self, proposal: Proposal, state: ProposalState) -> None:
+        proposal.state = state
+        proposal.decided_at = self.sim.now
+
+    def _expire(self, proposal_id: int) -> None:
+        proposal = self.proposals.get(proposal_id)
+        if proposal is not None and proposal.state is ProposalState.PENDING:
+            self._decide(proposal, ProposalState.EXPIRED)
+
+    def _get(self, proposal_id: int) -> Proposal:
+        try:
+            return self.proposals[proposal_id]
+        except KeyError:
+            raise ProtocolError(f"no proposal {proposal_id}") from None
+
+
+class EarthVoter(Node):
+    """Mission-control side of the authorization protocol.
+
+    Approves or rejects vote requests according to a configurable
+    policy; replies traverse the delayed Earth link.
+    """
+
+    def __init__(self, name: str, sim: Simulator, service: str, approve_all: bool = True):
+        super().__init__(name, sim)
+        self.service = service
+        self.approve_all = approve_all
+        self.requests_seen: list[int] = []
+
+    def handle_vote_request(self, message: Message) -> None:
+        proposal_id = message.payload
+        self.requests_seen.append(proposal_id)
+        self.send(self.service, "earth_vote", (proposal_id, self.approve_all))

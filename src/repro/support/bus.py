@@ -1,0 +1,189 @@
+"""The habitat message bus.
+
+Support-system units (stream processors, the alert engine, the Earth
+link, replicas) are :class:`Node` instances exchanging :class:`Message`
+objects over a :class:`Network` that models per-link latency, loss, and
+injected partitions — the substrate every Section-VI scenario runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError, ProtocolError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One bus message."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+
+    def __repr__(self) -> str:
+        return f"<Message {self.src}->{self.dst} {self.kind}>"
+
+
+class Network:
+    """Point-to-point message delivery with latency, loss, partitions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_latency_s: float = 0.02,
+        loss_prob: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if default_latency_s < 0:
+            raise ConfigError("latency must be non-negative")
+        if not 0.0 <= loss_prob < 1.0:
+            raise ConfigError("loss_prob must be in [0, 1)")
+        self.sim = sim
+        self.default_latency_s = default_latency_s
+        self.loss_prob = loss_prob
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._nodes: dict[str, "Node"] = {}
+        self._link_latency: dict[tuple[str, str], float] = {}
+        self._down_links: set[tuple[str, str]] = set()
+        self._down_nodes: set[str] = set()
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- topology -------------------------------------------------------
+
+    def register(self, node: "Node") -> None:
+        """Attach a node to the bus (names must be unique)."""
+        if node.name in self._nodes:
+            raise ConfigError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        node.network = self
+
+    def node(self, name: str) -> "Node":
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ProtocolError(f"no node named {name!r}") from None
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def set_link_latency(self, src: str, dst: str, latency_s: float) -> None:
+        """Override latency for one directed link (e.g. the Earth link)."""
+        if latency_s < 0:
+            raise ConfigError("latency must be non-negative")
+        self._link_latency[(src, dst)] = latency_s
+
+    # -- failure injection ------------------------------------------------
+
+    def partition(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        """Cut a link."""
+        self._down_links.add((src, dst))
+        if bidirectional:
+            self._down_links.add((dst, src))
+
+    def heal(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        """Restore a cut link."""
+        self._down_links.discard((src, dst))
+        if bidirectional:
+            self._down_links.discard((dst, src))
+
+    def crash(self, name: str) -> None:
+        """Crash a node: it stops receiving (and should stop sending)."""
+        self._down_nodes.add(name)
+        self.node(name).crashed = True
+
+    def recover(self, name: str) -> None:
+        """Recover a crashed node."""
+        self._down_nodes.discard(name)
+        self.node(name).crashed = False
+
+    # -- delivery ---------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery (may be lost or blocked)."""
+        if message.src in self._down_nodes:
+            return  # a crashed node cannot transmit
+        if (message.src, message.dst) in self._down_links:
+            self.dropped += 1
+            return
+        if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
+            self.dropped += 1
+            return
+        latency = self._link_latency.get((message.src, message.dst), self.default_latency_s)
+        self.sim.schedule(latency, self._deliver, message)
+
+    def broadcast(self, src: str, kind: str, payload: Any = None) -> None:
+        """Send to every other registered node."""
+        for name in self._nodes:
+            if name != src:
+                self.send(Message(src=src, dst=name, kind=kind, payload=payload))
+
+    def _deliver(self, message: Message) -> None:
+        if message.dst in self._down_nodes:
+            self.dropped += 1
+            return
+        node = self._nodes.get(message.dst)
+        if node is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        node.on_message(message)
+
+
+class Node:
+    """Base class for support-system units."""
+
+    def __init__(self, name: str, sim: Simulator):
+        self.name = name
+        self.sim = sim
+        self.network: Optional[Network] = None
+        self.crashed = False
+        self.inbox_count = 0
+
+    def send(self, dst: str, kind: str, payload: Any = None) -> None:
+        """Send a message over the bus."""
+        if self.network is None:
+            raise ProtocolError(f"node {self.name!r} is not attached to a network")
+        self.network.send(Message(src=self.name, dst=dst, kind=kind, payload=payload))
+
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message; dispatches to ``handle_<kind>``."""
+        if self.crashed:
+            return
+        self.inbox_count += 1
+        handler = getattr(self, f"handle_{message.kind}", None)
+        if handler is None:
+            self.handle_default(message)
+        else:
+            handler(message)
+
+    def handle_default(self, message: Message) -> None:
+        """Fallback for unrecognized message kinds (override to log)."""
+
+    def every(self, period_s: float, callback, *args) -> None:
+        """Run ``callback`` periodically until the node crashes."""
+        def tick() -> None:
+            if not self.crashed:
+                callback(*args)
+            self.sim.schedule(period_s, tick)
+
+        self.sim.schedule(period_s, tick)
+
+
+@dataclass
+class EventLog:
+    """Shared append-only log used by tests and scenarios."""
+
+    entries: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def record(self, time_s: float, source: str, text: str) -> None:
+        self.entries.append((time_s, source, text))
+
+    def matching(self, substring: str) -> list[tuple[float, str, str]]:
+        return [e for e in self.entries if substring in e[2]]

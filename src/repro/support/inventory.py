@@ -1,0 +1,120 @@
+"""Spares provisioning: backups vs cargo mass (paper Section VI-B).
+
+"There is still one problem that can be solved only with significant
+uncertainty: finding a balance between a spaceship overloaded with
+devices of same functionalities and a sufficient number of backups."
+ICAres-1 itself shipped one backup badge per astronaut and chose *not*
+to replicate the reference badge.
+
+With device failures modeled as a Poisson process, the number of spares
+needed for a target mission-long availability has a closed form; this
+module computes it and the resulting launch-mass bill (the paper cites
+"thousands of dollars per kg of payload").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One device class carried to the habitat."""
+
+    name: str
+    units_in_service: int
+    failure_rate_per_day: float  # per unit
+    mass_kg: float
+
+    def __post_init__(self) -> None:
+        if self.units_in_service < 1:
+            raise ConfigError("units_in_service must be >= 1")
+        if self.failure_rate_per_day < 0:
+            raise ConfigError("failure rate must be non-negative")
+        if self.mass_kg <= 0:
+            raise ConfigError("mass must be positive")
+
+
+def survival_probability(spec: DeviceSpec, mission_days: float, spares: int) -> float:
+    """P(the fleet never runs short over the mission) with ``spares``.
+
+    Failures across the in-service units form a Poisson process with
+    rate ``units * lambda``; the fleet survives iff the total number of
+    failures does not exceed the spare count.
+    """
+    if mission_days < 0 or spares < 0:
+        raise ConfigError("mission_days and spares must be non-negative")
+    mean = spec.units_in_service * spec.failure_rate_per_day * mission_days
+    # P(N <= spares) for N ~ Poisson(mean).
+    term = math.exp(-mean)
+    total = term
+    for k in range(1, spares + 1):
+        term *= mean / k
+        total += term
+    return min(total, 1.0)
+
+
+def spares_needed(
+    spec: DeviceSpec, mission_days: float, target_availability: float = 0.99
+) -> int:
+    """Fewest spares meeting the availability target."""
+    if not 0.0 < target_availability < 1.0:
+        raise ConfigError("target_availability must be in (0, 1)")
+    spares = 0
+    while survival_probability(spec, mission_days, spares) < target_availability:
+        spares += 1
+        if spares > 10_000:
+            raise ConfigError("availability target unreachable (check the rates)")
+    return spares
+
+
+@dataclass(frozen=True)
+class ProvisioningLine:
+    """One row of the cargo manifest."""
+
+    device: str
+    spares: int
+    availability: float
+    spare_mass_kg: float
+
+
+def provision_manifest(
+    specs: list[DeviceSpec],
+    mission_days: float,
+    target_availability: float = 0.99,
+    launch_cost_per_kg: float = 5000.0,
+) -> tuple[list[ProvisioningLine], float]:
+    """Spares manifest and total launch cost of the spare mass.
+
+    Returns ``(lines, total_cost)``; each line carries the achieved
+    availability (>= target) and the spare mass it costs.
+    """
+    lines: list[ProvisioningLine] = []
+    total_mass = 0.0
+    for spec in specs:
+        spares = spares_needed(spec, mission_days, target_availability)
+        mass = spares * spec.mass_kg
+        total_mass += mass
+        lines.append(
+            ProvisioningLine(
+                device=spec.name,
+                spares=spares,
+                availability=survival_probability(spec, mission_days, spares),
+                spare_mass_kg=mass,
+            )
+        )
+    return lines, total_mass * launch_cost_per_kg
+
+
+#: The ICAres-1 sensing fleet, approximately (badge 111 g; beacons light).
+ICARES_FLEET = [
+    DeviceSpec(name="sociometric badge", units_in_service=6,
+               failure_rate_per_day=0.01, mass_kg=0.111),
+    DeviceSpec(name="reference badge", units_in_service=1,
+               failure_rate_per_day=0.005, mass_kg=0.111),
+    DeviceSpec(name="BLE beacon", units_in_service=27,
+               failure_rate_per_day=0.001, mass_kg=0.04),
+]

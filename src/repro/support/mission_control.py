@@ -1,0 +1,164 @@
+"""The Earth link and mission control.
+
+Communication with Earth "involves a high latency and is occasionally
+impossible"; ICAres-1 emulated a 20-minute one-way delay, and on day 12
+"delayed instructions from the mission control contradicted the course
+of action already taken by the crew".  :class:`EarthLink` models the
+delayed (and partitionable) channel; :class:`MissionControl` issues
+commands; the habitat-side agent detects contradictions between arriving
+commands and decisions the crew has already made autonomously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError
+from repro.support.bus import Message, Network, Node
+
+#: The emulated one-way Earth-Mars latency (seconds).
+DEFAULT_ONE_WAY_DELAY_S = 20 * 60.0
+
+
+@dataclass(frozen=True)
+class Command:
+    """A mission-control instruction about a named decision topic."""
+
+    command_id: int
+    topic: str
+    action: str
+    issued_at: float
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A decision taken on-site by the crew/support system."""
+
+    topic: str
+    action: str
+    decided_at: float
+
+
+@dataclass(frozen=True)
+class Contradiction:
+    """A delayed command that conflicts with an earlier local decision."""
+
+    command: Command
+    decision: Decision
+    detected_at: float
+
+    @property
+    def staleness_s(self) -> float:
+        """How stale the command was when it arrived."""
+        return self.detected_at - self.command.issued_at
+
+
+class MissionControl(Node):
+    """The Earth-side supervisor."""
+
+    def __init__(self, name: str, sim: Simulator, habitat_agent: str):
+        super().__init__(name, sim)
+        self.habitat_agent = habitat_agent
+        self._next_id = 0
+        self.sent_commands: list[Command] = []
+        self.acknowledged: set[int] = set()
+        self.reprimands: list[Contradiction] = []
+
+    def issue(self, topic: str, action: str) -> Command:
+        """Send a command to the habitat (subject to the link delay)."""
+        command = Command(self._next_id, topic, action, issued_at=self.sim.now)
+        self._next_id += 1
+        self.sent_commands.append(command)
+        self.send(self.habitat_agent, "command", command)
+        return command
+
+    def handle_ack(self, message: Message) -> None:
+        self.acknowledged.add(message.payload)
+
+    def handle_contradiction(self, message: Message) -> None:
+        """The habitat reports a conflict; mission control reprimands.
+
+        (On day 12 of ICAres-1 the consequence was "surging stress
+        levels of the participants".)
+        """
+        contradiction: Contradiction = message.payload
+        self.reprimands.append(contradiction)
+        self.send(self.habitat_agent, "reprimand", contradiction.command.command_id)
+
+
+class HabitatAgent(Node):
+    """The habitat-side endpoint of the Earth link.
+
+    Records local decisions and checks arriving commands against them;
+    conflicts are reported back to Earth (and surfaced locally).
+    """
+
+    def __init__(self, name: str, sim: Simulator, earth: str):
+        super().__init__(name, sim)
+        self.earth = earth
+        self.decisions: dict[str, Decision] = {}
+        self.applied_commands: list[Command] = []
+        self.contradictions: list[Contradiction] = []
+        self.reprimands_received: int = 0
+
+    def decide_locally(self, topic: str, action: str) -> Decision:
+        """The crew acts autonomously on a topic (cannot wait 40 min RTT)."""
+        decision = Decision(topic=topic, action=action, decided_at=self.sim.now)
+        self.decisions[topic] = decision
+        return decision
+
+    def handle_command(self, message: Message) -> None:
+        command: Command = message.payload
+        self.send(self.earth, "ack", command.command_id)
+        local = self.decisions.get(command.topic)
+        if local is not None and local.action != command.action and local.decided_at < self.sim.now:
+            contradiction = Contradiction(
+                command=command, decision=local, detected_at=self.sim.now
+            )
+            self.contradictions.append(contradiction)
+            self.send(self.earth, "contradiction", contradiction)
+        else:
+            self.applied_commands.append(command)
+            self.decisions[command.topic] = Decision(
+                topic=command.topic, action=command.action, decided_at=self.sim.now
+            )
+
+    def handle_reprimand(self, message: Message) -> None:
+        self.reprimands_received += 1
+
+
+@dataclass
+class EarthLink:
+    """Wires a mission control and a habitat agent over a delayed link."""
+
+    network: Network
+    mission_control: MissionControl
+    habitat_agent: HabitatAgent
+    one_way_delay_s: float = DEFAULT_ONE_WAY_DELAY_S
+
+    @classmethod
+    def build(
+        cls,
+        network: Network,
+        sim: Simulator,
+        one_way_delay_s: float = DEFAULT_ONE_WAY_DELAY_S,
+    ) -> "EarthLink":
+        """Create, register, and delay-wire the two endpoints."""
+        if one_way_delay_s < 0:
+            raise ConfigError("delay must be non-negative")
+        mc = MissionControl("earth", sim, habitat_agent="habitat")
+        agent = HabitatAgent("habitat", sim, earth="earth")
+        network.register(mc)
+        network.register(agent)
+        network.set_link_latency("earth", "habitat", one_way_delay_s)
+        network.set_link_latency("habitat", "earth", one_way_delay_s)
+        return cls(network=network, mission_control=mc, habitat_agent=agent,
+                   one_way_delay_s=one_way_delay_s)
+
+    def blackout(self) -> None:
+        """Communication "is occasionally impossible"."""
+        self.network.partition("earth", "habitat")
+
+    def restore(self) -> None:
+        self.network.heal("earth", "habitat")

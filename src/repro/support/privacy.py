@@ -1,0 +1,95 @@
+"""Crew privacy controls over the sensing system.
+
+"The astronauts may ... temporarily disable some functionalities in
+privacy-sensitive situations.  The habitat system, which is inherently
+ubiquitous and intruding, could be then perceived as more acceptable by
+the crew themselves."  The privacy manager grants per-sensor suppression
+windows, applies them to data streams, and keeps an audit trail (because
+accountability is part of the trust story too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.intervals import IntervalSet
+
+#: Sensors a crew member may suppress.
+SUPPRESSIBLE = ("microphone", "localization", "proximity")
+
+#: Longest single suppression window the policy allows.
+MAX_WINDOW_S = 2 * 3600.0
+
+
+@dataclass(frozen=True)
+class SuppressionWindow:
+    """One granted privacy window."""
+
+    astro_id: str
+    sensor: str
+    t0: float
+    t1: float
+    reason: str = ""
+
+
+@dataclass
+class PrivacyManager:
+    """Grants suppression windows and redacts data accordingly."""
+
+    windows: list[SuppressionWindow] = field(default_factory=list)
+    audit: list[str] = field(default_factory=list)
+    #: Daily per-astronaut suppression budget, seconds.
+    daily_budget_s: float = 3 * 3600.0
+
+    def request(
+        self, astro_id: str, sensor: str, t0: float, t1: float, reason: str = ""
+    ) -> SuppressionWindow:
+        """Grant a suppression window (policy-checked)."""
+        if sensor not in SUPPRESSIBLE:
+            raise ConfigError(f"sensor {sensor!r} cannot be suppressed")
+        if t1 <= t0:
+            raise ConfigError("empty suppression window")
+        if t1 - t0 > MAX_WINDOW_S:
+            raise ConfigError("suppression window exceeds the policy maximum")
+        used = self.suppressed_set(astro_id, sensor).total()
+        if used + (t1 - t0) > self.daily_budget_s:
+            raise ConfigError("daily suppression budget exhausted")
+        window = SuppressionWindow(astro_id=astro_id, sensor=sensor, t0=t0, t1=t1,
+                                   reason=reason)
+        self.windows.append(window)
+        self.audit.append(
+            f"grant {sensor} suppression to {astro_id} [{t0:.0f}, {t1:.0f}) ({reason})"
+        )
+        return window
+
+    def suppressed_set(self, astro_id: str, sensor: str) -> IntervalSet:
+        """All granted windows of one astronaut/sensor as an interval set."""
+        return IntervalSet(
+            (w.t0, w.t1)
+            for w in self.windows
+            if w.astro_id == astro_id and w.sensor == sensor
+        )
+
+    def redact(
+        self,
+        astro_id: str,
+        sensor: str,
+        values: np.ndarray,
+        t0: float,
+        dt: float,
+        fill: float = np.nan,
+    ) -> np.ndarray:
+        """Return ``values`` with suppressed frames replaced by ``fill``."""
+        suppressed = self.suppressed_set(astro_id, sensor)
+        if not suppressed:
+            return values
+        mask = suppressed.to_mask(values.shape[0], t0=t0, dt=dt)
+        out = np.array(values, copy=True, dtype=np.float64)
+        out[mask] = fill
+        self.audit.append(
+            f"redact {int(mask.sum())} frames of {sensor} for {astro_id}"
+        )
+        return out

@@ -1,0 +1,120 @@
+"""Task-rescheduling advice from sociometric indicators.
+
+"What exemplifies this idea is a mechanism detecting fatigue or
+distraction among the crew and suggesting how to reschedule the tasks."
+The advisor consumes the day's stream windows per badge, scores each
+crew member's fatigue/social load, and proposes concrete schedule moves
+(pull a break forward, swap a demanding block to a fresher crew member,
+pair the most passive astronaut into a group task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.support.stream import StreamWindow
+
+
+@dataclass(frozen=True)
+class CrewLoad:
+    """One crew member's current condition, per the sensors."""
+
+    badge_id: int
+    fatigue: float      # 0 fresh .. 1 exhausted (low motion for hours)
+    isolation: float    # 0 social .. 1 isolated (no conversation nearby)
+    wear: float         # fraction of recent time actually worn
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One rescheduling suggestion."""
+
+    kind: str           # "advance-break" | "swap-task" | "pair-up" | "check-in"
+    badge_id: int
+    detail: str
+    urgency: float      # 0 .. 1
+
+
+@dataclass
+class ReschedulingAdvisor:
+    """Turns stream windows into schedule advice.
+
+    Thresholds are deliberately conservative: the paper warns that a
+    support system must not become one more chore, so advice fires only
+    on sustained signals.
+    """
+
+    window_history: int = 8
+    fatigue_accel: float = 0.18
+    isolation_speech: float = 0.05
+    min_wear: float = 0.5
+    _windows: dict[int, list[StreamWindow]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.window_history < 2:
+            raise ConfigError("window_history must be >= 2")
+
+    def observe(self, window: StreamWindow) -> None:
+        """Feed one stream window."""
+        history = self._windows.setdefault(window.badge_id, [])
+        history.append(window)
+        del history[: -self.window_history]
+
+    def loads(self) -> list[CrewLoad]:
+        """Current per-crew condition scores."""
+        out: list[CrewLoad] = []
+        for badge_id, history in sorted(self._windows.items()):
+            wear = float(np.mean([w.worn_fraction for w in history]))
+            worn = [w for w in history if w.worn_fraction > 0.5]
+            if not worn:
+                out.append(CrewLoad(badge_id=badge_id, fatigue=0.0,
+                                    isolation=0.0, wear=wear))
+                continue
+            accel = float(np.mean([w.mean_accel for w in worn]))
+            speech = float(np.mean([w.speech_fraction for w in worn]))
+            fatigue = float(np.clip(1.0 - accel / (2 * self.fatigue_accel), 0.0, 1.0))
+            isolation = float(np.clip(1.0 - speech / (2 * self.isolation_speech), 0.0, 1.0))
+            out.append(CrewLoad(badge_id=badge_id, fatigue=fatigue,
+                                isolation=isolation, wear=wear))
+        return out
+
+    def advise(self) -> list[Advice]:
+        """Current advice, most urgent first."""
+        advice: list[Advice] = []
+        loads = [l for l in self.loads() if len(self._windows[l.badge_id]) >= 2]
+        if not loads:
+            return advice
+        for load in loads:
+            if load.wear < self.min_wear:
+                advice.append(Advice(
+                    kind="check-in", badge_id=load.badge_id, urgency=0.3,
+                    detail="badge mostly off the neck; data is blind here",
+                ))
+                continue
+            if load.fatigue > 0.75:
+                advice.append(Advice(
+                    kind="advance-break", badge_id=load.badge_id,
+                    urgency=load.fatigue,
+                    detail="sustained low activity; pull the next break forward",
+                ))
+            if load.isolation > 0.75:
+                advice.append(Advice(
+                    kind="pair-up", badge_id=load.badge_id,
+                    urgency=load.isolation * 0.8,
+                    detail="hours without conversation; pair into a group task",
+                ))
+        # If one member is far more fatigued than the freshest, suggest
+        # swapping the demanding block.
+        scored = sorted(loads, key=lambda l: l.fatigue)
+        if len(scored) >= 2 and scored[-1].fatigue - scored[0].fatigue > 0.5:
+            tired, fresh = scored[-1], scored[0]
+            advice.append(Advice(
+                kind="swap-task", badge_id=tired.badge_id, urgency=0.6,
+                detail=(f"swap the demanding block with badge-{fresh.badge_id} "
+                        f"(fatigue {tired.fatigue:.2f} vs {fresh.fatigue:.2f})"),
+            ))
+        advice.sort(key=lambda a: -a.urgency)
+        return advice

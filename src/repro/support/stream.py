@@ -1,0 +1,112 @@
+"""Real-time sensor stream processing.
+
+The paper's key lesson: post-mortem analysis is good, "real-time
+feedback to the astronauts on the results of the analyses" is what a
+mission support system needs.  :class:`SensorStream` replays badge-day
+observations onto the bus as periodic window summaries, processed
+entirely on-site ("with local resources only").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import BadgeDaySummary
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError
+from repro.support.bus import Node
+
+
+@dataclass(frozen=True)
+class StreamWindow:
+    """One windowed summary of a badge's recent data."""
+
+    badge_id: int
+    t0: float
+    t1: float
+    worn_fraction: float
+    speech_fraction: float
+    mean_accel: float
+    room_mode: int
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+def summarize_window(summary: BadgeDaySummary, lo: float, hi: float) -> StreamWindow:
+    """Reduce a badge-day slice ``[lo, hi)`` (seconds of day) to a window."""
+    i0 = max(0, int((lo - summary.t0) / summary.dt))
+    i1 = min(summary.n_frames, int((hi - summary.t0) / summary.dt))
+    if i1 <= i0:
+        raise ConfigError("empty stream window")
+    active = summary.active[i0:i1]
+    voice = summary.voice_db[i0:i1]
+    loud = active & ~np.isnan(voice) & (voice >= 60.0)
+    accel = summary.accel_rms[i0:i1]
+    rooms = summary.room[i0:i1]
+    known = rooms[rooms >= 0]
+    if known.size:
+        values, counts = np.unique(known, return_counts=True)
+        room_mode = int(values[np.argmax(counts)])
+    else:
+        room_mode = -1
+    n = i1 - i0
+    return StreamWindow(
+        badge_id=summary.badge_id,
+        t0=lo,
+        t1=hi,
+        worn_fraction=float(summary.worn[i0:i1].mean()),
+        speech_fraction=float(loud.sum()) / max(int(active.sum()), 1),
+        mean_accel=float(np.nanmean(accel)) if np.isfinite(accel).any() else 0.0,
+        room_mode=room_mode,
+    )
+
+
+class SensorStream(Node):
+    """Replays one badge-day onto the bus as periodic window summaries.
+
+    Each tick publishes a ``window`` message to the configured
+    subscribers (typically the alert engine and a replica set).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        summary: BadgeDaySummary,
+        subscribers: list[str],
+        window_s: float = 300.0,
+        time_scale: float = 1.0,
+    ):
+        super().__init__(name, sim)
+        if window_s <= 0 or time_scale <= 0:
+            raise ConfigError("window_s and time_scale must be positive")
+        self.summary = summary
+        self.subscribers = list(subscribers)
+        self.window_s = window_s
+        self.time_scale = time_scale
+        self._cursor = summary.t0
+        self.windows_published = 0
+
+    def start(self) -> None:
+        """Begin publishing (simulation time runs ``time_scale`` x faster
+        than badge time, so a day can replay in seconds)."""
+        self.sim.schedule(self.window_s / self.time_scale, self._tick)
+
+    def _tick(self) -> None:
+        if self.crashed:
+            return
+        end = self.summary.t0 + self.summary.n_frames * self.summary.dt
+        hi = min(self._cursor + self.window_s, end)
+        if hi <= self._cursor:
+            return  # day replayed fully
+        window = summarize_window(self.summary, self._cursor, hi)
+        for subscriber in self.subscribers:
+            self.send(subscriber, "window", window)
+        self.windows_published += 1
+        self._cursor = hi
+        if hi < end:
+            self.sim.schedule(self.window_s / self.time_scale, self._tick)

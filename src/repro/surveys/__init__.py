@@ -1,0 +1,23 @@
+"""Survey substrate: the classic self-report instruments.
+
+"To complement our technical solutions, we also made use of classic
+surveys ... filled in by each astronaut every evening [questioning]
+their levels of satisfaction, well-being, comfort, productivity, and
+distraction."  Responses are synthesized from ground-truth crew state
+(with the response biases that motivate sensor-based methods), and the
+validation module cross-checks sensor findings against them — the
+paper's laborious verification loop.
+"""
+
+from repro.surveys.questionnaire import DIMENSIONS, Questionnaire, SurveyResponse
+from repro.surveys.responses import synthesize_responses
+from repro.surveys.validation import correlate_with_sensors, validation_report
+
+__all__ = [
+    "DIMENSIONS",
+    "Questionnaire",
+    "SurveyResponse",
+    "correlate_with_sensors",
+    "synthesize_responses",
+    "validation_report",
+]

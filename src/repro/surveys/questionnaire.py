@@ -1,0 +1,59 @@
+"""The evening questionnaire.
+
+Five dimensions on a 1-7 Likert scale, "prepared so as to minimize the
+overhead necessary to complete them".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError, DataError
+
+#: The paper's five questioned dimensions.
+DIMENSIONS = ("satisfaction", "wellbeing", "comfort", "productivity", "distraction")
+
+LIKERT_MIN, LIKERT_MAX = 1, 7
+
+
+@dataclass(frozen=True)
+class Questionnaire:
+    """A survey instrument: a tuple of dimensions on a Likert scale."""
+
+    dimensions: tuple[str, ...] = DIMENSIONS
+    scale_min: int = LIKERT_MIN
+    scale_max: int = LIKERT_MAX
+
+    def __post_init__(self) -> None:
+        if not self.dimensions:
+            raise ConfigError("questionnaire needs at least one dimension")
+        if self.scale_min >= self.scale_max:
+            raise ConfigError("scale_min must be below scale_max")
+
+    def validate_answers(self, answers: dict[str, int]) -> None:
+        """Raise :class:`DataError` on missing/out-of-range answers."""
+        for dim in self.dimensions:
+            if dim not in answers:
+                raise DataError(f"missing answer for {dim!r}")
+            value = answers[dim]
+            if not self.scale_min <= value <= self.scale_max:
+                raise DataError(f"{dim}={value} outside Likert range")
+
+    def midpoint(self) -> float:
+        """Scale midpoint (neutral answer)."""
+        return (self.scale_min + self.scale_max) / 2.0
+
+
+@dataclass(frozen=True)
+class SurveyResponse:
+    """One astronaut's completed evening survey."""
+
+    astro_id: str
+    day: int
+    answers: dict[str, int]
+
+    def answer(self, dimension: str) -> int:
+        try:
+            return self.answers[dimension]
+        except KeyError:
+            raise DataError(f"no answer for {dimension!r}") from None

@@ -1,0 +1,77 @@
+"""Survey response synthesis from ground-truth crew state.
+
+Each astronaut's evening answers derive from the day's scripted mood
+(the declining talk factor, the famine, the reprimand, grief after C's
+departure), their own activity, and per-person response biases — the
+acquiescence and halo effects whose presence in self-reports is exactly
+why the paper augments them with sensing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MissionConfig
+from repro.core.rng import RngRegistry
+from repro.crew.events_script import DECEASED, day_talk_factor
+from repro.crew.trace import MissionTruth
+from repro.surveys.questionnaire import Questionnaire, SurveyResponse
+
+#: Per-astronaut response bias (shifts every answer; a classic self-report
+#: artifact).  Positive = paints a rosier picture.
+RESPONSE_BIAS = {"A": 0.4, "B": 0.8, "C": 0.3, "D": -0.2, "E": -0.6, "F": 0.2}
+
+
+def _day_mood(cfg: MissionConfig, day: int) -> float:
+    """Scripted crew mood for a day in [0, 1] (1 = great)."""
+    mood = day_talk_factor(cfg, day)  # already encodes decline + events
+    return float(np.clip(mood, 0.0, 1.0))
+
+
+def synthesize_responses(
+    truth: MissionTruth,
+    questionnaire: Questionnaire | None = None,
+    rngs: RngRegistry | None = None,
+) -> list[SurveyResponse]:
+    """Generate every astronaut's evening survey for the whole mission."""
+    questionnaire = questionnaire if questionnaire is not None else Questionnaire()
+    rngs = rngs if rngs is not None else RngRegistry(truth.cfg.seed).spawn("surveys")
+    rng = rngs.get("surveys.responses")
+    cfg = truth.cfg
+    responses: list[SurveyResponse] = []
+    span = questionnaire.scale_max - questionnaire.scale_min
+
+    for day in range(1, cfg.days + 1):
+        mood = _day_mood(cfg, day)
+        for astro in truth.roster.ids:
+            trace = truth.trace(astro, day)
+            if astro == DECEASED and not trace.present().any():
+                continue  # the deceased files no surveys
+            walking = float(trace.walking.mean())
+            speaking = float(trace.speaking.mean())
+            bias = RESPONSE_BIAS.get(astro, 0.0)
+
+            base = {
+                "satisfaction": mood,
+                "wellbeing": 0.7 * mood + 0.3,
+                "comfort": 0.8 - 0.2 * (1.0 - mood),
+                "productivity": 0.45 + 0.5 * mood - 1.2 * max(walking - 0.06, 0.0),
+                "distraction": 0.35 + 1.8 * speaking - 0.4 * mood,
+            }
+            answers = {}
+            for dim, level in base.items():
+                noisy = level + 0.12 * rng.normal() + bias / span
+                value = questionnaire.scale_min + noisy * span
+                answers[dim] = int(np.clip(round(value), questionnaire.scale_min,
+                                           questionnaire.scale_max))
+            questionnaire.validate_answers(answers)
+            responses.append(SurveyResponse(astro_id=astro, day=day, answers=answers))
+    return responses
+
+
+def responses_by_day(responses: list[SurveyResponse]) -> dict[int, list[SurveyResponse]]:
+    """Group responses by mission day."""
+    out: dict[int, list[SurveyResponse]] = {}
+    for response in responses:
+        out.setdefault(response.day, []).append(response)
+    return out

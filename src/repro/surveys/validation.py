@@ -1,0 +1,96 @@
+"""Cross-validation of sensor findings against the surveys.
+
+"We strove to verify every single result we obtained with our
+sociometric technologies" — here, by correlating the per-day sensor
+series (speech fraction, walking fraction) with the corresponding
+survey dimensions across the mission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dataset import MissionSensing
+from repro.analytics.speech import daily_speech_fraction
+from repro.analytics.walking import daily_walking_fraction
+from repro.surveys.questionnaire import SurveyResponse
+
+
+def _pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation; 0.0 when degenerate."""
+    if x.size < 3 or np.std(x) == 0 or np.std(y) == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def correlate_with_sensors(
+    sensing: MissionSensing,
+    responses: list[SurveyResponse],
+    sensor_series: dict[str, dict[int, float]],
+    dimension: str,
+) -> dict[str, float]:
+    """Per-astronaut correlation between a sensor series and a dimension.
+
+    Args:
+        sensing: the sensing dataset (defines the day range).
+        responses: evening survey responses.
+        sensor_series: astronaut -> {day -> value} sensor daily series.
+        dimension: survey dimension to correlate against.
+
+    Returns:
+        astronaut -> Pearson r over days with both measurements.
+    """
+    by_key = {(r.astro_id, r.day): r for r in responses}
+    out: dict[str, float] = {}
+    for astro, series in sensor_series.items():
+        xs, ys = [], []
+        for day, value in series.items():
+            response = by_key.get((astro, day))
+            if response is not None:
+                xs.append(value)
+                ys.append(float(response.answer(dimension)))
+        out[astro] = _pearson(np.asarray(xs), np.asarray(ys))
+    return out
+
+
+@dataclass
+class ValidationReport:
+    """Mission-level sensor-vs-survey agreement."""
+
+    speech_vs_distraction: dict[str, float]
+    speech_vs_satisfaction: dict[str, float]
+    walking_vs_productivity: dict[str, float]
+
+    def mean_r(self) -> dict[str, float]:
+        """Crew-mean correlation per pairing."""
+        return {
+            "speech_vs_distraction": float(np.mean(list(self.speech_vs_distraction.values()))),
+            "speech_vs_satisfaction": float(np.mean(list(self.speech_vs_satisfaction.values()))),
+            "walking_vs_productivity": float(np.mean(list(self.walking_vs_productivity.values()))),
+        }
+
+    def __str__(self) -> str:
+        lines = ["sensor-vs-survey validation (crew-mean Pearson r):"]
+        for name, r in self.mean_r().items():
+            lines.append(f"  {name}: {r:+.2f}")
+        return "\n".join(lines)
+
+
+def validation_report(
+    sensing: MissionSensing, responses: list[SurveyResponse]
+) -> ValidationReport:
+    """Build the standard validation report.
+
+    Expected signs: more detected speech correlates with self-reported
+    distraction and (mission-wide mood both driving them) satisfaction;
+    sensors and surveys must agree for the pipeline to be trusted.
+    """
+    speech = daily_speech_fraction(sensing)
+    walking = daily_walking_fraction(sensing)
+    return ValidationReport(
+        speech_vs_distraction=correlate_with_sensors(sensing, responses, speech, "distraction"),
+        speech_vs_satisfaction=correlate_with_sensors(sensing, responses, speech, "satisfaction"),
+        walking_vs_productivity=correlate_with_sensors(sensing, responses, walking, "productivity"),
+    )

@@ -1,0 +1,72 @@
+"""Tests for anomaly detection."""
+
+import pytest
+
+from repro.analytics.anomalies import (
+    badge_swap_suspicions,
+    machine_speech_share,
+    quiet_days,
+    unplanned_gatherings,
+)
+from repro.core.units import parse_hhmm
+
+
+class TestUnplannedGatherings:
+    def test_consolation_flagged(self, sensing, truth, mission_cfg):
+        day = mission_cfg.events.death_day
+        sched = truth.schedules[day]
+        scheduled = [
+            (s.t0, s.t1)
+            for s in sched.of("B")
+            if s.activity.is_group and s.label != "consolation"
+        ]
+        found = unplanned_gatherings(sensing, day, scheduled)
+        conso = parse_hhmm(mission_cfg.events.consolation_time)
+        assert any(abs(m.t0 - conso) < 900 for m in found)
+
+    def test_ordinary_day_mostly_clean(self, sensing, truth):
+        day = 2
+        sched = truth.schedules[day]
+        scheduled = [(s.t0, s.t1) for s in sched.of("B") if s.activity.is_group]
+        found = unplanned_gatherings(sensing, day, scheduled)
+        assert len(found) <= 1  # allow an occasional crowded meal spillover
+
+
+class TestBadgeSwap:
+    def test_swap_day_flagged_under_naive_assignment(self, sensing, mission_cfg):
+        suspicions = badge_swap_suspicions(sensing, corrected=False)
+        swap_day = mission_cfg.events.badge_swap_day
+        flagged = {(s.badge_id, s.day) for s in suspicions}
+        assert (0, swap_day) in flagged or (1, swap_day) in flagged
+
+    def test_corrected_assignment_clean_on_swap_day(self, sensing, mission_cfg):
+        suspicions = badge_swap_suspicions(sensing, corrected=True)
+        swap_day = mission_cfg.events.badge_swap_day
+        assert not any(
+            s.day == swap_day and s.badge_id in (0, 1) for s in suspicions
+        )
+
+    def test_pitch_evidence_is_recorded(self, sensing):
+        for suspicion in badge_swap_suspicions(sensing, corrected=False):
+            assert suspicion.observed_median_pitch_hz > 0
+
+
+class TestQuietDays:
+    def test_no_famine_in_short_mission(self, sensing):
+        # The 5-day fixture has no famine/reprimand; nothing should be
+        # dramatically below trend.
+        flagged = quiet_days(sensing, threshold=0.25)
+        assert flagged == []
+
+
+class TestMachineSpeech:
+    def test_a_badge_highest_share(self, sensing, mission_cfg):
+        shares = machine_speech_share(sensing)
+        a_days = [v for (b, d), v in shares.items()
+                  if b == 0 and d != mission_cfg.events.badge_swap_day]
+        e_days = [v for (b, d), v in shares.items() if b == 4]
+        assert max(a_days) > max(e_days)
+
+    def test_shares_in_unit_range(self, sensing):
+        shares = machine_speech_share(sensing)
+        assert all(0.0 <= v <= 1.0 for v in shares.values())

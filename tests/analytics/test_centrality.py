@@ -1,0 +1,88 @@
+"""Tests for centrality: HITS implementation and Table I columns."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.centrality import company_and_authority, hits_authority
+from repro.core.errors import DataError
+
+
+class TestHits:
+    def test_star_graph_center_wins(self):
+        # Node 0 connected to everyone: top authority.
+        w = np.zeros((4, 4))
+        w[0, 1:] = w[1:, 0] = 1.0
+        authority = hits_authority(w)
+        assert np.argmax(authority) == 0
+
+    def test_normalized_l1(self):
+        w = np.random.default_rng(0).random((5, 5))
+        w = (w + w.T) / 2
+        authority = hits_authority(w)
+        assert authority.sum() == pytest.approx(1.0)
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(3)
+        w = rng.random((6, 6)) * 10
+        w = (w + w.T) / 2
+        np.fill_diagonal(w, 0.0)
+        ours = hits_authority(w, iterations=500)
+        graph = nx.from_numpy_array(w)
+        __, nx_auth = nx.hits(graph, max_iter=500, normalized=True)
+        theirs = np.array([nx_auth[i] for i in range(6)])
+        theirs = theirs / theirs.sum()
+        np.testing.assert_allclose(ours, theirs, atol=1e-4)
+
+    def test_empty_graph(self):
+        assert hits_authority(np.zeros((0, 0))).shape == (0,)
+
+    def test_disconnected_zero_weights(self):
+        authority = hits_authority(np.zeros((3, 3)))
+        assert (authority == 0).all()
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DataError):
+            hits_authority(np.zeros((2, 3)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(DataError):
+            hits_authority(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 1000))
+    def test_probability_simplex_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.random((n, n))
+        w = (w + w.T) / 2
+        authority = hits_authority(w)
+        assert (authority >= -1e-12).all()
+        assert authority.sum() == pytest.approx(1.0)
+
+
+class TestTable1Centrality:
+    def test_c_is_na(self, sensing):
+        """C has 3 of 4 instrumented days here -- below no threshold;
+        use the full-mission rule: coverage-based n/a."""
+        result = company_and_authority(sensing, min_coverage=0.9)
+        assert result.company_norm["C"] is None
+        assert result.authority_norm["C"] is None
+
+    def test_normalized_max_is_one(self, sensing):
+        result = company_and_authority(sensing, min_coverage=0.9)
+        values = [v for v in result.company_norm.values() if v is not None]
+        assert max(values) == pytest.approx(1.0)
+        assert all(0 <= v <= 1 for v in values)
+
+    def test_company_and_authority_correlate(self, sensing):
+        result = company_and_authority(sensing, min_coverage=0.9)
+        astros = [a for a, v in result.company_norm.items() if v is not None]
+        company = np.array([result.company_norm[a] for a in astros])
+        authority = np.array([result.authority_norm[a] for a in astros])
+        assert np.corrcoef(company, authority)[0, 1] > 0.5
+
+    def test_company_seconds_positive(self, sensing):
+        result = company_and_authority(sensing)
+        assert all(v >= 0 for v in result.company_s.values())

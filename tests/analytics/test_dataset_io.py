@@ -1,0 +1,51 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.dataset_io import load_sensing, save_sensing
+from repro.analytics.reports import table1
+from repro.analytics.speech import mission_speech_fraction
+
+
+@pytest.fixture(scope="module")
+def round_tripped(sensing, tmp_path_factory):
+    path = tmp_path_factory.mktemp("dataset") / "mission"
+    save_sensing(sensing, path)
+    return load_sensing(path)
+
+
+class TestRoundTrip:
+    def test_config_restored(self, round_tripped, mission_cfg):
+        assert round_tripped.cfg == mission_cfg
+
+    def test_summaries_identical(self, round_tripped, sensing):
+        assert set(round_tripped.summaries) == set(sensing.summaries)
+        a = sensing.summary(1, 3)
+        b = round_tripped.summary(1, 3)
+        np.testing.assert_array_equal(a.room, b.room)
+        np.testing.assert_array_equal(a.voice_db, b.voice_db)
+        np.testing.assert_array_equal(a.worn, b.worn)
+        assert a.bytes_recorded == b.bytes_recorded
+
+    def test_true_room_preserved(self, round_tripped, sensing):
+        a = sensing.summary(0, 2)
+        b = round_tripped.summary(0, 2)
+        np.testing.assert_array_equal(a.true_room, b.true_room)
+
+    def test_pairwise_identical(self, round_tripped, sensing):
+        day = sensing.days[0]
+        for pair, contact in sensing.pairwise[day].ir_contact.items():
+            np.testing.assert_array_equal(
+                contact, round_tripped.pairwise[day].ir_contact[pair]
+            )
+
+    def test_analyses_agree(self, round_tripped, sensing):
+        """The acid test: every analysis gives identical results on the
+        reloaded dataset."""
+        assert mission_speech_fraction(round_tripped) == mission_speech_fraction(sensing)
+        assert str(table1(round_tripped)) == str(table1(sensing))
+
+    def test_assignment_anomalies_preserved(self, round_tripped, sensing):
+        day = sensing.cfg.events.badge_swap_day
+        assert round_tripped.assignment.actual(day) == sensing.assignment.actual(day)

@@ -1,0 +1,89 @@
+"""Tests for pairwise interaction analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.interactions import (
+    company_seconds,
+    ir_contact_seconds,
+    pair_copresence_seconds,
+    pair_meeting_seconds,
+    pairwise_matrix,
+    private_talk_seconds,
+)
+
+
+class TestCompany:
+    def test_everyone_has_company(self, sensing, truth):
+        company = company_seconds(sensing)
+        for astro in truth.roster.ids:
+            assert company.get(astro, 0.0) > 3600.0  # at least meals
+
+    def test_commander_not_least_accompanied(self, sensing):
+        """Over a full mission B is the most accompanied (checked by the
+        Table I benchmark); the 4-instrumented-day fixture is noisy, so
+        here we only pin the robust end of the claim."""
+        company = company_seconds(sensing)
+        alive = {a: v for a, v in company.items() if a != "C"}
+        ranked = sorted(alive, key=alive.get, reverse=True)
+        assert ranked.index("B") < len(ranked) - 1
+
+    def test_reserved_e_and_solitary_a_in_lower_half(self, sensing):
+        company = company_seconds(sensing)
+        alive = {a: v for a, v in company.items() if a != "C"}
+        ranked = sorted(alive, key=alive.get)  # ascending
+        assert ranked.index("E") < 3
+        assert ranked.index("A") < 3
+
+
+class TestPairwise:
+    def test_symmetric_keys(self, sensing):
+        pairs = pair_copresence_seconds(sensing)
+        for a, b in pairs:
+            assert a < b
+
+    def test_af_exceeds_de_in_private_talk(self, sensing):
+        """Paper: A-F talked privately ~5 h more than D-E."""
+        private = private_talk_seconds(sensing)
+        assert private.get(("A", "F"), 0.0) > private.get(("D", "E"), 0.0)
+
+    def test_af_exceeds_de_in_meetings(self, sensing):
+        """Paper: A-F spent ~10 h more in all meetings than D-E."""
+        meetings = pair_meeting_seconds(sensing)
+        assert meetings.get(("A", "F"), 0.0) > meetings.get(("D", "E"), 0.0)
+
+    def test_private_subset_of_meetings(self, sensing):
+        private = private_talk_seconds(sensing)
+        meetings = pair_meeting_seconds(sensing)
+        for pair, seconds in private.items():
+            assert seconds <= meetings.get(pair, 0.0) + 1e-6
+
+    def test_meetings_subset_of_copresence(self, sensing):
+        copresence = pair_copresence_seconds(sensing)
+        meetings = pair_meeting_seconds(sensing)
+        for pair, seconds in meetings.items():
+            assert seconds <= copresence.get(pair, 0.0) + 1e-6
+
+    def test_ir_contacts_positive_for_close_pairs(self, sensing):
+        ir = ir_contact_seconds(sensing)
+        assert ir.get(("A", "F"), 0.0) > 0.0
+
+    def test_ir_less_than_copresence(self, sensing):
+        ir = ir_contact_seconds(sensing)
+        copresence = pair_copresence_seconds(sensing)
+        for pair, seconds in ir.items():
+            assert seconds < copresence.get(pair, float("inf"))
+
+
+class TestMatrix:
+    def test_pairwise_matrix_symmetric(self, sensing, truth):
+        pairs = pair_copresence_seconds(sensing)
+        matrix = pairwise_matrix(pairs, truth.roster.ids)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert (np.diag(matrix) == 0).all()
+
+    def test_matrix_values_match_dict(self, sensing, truth):
+        pairs = pair_copresence_seconds(sensing)
+        matrix = pairwise_matrix(pairs, truth.roster.ids)
+        i, j = truth.roster.index("A"), truth.roster.index("F")
+        assert matrix[i, j] == pytest.approx(pairs[("A", "F")])

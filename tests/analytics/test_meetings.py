@@ -1,0 +1,75 @@
+"""Tests for meeting detection (Fig 5)."""
+
+import pytest
+
+from repro.analytics.meetings import detect_meetings, whole_crew_meetings
+from repro.core.units import parse_hhmm
+
+
+class TestDetection:
+    def test_meals_detected(self, sensing, truth):
+        meetings = detect_meetings(sensing, 2, min_participants=4)
+        kitchen = truth.plan.index_of("kitchen")
+        meal_times = [parse_hhmm("07:00"), parse_hhmm("12:30"), parse_hhmm("18:30")]
+        for meal in meal_times:
+            assert any(
+                m.room == kitchen and m.t0 - 300 <= meal <= m.t1 for m in meetings
+            ), f"no kitchen meeting around {meal}"
+
+    def test_briefings_detected_in_office(self, sensing, truth):
+        meetings = detect_meetings(sensing, 2, min_participants=4)
+        office = truth.plan.index_of("office")
+        assert any(m.room == office for m in meetings)
+
+    def test_sorted_by_time(self, sensing):
+        meetings = detect_meetings(sensing, 2)
+        starts = [m.t0 for m in meetings]
+        assert starts == sorted(starts)
+
+    def test_participants_at_least_quorum(self, sensing):
+        for meeting in detect_meetings(sensing, 3, min_participants=3):
+            assert len(meeting.badge_ids) >= 3
+
+    def test_min_duration_respected(self, sensing):
+        for meeting in detect_meetings(sensing, 2, min_duration_s=600):
+            assert meeting.duration >= 600
+
+
+class TestConsolation:
+    def test_consolation_meeting_found(self, sensing, truth, mission_cfg):
+        """Everyone (minus C) in the kitchen shortly after the death."""
+        day = mission_cfg.events.death_day
+        conso = parse_hhmm(mission_cfg.events.consolation_time)
+        meetings = detect_meetings(sensing, day, min_participants=4)
+        kitchen = truth.plan.index_of("kitchen")
+        matches = [
+            m for m in meetings
+            if m.room == kitchen and abs(m.t0 - conso) < 600
+        ]
+        assert matches
+        assert len(matches[0].badge_ids) >= 4
+
+    def test_consolation_quieter_than_lunch(self, sensing, truth, mission_cfg):
+        """Fig 5: 'the conversation was clearly quieter than during
+        lunch'."""
+        day = mission_cfg.events.death_day
+        conso = parse_hhmm(mission_cfg.events.consolation_time)
+        lunch = parse_hhmm("12:30")
+        kitchen = truth.plan.index_of("kitchen")
+        meetings = [m for m in detect_meetings(sensing, day, min_participants=4)
+                    if m.room == kitchen]
+        conso_m = min(meetings, key=lambda m: abs(m.t0 - conso))
+        lunch_m = min(meetings, key=lambda m: abs(m.t0 - lunch))
+        # The short fixture merges the consolation with the adjacent
+        # afternoon break, so the contrast is attenuated vs the full
+        # mission (where it is ~15 dB); it must still point down.
+        assert conso_m.mean_voice_db < lunch_m.mean_voice_db - 2.0
+
+    def test_c_badge_attributed_to_f_after_reuse(self, sensing, mission_cfg):
+        """F picks up C's badge on the reuse day, so badge 2 reappears
+        in meetings -- worn by F."""
+        day = mission_cfg.events.badge_reuse_day
+        meetings = whole_crew_meetings(sensing, day)
+        assert meetings, "crew meals should register as whole-crew meetings"
+        assert sensing.wearer_of(2, day) == "F"
+        assert all(5 not in meeting.badge_ids for meeting in meetings)

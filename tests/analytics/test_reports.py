@@ -1,0 +1,60 @@
+"""Tests for Table I and deployment statistics builders."""
+
+import pytest
+
+from repro.analytics.reports import deployment_stats, table1
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self, sensing):
+        return table1(sensing)
+
+    def test_all_astronauts_present(self, table, truth):
+        assert set(table.company) == set(truth.roster.ids)
+
+    def test_normalized_columns(self, table):
+        for column in (table.talking, table.walking):
+            values = [v for v in column.values() if v is not None]
+            assert max(values) == pytest.approx(1.0)
+            assert all(0 <= v <= 1 for v in values)
+
+    def test_c_tops_talking_and_walking(self, table):
+        assert table.talking["C"] == pytest.approx(1.0)
+        assert table.walking["C"] == pytest.approx(1.0)
+
+    def test_rows_formatting(self, table):
+        rows = table.rows()
+        assert len(rows) == 6
+        c_row = next(r for r in rows if r[0] == "C")
+        assert c_row[3] == "1.00"
+
+    def test_str_renders(self, table):
+        text = str(table)
+        assert "company" in text and "walking" in text
+        assert "A" in text
+
+
+class TestDeploymentStats:
+    @pytest.fixture(scope="class")
+    def stats(self, sensing):
+        return deployment_stats(sensing)
+
+    def test_badge_count(self, stats):
+        assert stats.n_badges == 7  # 6 crew badges + reference
+
+    def test_fractions_plausible(self, stats):
+        assert 0.4 < stats.worn_fraction < 0.9
+        assert stats.active_fraction > stats.worn_fraction
+
+    def test_data_volume_positive(self, stats, mission_cfg):
+        assert stats.total_gib > 1.0
+        assert stats.n_instrumented_days == len(mission_cfg.instrumented_days)
+
+    def test_compliance_decay_direction(self, stats):
+        early, late = stats.compliance_decay()
+        assert early >= late - 0.05
+
+    def test_str_renders(self, stats):
+        text = str(stats)
+        assert "GiB" in text and "worn" in text

@@ -1,0 +1,87 @@
+"""Tests for speaker identification and sex classification."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.speakers import (
+    VoiceProfile,
+    classify_sex,
+    enroll_profiles,
+    identify_speakers,
+    own_speech_mask,
+    sex_classification_report,
+)
+from repro.core.errors import DataError
+
+
+class TestClassifySex:
+    def test_boundary(self):
+        out = classify_sex(np.array([120.0, 210.0, 165.0]))
+        assert list(out) == ["m", "f", "f"]
+
+    def test_nan_unknown(self):
+        assert classify_sex(np.array([np.nan]))[0] == "?"
+
+
+class TestEnrollment:
+    @pytest.fixture(scope="class")
+    def profiles(self, sensing):
+        return enroll_profiles(sensing)
+
+    def test_everyone_enrolled(self, profiles, truth):
+        assert set(profiles) == set(truth.roster.ids)
+
+    def test_enrolled_sex_matches_roster(self, profiles, truth):
+        for astro, profile in profiles.items():
+            assert profile.sex == truth.roster.profile(astro).sex
+
+    def test_pitch_near_profile(self, profiles, truth):
+        for astro, profile in profiles.items():
+            expected = truth.roster.profile(astro).voice_pitch_hz
+            assert abs(profile.median_pitch_hz - expected) < 15.0
+
+    def test_profiles_have_mass(self, profiles):
+        assert all(p.n_frames >= 300 for p in profiles.values())
+
+
+class TestIdentification:
+    def test_own_speech_attributed_to_wearer_sexwise(self, sensing, truth):
+        """Frame-level attribution by pitch cannot separate same-sex
+        voices perfectly, but it must recover the wearer's *sex* and
+        mostly the wearer themselves on own-speech frames."""
+        profiles = enroll_profiles(sensing)
+        summary = sensing.summary(4, 2)  # E's badge
+        attributed = identify_speakers(summary, profiles)
+        own = own_speech_mask(summary)
+        labels = attributed[own]
+        labels = labels[labels != ""]
+        assert labels.size > 50
+        sexes = [truth.roster.profile(a).sex for a in labels]
+        assert sexes.count("m") / len(sexes) > 0.8
+
+    def test_no_profiles_raises(self, sensing):
+        with pytest.raises(DataError):
+            identify_speakers(sensing.summary(0, 2), {})
+
+    def test_machine_frames_never_attributed(self, sensing):
+        profiles = {
+            "X": VoiceProfile(astro_id="X", median_pitch_hz=150.0,
+                              pitch_iqr_hz=5.0, n_frames=1000)
+        }
+        summary = sensing.summary(0, 2)  # A's badge hears the TTS
+        attributed = identify_speakers(summary, profiles)
+        machine = np.nan_to_num(summary.pitch_stability, nan=0.0) >= 0.80
+        assert not (attributed[machine] != "").any()
+
+
+class TestReport:
+    def test_sex_classification_accurate(self, sensing):
+        """The male/female distinction is strong but not perfect: in a
+        huddle, a conversation partner half a meter away can briefly be
+        the loudest voice at the badge."""
+        report = sex_classification_report(sensing)
+        assert report
+        assert all(accuracy > 0.75 for accuracy in report.values())
+        import numpy as np
+
+        assert np.mean(list(report.values())) > 0.85

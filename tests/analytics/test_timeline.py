@@ -1,0 +1,69 @@
+"""Tests for the Fig-5 day timeline."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.timeline import crew_in_room_bins, day_timeline
+from repro.core.units import parse_hhmm
+
+
+@pytest.fixture(scope="module")
+def timeline(sensing, mission_cfg):
+    return day_timeline(sensing, mission_cfg.events.death_day, bin_s=300.0)
+
+
+class TestStructure:
+    def test_tracks_for_all_active_badges(self, timeline, sensing, mission_cfg):
+        day = mission_cfg.events.death_day
+        assert len(timeline.tracks) == len(sensing.badges_on(day))
+
+    def test_bins_cover_daytime(self, timeline, mission_cfg):
+        n_bins = len(timeline.tracks[0].speech_fraction)
+        assert n_bins == int(mission_cfg.daytime_s / 300.0)
+
+    def test_speech_fraction_in_unit_range(self, timeline):
+        for track in timeline.tracks:
+            assert (track.speech_fraction >= 0).all()
+            assert (track.speech_fraction <= 1).all()
+
+    def test_bin_times(self, timeline, mission_cfg):
+        times = timeline.bin_times()
+        assert times[0] == mission_cfg.daytime_start_s
+        assert times[1] - times[0] == 300.0
+
+    def test_track_lookup(self, timeline):
+        track = timeline.track("B")
+        assert track.astro_id == "B"
+        with pytest.raises(KeyError):
+            timeline.track("Z")
+
+
+class TestFig5Content:
+    def test_lunch_bins_loud_in_kitchen(self, timeline, sensing, truth):
+        kitchen = truth.plan.index_of("kitchen")
+        lunch_bin = int((parse_hhmm("12:40") - timeline.t0) / timeline.bin_s)
+        in_kitchen = crew_in_room_bins(timeline, kitchen)[lunch_bin]
+        assert in_kitchen >= 4
+        loud = [t.speech_fraction[lunch_bin] for t in timeline.tracks
+                if t.dominant_room[lunch_bin] == kitchen]
+        assert np.mean(loud) > 0.3
+
+    def test_consolation_bins_in_kitchen_quieter(self, timeline, truth, mission_cfg):
+        kitchen = truth.plan.index_of("kitchen")
+        conso_bin = int(
+            (parse_hhmm(mission_cfg.events.consolation_time) + 600 - timeline.t0)
+            / timeline.bin_s
+        )
+        lunch_bin = int((parse_hhmm("12:40") - timeline.t0) / timeline.bin_s)
+        crew_conso = crew_in_room_bins(timeline, kitchen)[conso_bin]
+        assert crew_conso >= 4  # survivors gathered
+        conso_speech = np.mean([t.speech_fraction[conso_bin] for t in timeline.tracks])
+        lunch_speech = np.mean([t.speech_fraction[lunch_bin] for t in timeline.tracks])
+        assert conso_speech < lunch_speech
+
+    def test_c_track_goes_dark_after_death(self, timeline, mission_cfg):
+        track = timeline.track("C")
+        death_bin = int(
+            (parse_hhmm(mission_cfg.events.death_time) - timeline.t0) / timeline.bin_s
+        )
+        assert (track.dominant_room[death_bin + 1:] == -1).all()

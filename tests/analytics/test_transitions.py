@@ -1,0 +1,78 @@
+"""Tests for the Fig-2 transition analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.transitions import (
+    kitchen_inflow_share,
+    top_transitions,
+    transition_matrix,
+)
+from repro.habitat.rooms import ROOM_NAMES
+
+
+@pytest.fixture(scope="module")
+def matrix(sensing):
+    return transition_matrix(sensing)
+
+
+class TestMatrix:
+    def test_shape_and_names(self, matrix):
+        names, counts = matrix
+        assert names == list(ROOM_NAMES)
+        assert counts.shape == (8, 8)
+
+    def test_no_self_transitions(self, matrix):
+        __, counts = matrix
+        assert (np.diag(counts) == 0).all()
+
+    def test_nonnegative(self, matrix):
+        __, counts = matrix
+        assert (counts >= 0).all()
+
+    def test_kitchen_heavily_visited(self, matrix):
+        """Meals + water dashes: the kitchen is among the top traffic
+        destinations (with the office, which hosts the daily briefings)."""
+        names, counts = matrix
+        k = names.index("kitchen")
+        per_room_inflow = counts.sum(axis=0)
+        rank = int((per_room_inflow > per_room_inflow[k]).sum())
+        assert rank <= 1
+
+    def test_office_to_kitchen_among_top(self, matrix):
+        """The paper's headline pair must rank near the top."""
+        names, counts = matrix
+        top = top_transitions(names, counts, k=4)
+        pairs = {(a, b) for a, b, __ in top}
+        assert ("office", "kitchen") in pairs or ("kitchen", "office") in pairs
+
+    def test_stricter_filter_fewer_transitions(self, sensing):
+        __, loose = transition_matrix(sensing, min_stay_s=0.0)
+        __, strict = transition_matrix(sensing, min_stay_s=20.0)
+        assert strict.sum() < loose.sum()
+
+    def test_main_hall_bridging(self, sensing):
+        """Excluding the hall links the rooms around it: total passage
+        count must be substantial even though every trip crosses it."""
+        __, counts = transition_matrix(sensing)
+        assert counts.sum() > 100
+
+
+class TestHelpers:
+    def test_top_transitions_sorted(self, matrix):
+        names, counts = matrix
+        top = top_transitions(names, counts, k=10)
+        values = [v for _, _, v in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_kitchen_inflow_sums_to_one(self, matrix):
+        names, counts = matrix
+        shares = kitchen_inflow_share(names, counts)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["kitchen"] == 0.0
+
+    def test_office_and_workshop_lead_inflow(self, matrix):
+        names, counts = matrix
+        shares = kitchen_inflow_share(names, counts)
+        ranked = sorted(shares, key=shares.get, reverse=True)
+        assert set(ranked[:2]) <= {"office", "workshop", "biolab"}

@@ -1,0 +1,74 @@
+"""Tests for the Fig-4 walking analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.walking import (
+    daily_walking_fraction,
+    mission_walking_fraction,
+    walking_fraction,
+    walking_mask,
+)
+
+
+class TestWalkingMask:
+    def test_requires_worn(self, sensing):
+        summary = sensing.summary(0, 2)
+        mask = walking_mask(summary)
+        assert not (mask & ~summary.worn).any()
+
+    def test_threshold_effect(self, sensing):
+        summary = sensing.summary(3, 2)
+        low = walking_mask(summary, threshold=0.5).sum()
+        high = walking_mask(summary, threshold=2.0).sum()
+        assert high < low
+
+
+class TestFractions:
+    def test_fig4_band(self, sensing):
+        """Paper Fig 4: daily fractions roughly within 0.01-0.12."""
+        series = daily_walking_fraction(sensing)
+        values = [v for per_day in series.values() for v in per_day.values()]
+        assert values
+        assert min(values) > 0.005
+        assert max(values) < 0.15
+
+    def test_c_most_mobile(self, sensing):
+        fractions = mission_walking_fraction(sensing)
+        assert max(fractions, key=fractions.get) == "C"
+
+    def test_a_least_mobile(self, sensing):
+        fractions = mission_walking_fraction(sensing)
+        assert min(fractions, key=fractions.get) == "A"
+
+    def test_energetic_pair_above_reserved_pair(self, sensing):
+        """Paper: 'D and F were walking significantly more than B and E'."""
+        fractions = mission_walking_fraction(sensing)
+        assert min(fractions["D"], fractions["F"]) > max(fractions["B"], fractions["E"])
+
+    def test_c_absent_after_death(self, sensing, mission_cfg):
+        series = daily_walking_fraction(sensing)
+        assert all(day <= mission_cfg.events.death_day for day in series["C"])
+
+    def test_empty_summary_zero(self, sensing):
+        summary = sensing.summary(0, 2)
+        clone = type(summary)(
+            badge_id=0, day=2, t0=0.0, dt=1.0,
+            active=np.zeros(10, dtype=bool), worn=np.zeros(10, dtype=bool),
+            room=np.full(10, -1, dtype=np.int8),
+            x=np.zeros(10, dtype=np.float32), y=np.zeros(10, dtype=np.float32),
+            accel_rms=np.zeros(10, dtype=np.float32),
+            voice_db=np.zeros(10, dtype=np.float32),
+            dominant_pitch_hz=np.zeros(10, dtype=np.float32),
+            pitch_stability=np.zeros(10, dtype=np.float32),
+            sound_db=np.zeros(10, dtype=np.float32),
+        )
+        assert walking_fraction(clone) == 0.0
+
+    def test_corrected_vs_assumed_differ_on_swap_day(self, sensing, mission_cfg):
+        swap_day = mission_cfg.events.badge_swap_day
+        corrected = daily_walking_fraction(sensing, corrected=True)
+        assumed = daily_walking_fraction(sensing, corrected=False)
+        # On the swap day, A's corrected series uses B's badge and
+        # vice versa, so per-astronaut values differ between modes.
+        assert corrected["A"][swap_day] != assumed["A"][swap_day]

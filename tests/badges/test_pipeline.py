@@ -1,0 +1,92 @@
+"""Tests for the day-level badge sensing pipeline (uses session fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.badge import badge_fleet
+from repro.badges.pipeline import SensingModels, make_fleet, sense_day
+from repro.core.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def day2(truth, mission_cfg):
+    rngs = RngRegistry(99)
+    assignment = BadgeAssignment(cfg=mission_cfg, roster=truth.roster)
+    models = SensingModels.default(mission_cfg, truth.plan)
+    fleet = make_fleet(assignment, rngs)
+    obs, pairwise = sense_day(truth, 2, assignment, models, fleet, rngs)
+    return assignment, obs, pairwise
+
+
+class TestSenseDay:
+    def test_badges_present(self, day2, truth):
+        assignment, obs, __ = day2
+        crew_badges = set(range(truth.roster.size))
+        assert crew_badges <= set(obs)
+        assert assignment.reference_id in obs
+
+    def test_array_lengths(self, day2, mission_cfg):
+        __, obs, __ = day2
+        n = mission_cfg.frames_per_day
+        for o in obs.values():
+            assert o.active.shape == (n,)
+            assert o.ble_rssi.shape[0] == n
+            assert o.voice_db.shape == (n,)
+
+    def test_reference_badge_always_active(self, day2):
+        assignment, obs, __ = day2
+        ref = obs[assignment.reference_id]
+        assert ref.active.all()
+        assert not ref.worn.any()
+
+    def test_reference_clock_is_truth(self, day2):
+        assignment, obs, __ = day2
+        assert (obs[assignment.reference_id].clock_error_s == 0).all()
+
+    def test_crew_clocks_bounded_by_sync(self, day2):
+        assignment, obs, __ = day2
+        for badge_id in range(6):
+            assert np.abs(obs[badge_id].clock_error_s).max() < 0.5
+
+    def test_pairwise_keys(self, day2, truth):
+        __, __, pairwise = day2
+        n = truth.roster.size
+        assert len(pairwise.ir_contact) == n * (n - 1) // 2
+        assert set(pairwise.ir_contact) == set(pairwise.subghz_rssi)
+
+    def test_ir_contacts_happen(self, day2):
+        __, __, pairwise = day2
+        total = sum(mask.sum() for mask in pairwise.ir_contact.values())
+        assert total > 1000  # meals alone guarantee face-to-face time
+
+    def test_true_room_attached(self, day2):
+        __, obs, __ = day2
+        assert obs[0].true_room is not None
+
+    def test_drop_ble_frees_matrix(self, day2):
+        __, obs, __ = day2
+        o = obs[1]
+        o.drop_ble()
+        assert o.ble_rssi.size == 0
+
+
+class TestFleet:
+    def test_make_fleet_fails_f_badge(self, truth, mission_cfg):
+        assignment = BadgeAssignment(cfg=mission_cfg, roster=truth.roster)
+        fleet = make_fleet(assignment, RngRegistry(1))
+        f_badge = truth.roster.index("F")
+        reuse = mission_cfg.events.badge_reuse_day
+        assert not fleet[f_badge].alive_on(reuse)
+        assert fleet[f_badge].alive_on(reuse - 1)
+
+    def test_badge_fleet_structure(self):
+        fleet = badge_fleet(6, np.random.default_rng(0))
+        assert len(fleet) == 13  # 6 primary + 6 backup + reference
+        assert fleet[12].is_reference
+        assert fleet[7].is_backup and not fleet[2].is_backup
+
+    def test_fleet_clocks_differ(self):
+        fleet = badge_fleet(6, np.random.default_rng(0))
+        drifts = {fleet[i].clock.drift_ppm for i in range(12)}
+        assert len(drifts) == 12

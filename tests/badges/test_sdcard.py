@@ -1,0 +1,51 @@
+"""Tests for SD-card storage accounting."""
+
+import pytest
+
+from repro.badges.sdcard import DEFAULT_RATES_BPS, SdCardAccountant
+from repro.core.errors import ConfigError
+from repro.core.units import GIB
+
+
+class TestAccounting:
+    def test_record_day(self):
+        sd = SdCardAccountant()
+        written = sd.record_day(0, 2, 1000.0)
+        assert written == pytest.approx(1000.0 * sd.total_rate_bps)
+
+    def test_totals(self):
+        sd = SdCardAccountant()
+        sd.record_day(0, 2, 100.0)
+        sd.record_day(0, 3, 100.0)
+        sd.record_day(1, 2, 100.0)
+        assert sd.badge_total(0) == pytest.approx(200.0 * sd.total_rate_bps)
+        assert sd.total_bytes() == pytest.approx(300.0 * sd.total_rate_bps)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            SdCardAccountant().record_day(0, 2, -1.0)
+
+    def test_paper_scale(self):
+        """13 days x 7 badges at ~85% duty should land near 150 GiB."""
+        sd = SdCardAccountant()
+        for day in range(2, 15):
+            for badge in range(7):
+                sd.record_day(badge, day, 0.85 * 14 * 3600.0)
+        assert 120 <= sd.total_gib() <= 185
+
+    def test_microphone_dominates(self):
+        assert DEFAULT_RATES_BPS["microphone"] == max(DEFAULT_RATES_BPS.values())
+
+    def test_over_capacity_detection(self):
+        sd = SdCardAccountant(capacity_bytes=1 * GIB)
+        sd.record_day(0, 2, 14 * 3600.0)  # ~2 GiB in one day
+        assert sd.over_capacity() == [0]
+
+    def test_under_capacity_ok(self):
+        sd = SdCardAccountant()
+        sd.record_day(0, 2, 3600.0)
+        assert sd.over_capacity() == []
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            SdCardAccountant(rates_bps={"microphone": -1.0})

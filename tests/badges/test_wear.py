@@ -1,0 +1,125 @@
+"""Tests for the wear-compliance model."""
+
+import numpy as np
+import pytest
+
+from repro.badges.battery import BatteryModel
+from repro.badges.wear import WearModel
+from repro.core.config import MissionConfig
+from repro.crew.behavior import simulate_mission
+from repro.crew.tasks import Activity
+from repro.habitat.floorplan import lunares_floorplan
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = MissionConfig(days=4, seed=3, events=None)
+    truth = simulate_mission(cfg)
+    model = WearModel(cfg, truth.plan)
+    return cfg, truth, model
+
+
+def simulate(setup, astro="B", day=2, seed=0, diligence=1.0):
+    cfg, truth, model = setup
+    return model.simulate_day(truth.trace(astro, day), np.random.default_rng(seed), diligence)
+
+
+class TestInvariants:
+    def test_worn_subset_of_active(self, setup):
+        wear = simulate(setup)
+        assert not (wear.worn & ~wear.active).any()
+
+    def test_positions_always_defined(self, setup):
+        wear = simulate(setup)
+        assert not np.isnan(wear.badge_xy).any()
+        assert (wear.badge_room >= 0).all()
+
+    def test_worn_badge_follows_astronaut(self, setup):
+        cfg, truth, model = setup
+        trace = truth.trace("B", 2)
+        wear = simulate(setup)
+        idx = np.flatnonzero(wear.worn)[:500]
+        np.testing.assert_allclose(wear.badge_xy[idx, 0], trace.x[idx], atol=1e-5)
+
+    def test_unworn_badge_is_stationary(self, setup):
+        wear = simulate(setup)
+        off = ~wear.worn
+        runs = np.flatnonzero(off[1:] & off[:-1])
+        if runs.size:
+            dx = np.abs(np.diff(wear.badge_xy[:, 0]))[runs[:1000]]
+            assert dx.max() < 1e-5
+
+    def test_never_worn_in_restroom(self, setup):
+        cfg, truth, model = setup
+        trace = truth.trace("D", 2)
+        wear = model.simulate_day(trace, np.random.default_rng(1))
+        in_restroom = trace.activity == int(Activity.RESTROOM)
+        assert not wear.worn[in_restroom].any()
+
+    def test_never_worn_during_eva(self, setup):
+        cfg, truth, model = setup
+        for astro in truth.roster.ids:
+            trace = truth.trace(astro, 3)  # EVA day (3 % 3 == 0)
+            eva = trace.activity == int(Activity.EVA)
+            if not eva.any():
+                continue
+            wear = model.simulate_day(trace, np.random.default_rng(2))
+            assert not wear.worn[eva].any()
+            # Badge left inside the habitat while the wearer is outside.
+            assert (wear.badge_room[eva] >= 0).all()
+
+
+class TestCompliance:
+    def test_day_level_target_reached(self, setup):
+        cfg, truth, model = setup
+        target = model.compliance_on(2)
+        fractions = []
+        for seed in range(5):
+            fractions.append(simulate(setup, seed=seed).worn_fraction)
+        assert np.mean(fractions) <= target + 0.05
+
+    def test_compliance_decays(self):
+        cfg = MissionConfig(days=14)
+        model = WearModel(cfg, lunares_floorplan())
+        assert model.compliance_on(2) == pytest.approx(cfg.wear_compliance_start)
+        assert model.compliance_on(14) == pytest.approx(cfg.wear_compliance_end)
+        assert model.compliance_on(8) < model.compliance_on(3)
+
+    def test_diligence_scales_target(self, setup):
+        careful = np.mean([simulate(setup, seed=s).worn_fraction for s in range(4)])
+        careless = np.mean(
+            [simulate(setup, seed=s, diligence=0.6).worn_fraction for s in range(4)]
+        )
+        assert careless < careful - 0.1
+
+    def test_settled_mask(self):
+        room = np.array([1, 1, 1, 1, 2, 2, 1, 1, 1], dtype=np.int8)
+        mask = WearModel._settled_mask(room, min_frames=2)
+        np.testing.assert_array_equal(
+            mask, [False, False, True, True, False, False, False, False, True]
+        )
+
+
+class TestBattery:
+    def test_plan_day_windows_ordered(self):
+        battery = BatteryModel()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            windows = battery.plan_day(14 * 3600.0, rng)
+            for (a0, a1), (b0, b1) in zip(windows, windows[1:]):
+                assert a1 <= b0
+            for w0, w1 in windows:
+                assert 0 <= w0 < w1 <= 14 * 3600.0
+
+    def test_low_morning_charge_forces_intervention(self):
+        battery = BatteryModel(morning_charge_lo=0.3, morning_charge_hi=0.4)
+        rng = np.random.default_rng(1)
+        windows = battery.plan_day(14 * 3600.0, rng)
+        assert windows  # cannot survive the day on 40%
+
+    def test_full_runtime_long_enough_no_windows(self):
+        battery = BatteryModel(
+            full_runtime_s=30 * 3600.0, morning_charge_lo=0.99, morning_charge_hi=1.0
+        )
+        windows = battery.plan_day(14 * 3600.0, np.random.default_rng(2))
+        assert windows == []

@@ -1,0 +1,90 @@
+"""Tests for mission configuration validation and derived values."""
+
+import pytest
+
+from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.core.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = MissionConfig()
+        assert cfg.days == 14
+        assert cfg.badges_from_day == 2
+        assert cfg.crew_size == 6
+        assert cfg.n_beacons == 27
+        assert cfg.earth_link_delay_s == 20 * 60.0
+
+    def test_instrumented_days(self):
+        cfg = MissionConfig()
+        assert cfg.instrumented_days == list(range(2, 15))
+        assert len(cfg.instrumented_days) == 13  # the paper's 13 days of data
+
+    def test_frames_per_day(self):
+        cfg = MissionConfig()
+        assert cfg.frames_per_day == 14 * 3600
+
+    def test_daytime_start_seconds(self):
+        assert MissionConfig().daytime_start_s == 7 * 3600.0
+
+
+class TestValidation:
+    def test_zero_days_rejected(self):
+        with pytest.raises(ConfigError):
+            MissionConfig(days=0)
+
+    def test_badges_after_mission_rejected(self):
+        with pytest.raises(ConfigError):
+            MissionConfig(days=3, badges_from_day=4)
+
+    def test_negative_frame_dt_rejected(self):
+        with pytest.raises(ConfigError):
+            MissionConfig(frame_dt=-1.0)
+
+    def test_non_integer_frames_rejected(self):
+        with pytest.raises(ConfigError):
+            MissionConfig(frame_dt=7.0, daytime_hours=13.9999)
+
+    def test_compliance_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            MissionConfig(wear_compliance_start=0.4, wear_compliance_end=0.6)
+
+    def test_daytime_must_fit_in_day(self):
+        with pytest.raises(ConfigError):
+            MissionConfig(daytime_start="20:00", daytime_hours=10.0)
+
+    def test_tiny_crew_rejected(self):
+        with pytest.raises(ConfigError):
+            MissionConfig(crew_size=1)
+
+    def test_bad_time_string_rejected(self):
+        with pytest.raises((ConfigError, ValueError)):
+            MissionConfig(daytime_start="25:99")
+
+
+class TestEvents:
+    def test_event_active_inside_mission(self):
+        cfg = MissionConfig(days=14)
+        assert cfg.event_active("death_day")
+        assert cfg.event_active("famine_day")
+
+    def test_event_inactive_outside_mission(self):
+        cfg = MissionConfig(days=3)
+        assert not cfg.event_active("death_day")
+
+    def test_events_none_disables(self):
+        cfg = MissionConfig(events=None)
+        assert not cfg.event_active("death_day")
+
+    def test_consolation_after_death_enforced(self):
+        with pytest.raises(ConfigError):
+            ScriptedEventsConfig(death_time="16:00", consolation_time="15:00").validate()
+
+    def test_reuse_after_death_enforced(self):
+        with pytest.raises(ConfigError):
+            ScriptedEventsConfig(death_day=4, badge_reuse_day=3).validate()
+
+    def test_with_days(self):
+        cfg = MissionConfig().with_days(5)
+        assert cfg.days == 5
+        assert cfg.seed == MissionConfig().seed

@@ -1,0 +1,133 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import SimulationError
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending() == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        early = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        early.cancel()
+        assert sim.peek() == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run_until(3.0)
+        assert fired == ["a"]
+        assert sim.now == 3.0
+
+    def test_run_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "edge")
+        sim.run_until(3.0)
+        assert fired == ["edge"]
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, sim.run)
+            sim.run()

@@ -1,0 +1,77 @@
+"""Tests for the keyed dataset store."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DataError
+from repro.core.storage import DataStore
+
+
+class TestArrays:
+    def test_put_get(self):
+        store = DataStore()
+        store.put_arrays(("gt", "A", "2"), room=np.arange(5))
+        np.testing.assert_array_equal(store.get_arrays(("gt", "A", "2"))["room"], np.arange(5))
+
+    def test_missing_key_raises(self):
+        with pytest.raises(DataError):
+            DataStore().get_arrays(("nope",))
+
+    def test_has_arrays(self):
+        store = DataStore()
+        assert not store.has_arrays(("x",))
+        store.put_arrays(("x",), a=np.zeros(1))
+        assert store.has_arrays(("x",))
+
+    def test_replace(self):
+        store = DataStore()
+        store.put_arrays(("x",), a=np.zeros(2))
+        store.put_arrays(("x",), b=np.ones(2))
+        assert list(store.get_arrays(("x",))) == ["b"]
+
+    def test_keys_prefix(self):
+        store = DataStore()
+        store.put_arrays(("gt", "A"), a=np.zeros(1))
+        store.put_arrays(("gt", "B"), a=np.zeros(1))
+        store.put_arrays(("obs", "A"), a=np.zeros(1))
+        assert list(store.keys(("gt",))) == [("gt", "A"), ("gt", "B")]
+
+
+class TestMeta:
+    def test_round_trip(self):
+        store = DataStore()
+        store.put_meta(("cfg",), {"days": 14})
+        assert store.get_meta(("cfg",)) == {"days": 14}
+
+    def test_unserializable_rejected(self):
+        store = DataStore()
+        with pytest.raises(TypeError):
+            store.put_meta(("bad",), object())
+
+    def test_missing_meta_raises(self):
+        with pytest.raises(DataError):
+            DataStore().get_meta(("nope",))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        store = DataStore()
+        store.put_arrays(("gt", "A", "2"), room=np.arange(4, dtype=np.int8), x=np.ones(4))
+        store.put_meta(("run",), {"seed": 7})
+        store.save_dir(tmp_path / "ds")
+
+        loaded = DataStore.load_dir(tmp_path / "ds")
+        np.testing.assert_array_equal(
+            loaded.get_arrays(("gt", "A", "2"))["room"], np.arange(4, dtype=np.int8)
+        )
+        assert loaded.get_meta(("run",)) == {"seed": 7}
+
+    def test_load_missing_dir(self, tmp_path):
+        with pytest.raises(DataError):
+            DataStore.load_dir(tmp_path / "missing")
+
+    def test_reserved_key_char_rejected(self, tmp_path):
+        store = DataStore()
+        store.put_arrays(("a__b",), x=np.zeros(1))
+        with pytest.raises(DataError):
+            store.save_dir(tmp_path / "ds")

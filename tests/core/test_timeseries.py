@@ -1,0 +1,94 @@
+"""Tests for the regular-grid time series container."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DataError
+from repro.core.timeseries import TimeSeries
+
+
+def make_series(n=100, t0=0.0, dt=1.0):
+    return TimeSeries(t0, dt, np.arange(n, dtype=float))
+
+
+class TestBasics:
+    def test_length_and_bounds(self):
+        ts = make_series(50, t0=10.0, dt=2.0)
+        assert len(ts) == 50
+        assert ts.t1 == 110.0
+
+    def test_times(self):
+        ts = make_series(3, t0=5.0, dt=0.5)
+        np.testing.assert_allclose(ts.times(), [5.0, 5.5, 6.0])
+
+    def test_index_of_and_at(self):
+        ts = make_series(10)
+        assert ts.index_of(3.7) == 3
+        assert ts.at(3.7) == 3.0
+
+    def test_index_out_of_range(self):
+        ts = make_series(10)
+        with pytest.raises(DataError):
+            ts.index_of(10.0)
+
+    def test_invalid_dt(self):
+        with pytest.raises(DataError):
+            TimeSeries(0.0, 0.0, np.zeros(3))
+
+
+class TestSlice:
+    def test_slice_middle(self):
+        ts = make_series(10)
+        sub = ts.slice(2.0, 5.0)
+        np.testing.assert_array_equal(sub.values, [2.0, 3.0, 4.0])
+        assert sub.t0 == 2.0
+
+    def test_slice_clips(self):
+        ts = make_series(5)
+        sub = ts.slice(-10.0, 100.0)
+        assert len(sub) == 5
+
+    def test_empty_slice(self):
+        ts = make_series(5)
+        assert len(ts.slice(4.0, 4.0)) == 0
+
+
+class TestReductions:
+    def test_where(self):
+        ts = make_series(6)
+        intervals = ts.where(lambda v: v >= 4)
+        assert list(intervals) == [(4.0, 6.0)]
+
+    def test_where_shape_check(self):
+        ts = make_series(5)
+        with pytest.raises(DataError):
+            ts.where(lambda v: np.array([True]))
+
+    def test_downsample_mean(self):
+        ts = make_series(6)
+        down = ts.downsample(2)
+        np.testing.assert_allclose(down.values, [0.5, 2.5, 4.5])
+        assert down.dt == 2.0
+
+    def test_downsample_drops_partial_tail(self):
+        ts = make_series(7)
+        assert len(ts.downsample(2)) == 3
+
+    def test_downsample_custom_reduce(self):
+        ts = make_series(4)
+        down = ts.downsample(2, reduce=lambda blocks: blocks.max(axis=1))
+        np.testing.assert_allclose(down.values, [1.0, 3.0])
+
+    def test_windowed_fraction_matches_paper_rule(self):
+        """15 of 15 seconds loud -> fraction 1; 3 of 15 -> 0.2."""
+        ts = TimeSeries(0.0, 1.0, np.zeros(30))
+        mask = np.zeros(30, dtype=bool)
+        mask[:15] = True          # window 1 fully loud
+        mask[15:18] = True        # window 2 loud 3/15 = 0.2
+        fractions = ts.windowed_fraction(15.0, mask)
+        np.testing.assert_allclose(fractions.values, [1.0, 0.2])
+
+    def test_windowed_fraction_rejects_short_window(self):
+        ts = make_series(10, dt=2.0)
+        with pytest.raises(DataError):
+            ts.windowed_fraction(1.0, np.zeros(10, dtype=bool))

@@ -1,0 +1,40 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.core.units import GIB, gib, hhmm, hhmmss, parse_hhmm
+
+
+class TestFormatting:
+    def test_hhmm(self):
+        assert hhmm(0) == "00:00"
+        assert hhmm(45000) == "12:30"
+        assert hhmm(15 * 3600 + 20 * 60) == "15:20"
+
+    def test_hhmmss(self):
+        assert hhmmss(3661) == "01:01:01"
+
+
+class TestParsing:
+    def test_parse_hhmm(self):
+        assert parse_hhmm("12:30") == 45000.0
+        assert parse_hhmm("00:00") == 0.0
+
+    def test_parse_with_seconds(self):
+        assert parse_hhmm("01:01:01") == 3661.0
+
+    def test_round_trip(self):
+        for text in ("07:00", "15:20", "23:59"):
+            assert hhmm(parse_hhmm(text)) == text
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hhmm("noon")
+        with pytest.raises(ValueError):
+            parse_hhmm("12:75")
+
+
+class TestBytes:
+    def test_gib(self):
+        assert gib(GIB) == 1.0
+        assert gib(150 * GIB) == pytest.approx(150.0)

@@ -1,0 +1,113 @@
+"""Tests for the conversation model."""
+
+import numpy as np
+import pytest
+
+from repro.crew.conversation import ConversationModel, SpeechArrays
+from repro.crew.roster import icares_roster
+from repro.crew.tasks import Activity
+
+
+@pytest.fixture(scope="module")
+def roster():
+    return icares_roster()
+
+
+@pytest.fixture(scope="module")
+def model(roster):
+    return ConversationModel(roster.profiles)
+
+
+def co_located(n_crew=6, frames=1800, room=3, activity=Activity.MEAL):
+    rooms = np.full((n_crew, frames), room, dtype=np.int8)
+    acts = np.full((n_crew, frames), int(activity), dtype=np.int8)
+    return rooms, acts
+
+
+class TestGeneration:
+    def test_meal_is_chatty(self, model, rng):
+        rooms, acts = co_located()
+        out = model.generate(rooms, acts, rng)
+        assert out.speaking.any(axis=0).mean() > 0.6
+
+    def test_single_speaker_at_a_time(self, model, rng):
+        rooms, acts = co_located()
+        out = model.generate(rooms, acts, rng)
+        assert (out.speaking.sum(axis=0) <= 1).all()
+
+    def test_loudness_only_while_speaking(self, model, rng):
+        rooms, acts = co_located()
+        out = model.generate(rooms, acts, rng)
+        assert (out.loudness[~out.speaking] == 0).all()
+        assert (out.loudness[out.speaking] > 40).all()
+
+    def test_solo_person_silent(self, model, rng):
+        rooms = np.full((6, 600), -1, dtype=np.int8)
+        rooms[0] = 5  # alone in a room
+        acts = np.full((6, 600), int(Activity.WORK), dtype=np.int8)
+        out = model.generate(rooms, acts, rng)
+        assert not out.speaking.any()
+
+    def test_separate_rooms_no_cross_talk_dependency(self, model, rng):
+        rooms = np.zeros((6, 1200), dtype=np.int8)
+        rooms[:3] = 2
+        rooms[3:] = 4
+        acts = np.full((6, 1200), int(Activity.WORK), dtype=np.int8)
+        out = model.generate(rooms, acts, rng)
+        assert out.speaking[:3].any() and out.speaking[3:].any()
+
+    def test_talk_factor_scales_duty(self, model):
+        rooms, acts = co_located(activity=Activity.WORK, frames=6000)
+        high = model.generate(rooms, acts, np.random.default_rng(0), talk_factor=1.0)
+        low = model.generate(rooms, acts, np.random.default_rng(0), talk_factor=0.2)
+        assert low.speaking.any(axis=0).mean() < 0.6 * high.speaking.any(axis=0).mean()
+
+    def test_talkative_speaker_dominates(self, model, rng):
+        rooms, acts = co_located(frames=20_000)
+        out = model.generate(rooms, acts, rng)
+        shares = out.speaking.mean(axis=1)
+        assert np.argmax(shares) == 2  # C
+
+    def test_consolation_quieter_than_meal(self, model, rng):
+        rooms, acts_meal = co_located(frames=4000)
+        _, acts_conso = co_located(frames=4000, activity=Activity.CONSOLATION)
+        meal = model.generate(rooms, acts_meal, np.random.default_rng(5))
+        conso = model.generate(rooms, acts_conso, np.random.default_rng(5))
+        meal_loud = meal.loudness[meal.speaking].mean()
+        conso_loud = conso.loudness[conso.speaking].mean()
+        assert conso_loud < meal_loud - 3.0
+
+    def test_transit_to_meal_switch_starts_conversation(self, model, rng):
+        """The fixed regression: simultaneous TRANSIT->MEAL transitions."""
+        rooms, acts = co_located(frames=1800)
+        acts[:, :30] = int(Activity.TRANSIT)
+        out = model.generate(rooms, acts, rng)
+        assert out.speaking[:, 30:].any()
+
+    def test_deterministic_given_stream(self, model):
+        rooms, acts = co_located()
+        a = model.generate(rooms, acts, np.random.default_rng(9))
+        b = model.generate(rooms, acts, np.random.default_rng(9))
+        np.testing.assert_array_equal(a.speaking, b.speaking)
+
+
+class TestTts:
+    def test_impaired_astronaut_gets_machine_speech(self, model, rng):
+        rooms = np.full((6, 8000), -1, dtype=np.int8)
+        rooms[0] = 4  # A alone in the office
+        acts = np.full((6, 8000), int(Activity.WORK), dtype=np.int8)
+        out = model.generate(rooms, acts, rng)
+        assert out.machine_speech[0].any()
+        assert not out.machine_speech[1:].any()
+
+    def test_no_tts_outside_work_rooms(self, model, rng):
+        rooms = np.full((6, 4000), 3, dtype=np.int8)  # kitchen
+        acts = np.full((6, 4000), int(Activity.WORK), dtype=np.int8)
+        out = model.generate(rooms, acts, rng)
+        assert not out.machine_speech.any()
+
+    def test_output_is_speech_arrays(self, model, rng):
+        rooms, acts = co_located(frames=100)
+        out = model.generate(rooms, acts, rng)
+        assert isinstance(out, SpeechArrays)
+        assert out.speaking.shape == (6, 100)

@@ -1,0 +1,111 @@
+"""Tests for scripted events and day-level mood factors."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.core.units import parse_hhmm
+from repro.crew.events_script import (
+    DECEASED,
+    apply_scripted_events,
+    day_mobility_factor,
+    day_talk_factor,
+    deceased_absent,
+)
+from repro.crew.roster import icares_roster
+from repro.crew.schedule import build_day_schedule
+from repro.crew.tasks import Activity
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MissionConfig(days=14)
+
+
+@pytest.fixture(scope="module")
+def roster():
+    return icares_roster()
+
+
+class TestTalkFactor:
+    def test_declines_over_mission(self, cfg):
+        assert day_talk_factor(cfg, 2) > day_talk_factor(cfg, 9) > day_talk_factor(cfg, 14)
+
+    def test_famine_collapse(self, cfg):
+        assert day_talk_factor(cfg, 11) < 0.3
+        assert day_talk_factor(cfg, 12) < 0.3
+
+    def test_grief_day(self, cfg):
+        assert day_talk_factor(cfg, 5) < day_talk_factor(cfg, 6)
+
+    def test_events_disabled(self):
+        cfg = MissionConfig(days=14, events=None)
+        assert day_talk_factor(cfg, 11) > 0.3
+
+
+class TestMobilityFactor:
+    def test_calm_day_3(self, cfg):
+        assert day_mobility_factor(cfg, 3) < day_mobility_factor(cfg, 2)
+
+    def test_post_death_bustle(self, cfg):
+        assert day_mobility_factor(cfg, 5) > day_mobility_factor(cfg, 2)
+
+    def test_famine_lethargy(self, cfg):
+        assert day_mobility_factor(cfg, 11) < day_mobility_factor(cfg, 10)
+
+
+class TestDeathDay:
+    def test_deceased_absent_after_death_day(self, cfg):
+        assert not deceased_absent(cfg, 4)
+        assert deceased_absent(cfg, 5)
+
+    def test_death_day_schedule(self, cfg, roster):
+        sched = build_day_schedule(cfg, roster, 4, np.random.default_rng(0))
+        records = apply_scripted_events(sched, cfg, roster, 4)
+        kinds = {r.kind for r in records}
+        assert kinds == {"death", "consolation"}
+
+        death_s = parse_hhmm(cfg.events.death_time)
+        c_slots = sched.of(DECEASED)
+        after = [s for s in c_slots if s.t0 >= death_s]
+        assert all(s.activity == Activity.ABSENT for s in after)
+        before = [s for s in c_slots if s.t1 <= death_s]
+        assert any(s.activity != Activity.ABSENT for s in before)
+
+    def test_consolation_in_kitchen_for_survivors(self, cfg, roster):
+        sched = build_day_schedule(cfg, roster, 4, np.random.default_rng(0))
+        apply_scripted_events(sched, cfg, roster, 4)
+        conso_s = parse_hhmm(cfg.events.consolation_time)
+        for astro in roster.ids:
+            if astro == DECEASED:
+                continue
+            slot = next(s for s in sched.of(astro) if s.t0 <= conso_s < s.t1)
+            assert slot.activity == Activity.CONSOLATION
+            assert slot.room == "kitchen"
+
+    def test_schedule_still_valid_after_overrides(self, cfg, roster):
+        sched = build_day_schedule(cfg, roster, 4, np.random.default_rng(0))
+        apply_scripted_events(sched, cfg, roster, 4)
+        sched.validate()
+
+    def test_no_events_on_ordinary_day(self, cfg, roster):
+        sched = build_day_schedule(cfg, roster, 6, np.random.default_rng(0))
+        assert apply_scripted_events(sched, cfg, roster, 6) == []
+
+    def test_famine_and_reprimand_records(self, cfg, roster):
+        for day, kind in ((11, "famine"), (12, "reprimand")):
+            sched = build_day_schedule(cfg, roster, day, np.random.default_rng(0))
+            records = apply_scripted_events(sched, cfg, roster, day)
+            assert [r.kind for r in records] == [kind]
+
+    def test_short_mission_skips_out_of_range_events(self, roster):
+        cfg = MissionConfig(days=3)
+        sched = build_day_schedule(cfg, roster, 3, np.random.default_rng(0))
+        assert apply_scripted_events(sched, cfg, roster, 3) == []
+
+
+class TestCustomEvents:
+    def test_custom_death_day(self, roster):
+        events = ScriptedEventsConfig(death_day=2, badge_reuse_day=3)
+        cfg = MissionConfig(days=5, events=events)
+        assert deceased_absent(cfg, 3)

@@ -1,0 +1,127 @@
+"""Tests for the movement model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MissionConfig
+from repro.crew.movement import DayArrays, MovementModel, sample_anchor, wander_rect
+from repro.crew.roster import icares_roster
+from repro.crew.schedule import build_day_schedule
+from repro.crew.tasks import Activity
+from repro.habitat.floorplan import OUTSIDE, lunares_floorplan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return lunares_floorplan()
+
+
+@pytest.fixture(scope="module")
+def roster():
+    return icares_roster()
+
+
+@pytest.fixture(scope="module")
+def filled(plan, roster):
+    cfg = MissionConfig(days=14)
+    rng = np.random.default_rng(0)
+    sched = build_day_schedule(cfg, roster, day=2, rng=rng)
+    model = MovementModel(plan, dt=cfg.frame_dt)
+    return {
+        astro: model.fill_day(
+            roster.profile(astro), sched.of(astro), cfg.daytime_start_s,
+            cfg.frames_per_day, np.random.default_rng(hash(astro) % 2**32),
+        )
+        for astro in roster.ids
+    }, sched, cfg
+
+
+class TestFillDay:
+    def test_positions_inside_rooms(self, filled, plan):
+        arrays_by_astro, _, _ = filled
+        for arrays in arrays_by_astro.values():
+            inside = arrays.room >= 0
+            pts = np.column_stack([arrays.x[inside], arrays.y[inside]]).astype(np.float64)
+            located = plan.locate_many(pts)
+            assert (located == arrays.room[inside]).mean() > 0.999
+
+    def test_no_gaps_when_present(self, filled):
+        arrays_by_astro, _, _ = filled
+        for arrays in arrays_by_astro.values():
+            present = arrays.room >= 0
+            assert not np.isnan(arrays.x[present]).any()
+
+    def test_walking_implies_movement(self, filled):
+        arrays_by_astro, _, _ = filled
+        arrays = arrays_by_astro["C"]
+        moving = arrays.walking[1:] & arrays.walking[:-1] & (arrays.room[1:] >= 0)
+        dx = np.abs(np.diff(arrays.x))[moving[: len(arrays.x) - 1]]
+        assert np.nanmean(dx) > 0.1
+
+    def test_follows_schedule_rooms(self, filled, plan):
+        arrays_by_astro, sched, cfg = filled
+        arrays = arrays_by_astro["E"]
+        t0 = cfg.daytime_start_s
+        hits = total = 0
+        for slot in sched.of("E"):
+            if slot.room is None or slot.duration < 600:
+                continue
+            mid = int((slot.t0 + slot.duration / 2 - t0) / cfg.frame_dt)
+            total += 1
+            if arrays.room[mid] == plan.index_of(slot.room):
+                hits += 1
+        assert hits / total > 0.9  # transit at slot starts tolerated
+
+    def test_eva_outside(self, plan, roster):
+        cfg = MissionConfig(days=14)
+        sched = build_day_schedule(cfg, roster, day=3, rng=np.random.default_rng(1))
+        eva_astro = next(
+            a for a in roster.ids
+            if any(s.activity == Activity.EVA for s in sched.of(a))
+        )
+        model = MovementModel(plan)
+        arrays = model.fill_day(
+            roster.profile(eva_astro), sched.of(eva_astro),
+            cfg.daytime_start_s, cfg.frames_per_day, np.random.default_rng(2),
+        )
+        eva_frames = arrays.activity == int(Activity.EVA)
+        assert eva_frames.any()
+        assert (arrays.room[eva_frames] == OUTSIDE).all()
+
+    def test_mobility_scales_walking(self, filled):
+        arrays_by_astro, _, _ = filled
+        assert arrays_by_astro["C"].walking.mean() > 1.5 * arrays_by_astro["A"].walking.mean()
+
+
+class TestWanderRect:
+    def test_impaired_extent_small(self, plan, roster):
+        room = plan.room("biolab").rect
+        a_rect = wander_rect(roster.profile("A"), room)
+        c_rect = wander_rect(roster.profile("C"), room)
+        assert a_rect.area < 0.3 * c_rect.area
+
+    def test_centered(self, plan, roster):
+        room = plan.room("office").rect
+        inner = wander_rect(roster.profile("A"), room)
+        assert inner.center == pytest.approx(room.shrink(0.5).center)
+
+    def test_anchor_inside_room(self, plan, roster, rng):
+        room = plan.room("kitchen").rect
+        for _ in range(50):
+            p = sample_anchor(roster.profile("D"), room, Activity.WORK, rng)
+            assert room.contains(p)
+
+    def test_group_anchor_near_center(self, plan, roster, rng):
+        room = plan.room("kitchen").rect
+        cx, cy = room.center
+        for _ in range(50):
+            p = sample_anchor(roster.profile("D"), room, Activity.MEAL, rng)
+            assert np.hypot(p[0] - cx, p[1] - cy) <= 1.2
+
+
+class TestDayArrays:
+    def test_empty_initial_state(self):
+        arrays = DayArrays.empty(10)
+        assert (arrays.room == OUTSIDE).all()
+        assert np.isnan(arrays.x).all()
+        assert not arrays.walking.any()

@@ -1,0 +1,110 @@
+"""Tests for profiles and the ICAres-1 roster."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.crew.astronaut import Profile
+from repro.crew.roster import CREW_IDS, icares_roster
+
+
+class TestProfileValidation:
+    def test_bad_sex_rejected(self):
+        with pytest.raises(ConfigError):
+            Profile(astro_id="X", role="r", sex="x", mobility=0.5,
+                    talkativeness=0.5, sociability=0.5)
+
+    def test_trait_range_enforced(self):
+        with pytest.raises(ConfigError):
+            Profile(astro_id="X", role="r", sex="m", mobility=3.0,
+                    talkativeness=0.5, sociability=0.5)
+
+    def test_work_room_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            Profile(astro_id="X", role="r", sex="m", mobility=0.5,
+                    talkativeness=0.5, sociability=0.5,
+                    work_rooms={"office": 0.5, "biolab": 0.2})
+
+    def test_wear_diligence_range(self):
+        with pytest.raises(ConfigError):
+            Profile(astro_id="X", role="r", sex="m", mobility=0.5,
+                    talkativeness=0.5, sociability=0.5, wear_diligence=0.0)
+
+
+class TestRoster:
+    def test_six_astronauts_in_paper_order(self):
+        roster = icares_roster()
+        assert roster.ids == CREW_IDS
+
+    def test_three_women_three_men(self):
+        roster = icares_roster()
+        sexes = [p.sex for p in roster.profiles]
+        assert sexes.count("f") == 3 and sexes.count("m") == 3
+
+    def test_commander_is_b(self):
+        roster = icares_roster()
+        assert roster.profile("B").role == "Mission Commander"
+        assert roster.profile("B").supervises
+
+    def test_a_is_impaired(self):
+        profile = icares_roster().profile("A")
+        assert profile.impaired
+        assert profile.wander_extent < 0.5
+        assert profile.walk_speed < 1.0
+
+    def test_c_is_the_energetic_conversationalist(self):
+        roster = icares_roster()
+        c = roster.profile("C")
+        assert c.talkativeness == max(p.talkativeness for p in roster.profiles)
+        assert c.mobility == max(p.mobility for p in roster.profiles)
+
+    def test_mobility_ordering_matches_table1(self):
+        """Walking column order: C > F > D > E > B ~ A."""
+        roster = icares_roster()
+        mob = {p.astro_id: p.mobility for p in roster.profiles}
+        assert mob["C"] > mob["F"] > mob["D"] > mob["E"]
+        assert mob["A"] < mob["D"]
+
+    def test_affinity_symmetric_nonnegative(self):
+        roster = icares_roster()
+        assert np.allclose(roster.affinity, roster.affinity.T)
+        assert (roster.affinity >= 0).all()
+        assert np.allclose(np.diag(roster.affinity), 0.0)
+
+    def test_af_strongest_de_weakest(self):
+        roster = icares_roster()
+        af = roster.pair_affinity("A", "F")
+        de = roster.pair_affinity("D", "E")
+        assert af == max(
+            roster.pair_affinity(a, b)
+            for a in roster.ids for b in roster.ids if a != b
+        )
+        assert de == min(
+            roster.pair_affinity(a, b)
+            for a in roster.ids for b in roster.ids if a != b
+        )
+
+    def test_truncated_roster(self):
+        roster = icares_roster(crew_size=3)
+        assert roster.ids == ("A", "B", "C")
+        assert roster.affinity.shape == (3, 3)
+
+    def test_invalid_crew_size(self):
+        with pytest.raises(ConfigError):
+            icares_roster(crew_size=1)
+        with pytest.raises(ConfigError):
+            icares_roster(crew_size=9)
+
+    def test_index_and_unknown(self):
+        roster = icares_roster()
+        assert roster.index("D") == 3
+        with pytest.raises(ConfigError):
+            roster.index("Z")
+
+    def test_pitch_separates_sexes(self):
+        roster = icares_roster()
+        for p in roster.profiles:
+            if p.sex == "f":
+                assert p.voice_pitch_hz > 180
+            else:
+                assert p.voice_pitch_hz < 140

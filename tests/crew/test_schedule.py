@@ -1,0 +1,179 @@
+"""Tests for the daily schedule builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MissionConfig
+from repro.core.errors import ConfigError
+from repro.core.units import HOUR, MINUTE, parse_hhmm
+from repro.crew.roster import icares_roster
+from repro.crew.schedule import (
+    DaySchedule,
+    Slot,
+    build_day_schedule,
+    lunch_time_s,
+    override_slots,
+    scheduled_meal_times,
+)
+from repro.crew.tasks import Activity
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MissionConfig(days=14)
+
+
+@pytest.fixture(scope="module")
+def roster():
+    return icares_roster()
+
+
+def build(cfg, roster, day=2, seed=0, absent=frozenset()):
+    return build_day_schedule(cfg, roster, day, np.random.default_rng(seed), absent)
+
+
+class TestCoverage:
+    def test_validates(self, cfg, roster):
+        build(cfg, roster).validate()
+
+    def test_every_astronaut_scheduled(self, cfg, roster):
+        sched = build(cfg, roster)
+        assert set(sched.slots) == set(roster.ids)
+
+    def test_slots_tile_daytime(self, cfg, roster):
+        sched = build(cfg, roster)
+        for astro in roster.ids:
+            slots = sched.of(astro)
+            assert slots[0].t0 == cfg.daytime_start_s
+            assert slots[-1].t1 == cfg.daytime_start_s + cfg.daytime_s
+            for a, b in zip(slots, slots[1:]):
+                assert a.t1 == pytest.approx(b.t0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 14))
+    def test_coverage_property(self, seed, day):
+        cfg = MissionConfig(days=14)
+        roster = icares_roster()
+        sched = build_day_schedule(cfg, roster, day, np.random.default_rng(seed))
+        sched.validate()
+
+
+class TestStructure:
+    def test_three_meals_total_90_minutes(self, cfg, roster):
+        sched = build(cfg, roster)
+        for astro in roster.ids:
+            meal_s = sum(s.duration for s in sched.of(astro) if s.activity == Activity.MEAL)
+            assert meal_s == pytest.approx(1.5 * HOUR)
+
+    def test_meals_in_kitchen(self, cfg, roster):
+        sched = build(cfg, roster)
+        for astro in roster.ids:
+            assert all(
+                s.room == "kitchen" for s in sched.of(astro) if s.activity == Activity.MEAL
+            )
+
+    def test_lunch_at_1230(self, cfg):
+        assert lunch_time_s(cfg) == parse_hhmm("12:30")
+
+    def test_meal_times(self, cfg):
+        times = scheduled_meal_times(cfg)
+        assert times["breakfast"] == parse_hhmm("07:00")
+        assert times["dinner"] == parse_hhmm("18:30")
+
+    def test_briefings_in_office(self, cfg, roster):
+        sched = build(cfg, roster)
+        briefings = [s for s in sched.of("A") if s.activity == Activity.BRIEFING]
+        assert len(briefings) == 2
+        assert all(s.room == "office" for s in briefings)
+
+    def test_eva_day_has_eva_pair(self, cfg, roster):
+        sched = build(cfg, roster, day=3)  # 3 % 3 == 0
+        eva_crew = [
+            astro for astro in roster.ids
+            if any(s.activity == Activity.EVA for s in sched.of(astro))
+        ]
+        assert len(eva_crew) == 2
+
+    def test_eva_has_prep_and_post_in_airlock(self, cfg, roster):
+        sched = build(cfg, roster, day=3)
+        for astro in roster.ids:
+            slots = sched.of(astro)
+            if any(s.activity == Activity.EVA for s in slots):
+                kinds = [s.activity for s in slots]
+                i = kinds.index(Activity.EVA)
+                assert kinds[i - 1] == Activity.EVA_PREP
+                assert kinds[i + 1] == Activity.EVA_POST
+                assert slots[i - 1].room == "airlock"
+                assert slots[i].room is None  # on the surface
+
+    def test_non_eva_day_has_none(self, cfg, roster):
+        sched = build(cfg, roster, day=4)
+        assert not any(
+            s.activity == Activity.EVA for a in roster.ids for s in sched.of(a)
+        )
+
+    def test_absent_astronaut_single_slot(self, cfg, roster):
+        sched = build(cfg, roster, day=5, absent={"C"})
+        slots = sched.of("C")
+        assert len(slots) == 1
+        assert slots[0].activity == Activity.ABSENT
+
+    def test_skipped_breaks_produce_water_dashes(self, roster):
+        cfg = MissionConfig(days=14)
+        # Across several seeds, someone must skip a break and dash.
+        found = False
+        for seed in range(5):
+            sched = build(cfg, roster, seed=seed)
+            for astro in roster.ids:
+                if any(s.label == "water-dash" for s in sched.of(astro)):
+                    found = True
+        assert found
+
+
+class TestOverride:
+    def test_override_inserts_window(self):
+        slots = [Slot(0.0, 100.0, Activity.WORK, "office")]
+        out = override_slots(slots, 20.0, 40.0, Activity.BREAK, "kitchen", "chat")
+        assert [(s.t0, s.t1) for s in out] == [(0.0, 20.0), (20.0, 40.0), (40.0, 100.0)]
+        assert out[1].room == "kitchen"
+
+    def test_override_spanning_slots(self):
+        slots = [
+            Slot(0.0, 50.0, Activity.WORK, "office"),
+            Slot(50.0, 100.0, Activity.WORK, "biolab"),
+        ]
+        out = override_slots(slots, 40.0, 60.0, Activity.RESTROOM, "restroom")
+        assert [(s.t0, s.t1) for s in out] == [(0.0, 40.0), (40.0, 60.0), (60.0, 100.0)]
+
+    def test_override_entire_range(self):
+        slots = [Slot(0.0, 10.0, Activity.WORK, "office")]
+        out = override_slots(slots, 0.0, 10.0, Activity.ABSENT, None)
+        assert len(out) == 1 and out[0].activity == Activity.ABSENT
+
+    def test_override_outside_raises(self):
+        slots = [Slot(0.0, 10.0, Activity.WORK, "office")]
+        with pytest.raises(ConfigError):
+            override_slots(slots, 20.0, 30.0, Activity.BREAK, "kitchen")
+
+    def test_empty_window_raises(self):
+        slots = [Slot(0.0, 10.0, Activity.WORK, "office")]
+        with pytest.raises(ConfigError):
+            override_slots(slots, 5.0, 5.0, Activity.BREAK, "kitchen")
+
+    def test_preserves_contiguity(self):
+        sched = DaySchedule(day=1, start_s=0.0, end_s=100.0,
+                            slots={"A": [Slot(0.0, 100.0, Activity.WORK, "office")]})
+        sched.slots["A"] = override_slots(sched.slots["A"], 10.0, 20.0,
+                                          Activity.BREAK, "kitchen")
+        sched.validate()
+
+
+class TestSlot:
+    def test_empty_slot_rejected(self):
+        with pytest.raises(ConfigError):
+            Slot(10.0, 10.0, Activity.WORK, "office")
+
+    def test_duration(self):
+        assert Slot(0.0, 30 * MINUTE, Activity.MEAL, "kitchen").duration == 1800.0

@@ -1,0 +1,47 @@
+"""Tests for the activity taxonomy."""
+
+from repro.crew.tasks import SILENT_ACTIVITIES, Activity, talk_regime
+
+
+class TestActivity:
+    def test_group_activities(self):
+        assert Activity.MEAL.is_group
+        assert Activity.BRIEFING.is_group
+        assert Activity.CONSOLATION.is_group
+        assert not Activity.WORK.is_group
+
+    def test_badge_prohibitions_match_paper(self):
+        """No badges during EVAs, in restrooms, during exercise."""
+        assert not Activity.EVA.badge_wearable
+        assert not Activity.RESTROOM.badge_wearable
+        assert not Activity.EXERCISE.badge_wearable
+        assert Activity.WORK.badge_wearable
+        assert Activity.EVA_PREP.badge_wearable
+
+    def test_silent_activities(self):
+        assert Activity.TRANSIT in SILENT_ACTIVITIES
+        assert Activity.MEAL not in SILENT_ACTIVITIES
+
+
+class TestTalkRegimes:
+    def test_consolation_quieter_than_meal(self):
+        __, __, meal_db = talk_regime(Activity.MEAL)
+        __, __, conso_db = talk_regime(Activity.CONSOLATION)
+        assert conso_db < meal_db - 3.0
+
+    def test_meal_duty_high(self):
+        duty, __, __ = talk_regime(Activity.MEAL)
+        assert duty >= 0.7
+
+    def test_unknown_activity_gets_default(self):
+        duty, burst, loud = talk_regime(Activity.TRANSIT)
+        assert 0 < duty < 1 and burst > 0 and loud > 0
+
+    def test_loudness_supports_2_5m_detection(self):
+        """A 68 dB @ 1 m speaker is right at 60 dB from 2.5 m (the
+        paper's detection boundary)."""
+        import math
+
+        __, __, loud = talk_regime(Activity.MEAL)
+        at_2_5m = loud - 20 * math.log10(2.5)
+        assert abs(at_2_5m - 60.0) < 1.0

@@ -1,0 +1,65 @@
+"""Tests for beacon placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.habitat.beacons import (
+    beacon_positions,
+    beacon_rooms,
+    place_beacons,
+    rooms_covered,
+)
+from repro.habitat.floorplan import lunares_floorplan
+from repro.habitat.rooms import MAIN_HALL, ROOM_NAMES
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return lunares_floorplan()
+
+
+class TestPlacement:
+    def test_paper_count(self, plan):
+        assert len(place_beacons(plan, 27)) == 27
+
+    def test_all_rooms_covered_at_27(self, plan):
+        covered = rooms_covered(place_beacons(plan, 27), plan)
+        assert covered == set(ROOM_NAMES) | {MAIN_HALL}
+
+    def test_positions_inside_their_rooms(self, plan):
+        for beacon in place_beacons(plan, 27):
+            assert plan.locate(beacon.position) == beacon.room
+
+    def test_positions_off_walls(self, plan):
+        for beacon in place_beacons(plan, 27, margin_m=0.7):
+            room = plan.rooms[beacon.room].rect
+            x, y = beacon.position
+            assert x - room.x0 >= 0.7 - 1e-9 and room.x1 - x >= 0.7 - 1e-9
+
+    def test_deterministic(self, plan):
+        a = place_beacons(plan, 27)
+        b = place_beacons(plan, 27)
+        assert [x.position for x in a] == [x.position for x in b]
+
+    def test_ids_sequential(self, plan):
+        ids = [b.beacon_id for b in place_beacons(plan, 12)]
+        assert ids == list(range(12))
+
+    def test_distinct_positions(self, plan):
+        positions = {b.position for b in place_beacons(plan, 27)}
+        assert len(positions) == 27
+
+    def test_zero_rejected(self, plan):
+        with pytest.raises(ConfigError):
+            place_beacons(plan, 0)
+
+    def test_helpers(self, plan):
+        beacons = place_beacons(plan, 9)
+        assert beacon_positions(beacons).shape == (9, 2)
+        assert beacon_rooms(beacons).shape == (9,)
+        assert beacon_rooms(beacons).dtype == np.int8
+
+    def test_fewer_beacons_fewer_rooms(self, plan):
+        covered = rooms_covered(place_beacons(plan, 3), plan)
+        assert len(covered) == 3

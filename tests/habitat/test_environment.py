@@ -1,0 +1,64 @@
+"""Tests for per-room environmental fields."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.habitat.environment import BASE_PRESSURE_HPA, DEFAULT_CLIMATES, Environment, RoomClimate
+
+
+@pytest.fixture(scope="module")
+def env():
+    return Environment()
+
+
+class TestClimates:
+    def test_kitchen_is_warmest(self):
+        temps = {room: c.temperature_c for room, c in DEFAULT_CLIMATES.items()}
+        assert max(temps, key=temps.get) == "kitchen"
+
+    def test_all_fig2_rooms_have_climates(self):
+        from repro.habitat.rooms import MAIN_HALL, ROOM_NAMES
+
+        assert set(DEFAULT_CLIMATES) == set(ROOM_NAMES) | {MAIN_HALL}
+
+    def test_unknown_room_raises(self, env):
+        with pytest.raises(ConfigError):
+            env.climate("garage")
+
+    def test_invalid_climate_rejected(self):
+        with pytest.raises(ConfigError):
+            RoomClimate(temperature_c=20.0, light_lux_day=-1.0, noise_floor_db=30.0)
+
+
+class TestTemperature:
+    def test_wobbles_around_setpoint(self, env):
+        t = np.linspace(0.0, 200_000.0, 500)
+        temps = env.temperature_c("kitchen", t)
+        base = env.climate("kitchen").temperature_c
+        assert np.all(np.abs(temps - base) <= 0.6 + 1e-9)
+        assert temps.std() > 0.1  # actually varies
+
+
+class TestLight:
+    def test_night_level(self, env):
+        # Find a Martian-night timestamp.
+        t = np.linspace(0.0, 200_000.0, 2000)
+        day_mask = env.is_martian_day(t)
+        assert day_mask.any() and (~day_mask).any()
+        lux = env.light_lux("office", t)
+        assert np.all(lux[~day_mask] == env.night_light_lux)
+        assert np.all(lux[day_mask] == env.climate("office").light_lux_day)
+
+    def test_day_window_validation(self):
+        with pytest.raises(ConfigError):
+            Environment(day_window=(0.9, 0.1))
+
+
+class TestPressure:
+    def test_near_base(self, env):
+        p = env.pressure_hpa(np.linspace(0, 10_000, 100))
+        assert np.all(np.abs(p - BASE_PRESSURE_HPA) <= 1.5 + 1e-9)
+
+    def test_noise_floor(self, env):
+        assert env.noise_floor_db("workshop") > env.noise_floor_db("bedroom")

@@ -1,0 +1,118 @@
+"""Unit and property tests for geometry primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.habitat.geometry import (
+    Rect,
+    bounding_box,
+    distance,
+    distances_to,
+    segment_points,
+)
+
+coords = st.floats(-50.0, 50.0, allow_nan=False)
+
+
+def rects():
+    return st.tuples(coords, coords, coords, coords).map(
+        lambda t: Rect(min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]), max(t[1], t[3]))
+    )
+
+
+class TestDistance:
+    def test_pythagoras(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+
+    def test_zero(self):
+        assert distance((2, 2), (2, 2)) == 0.0
+
+    def test_vectorized_matches_scalar(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        d = distances_to(pts, (0.0, 0.0))
+        np.testing.assert_allclose(d, [0.0, 5.0, np.sqrt(2)])
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConfigError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_properties(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4 and r.height == 3 and r.area == 12
+        assert r.center == (2.0, 1.5)
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains((0, 0)) and r.contains((2, 2))
+        assert not r.contains((2.1, 1))
+
+    def test_contains_many(self):
+        r = Rect(0, 0, 1, 1)
+        pts = np.array([[0.5, 0.5], [2.0, 0.5], [1.0, 1.0]])
+        np.testing.assert_array_equal(r.contains_many(pts), [True, False, True])
+
+    def test_clamp(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.clamp((5, -1)) == (2, 0)
+        assert r.clamp((1, 1)) == (1, 1)
+
+    def test_shrink(self):
+        inner = Rect(0, 0, 4, 4).shrink(1.0)
+        assert (inner.x0, inner.y0, inner.x1, inner.y1) == (1, 1, 3, 3)
+
+    def test_shrink_collapses_gracefully(self):
+        tiny = Rect(0, 0, 1, 1).shrink(10.0)
+        assert tiny.area == 0.0
+        assert tiny.center == (0.5, 0.5)
+
+    def test_overlaps_and_touches(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 3, 3))
+        assert not a.overlaps(Rect(2, 0, 4, 2))   # edge share is not overlap
+        assert a.touches(Rect(2, 0, 4, 2))
+        assert not a.touches(Rect(3, 3, 4, 4))
+
+    @given(rects(), st.data())
+    def test_sample_inside_property(self, r, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        pts = r.sample(rng, 16)
+        assert r.contains_many(pts).all()
+
+    @given(rects(), coords, coords)
+    def test_clamp_inside_property(self, r, x, y):
+        assert r.contains(r.clamp((x, y)))
+
+
+class TestBoundingBox:
+    def test_covers_all(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)])
+        assert (box.x0, box.y0, box.x1, box.y1) == (0, -2, 6, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            bounding_box([])
+
+
+class TestSegmentPoints:
+    def test_includes_endpoints(self):
+        pts = segment_points((0, 0), (10, 0), step=1.0)
+        np.testing.assert_allclose(pts[0], [0, 0])
+        np.testing.assert_allclose(pts[-1], [10, 0])
+
+    def test_spacing(self):
+        pts = segment_points((0, 0), (10, 0), step=1.0)
+        gaps = np.diff(pts[:, 0])
+        assert (gaps <= 1.0 + 1e-9).all()
+
+    def test_zero_length(self):
+        pts = segment_points((1, 1), (1, 1), step=0.5)
+        assert len(pts) == 2
+
+    def test_bad_step(self):
+        with pytest.raises(ConfigError):
+            segment_points((0, 0), (1, 1), step=0.0)

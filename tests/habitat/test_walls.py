@@ -1,0 +1,81 @@
+"""Tests for the wall attenuation model."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.habitat.floorplan import OUTSIDE, lunares_floorplan
+from repro.habitat.walls import WallModel
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return lunares_floorplan()
+
+
+@pytest.fixture(scope="module")
+def walls():
+    return WallModel()
+
+
+def atten_at(walls, plan, rx_point, tx_room_name):
+    rx = np.array([rx_point])
+    rx_room = plan.locate_many(rx)
+    tx = plan.room(tx_room_name)
+    return float(walls.attenuation_db(plan, rx, rx_room, tx.rect.center, tx.index)[0])
+
+
+class TestAttenuation:
+    def test_same_room_zero(self, walls, plan):
+        kitchen = plan.room("kitchen").rect.center
+        assert atten_at(walls, plan, kitchen, "kitchen") == 0.0
+
+    def test_one_wall(self, walls, plan):
+        hall_point = plan.room("main").rect.center
+        assert atten_at(walls, plan, hall_point, "kitchen") == pytest.approx(walls.wall_db)
+
+    def test_two_walls(self, walls, plan):
+        bedroom = plan.room("bedroom").rect.center
+        assert atten_at(walls, plan, bedroom, "restroom") == pytest.approx(2 * walls.wall_db)
+
+    def test_door_leakage_reduces_attenuation(self, walls, plan):
+        door = plan.room("kitchen").doors[0].position
+        near_door_in_hall = (door[0], door[1] - 0.5)
+        assert plan.locate(near_door_in_hall) == plan.main_index
+        leaky = atten_at(walls, plan, near_door_in_hall, "kitchen")
+        assert leaky == pytest.approx(walls.wall_db - walls.door_leak_db)
+
+    def test_far_from_door_full_wall(self, walls, plan):
+        far_in_hall = (0.5, 2.0)
+        assert atten_at(walls, plan, far_in_hall, "kitchen") == pytest.approx(walls.wall_db)
+
+    def test_outside_receiver(self, walls, plan):
+        rx = np.array([[100.0, 100.0]])
+        room = np.array([OUTSIDE], dtype=np.int8)
+        tx = plan.room("airlock")
+        out = walls.attenuation_db(plan, rx, room, tx.rect.center, tx.index)
+        assert out[0] == walls.outside_db
+
+    def test_outside_transmitter(self, walls, plan):
+        rx = np.array([plan.room("kitchen").rect.center])
+        room = plan.locate_many(rx)
+        out = walls.attenuation_db(plan, rx, room, (100.0, 100.0), OUTSIDE)
+        assert out[0] == walls.outside_db
+
+
+class TestValidation:
+    def test_leak_cannot_exceed_wall(self):
+        with pytest.raises(ConfigError):
+            WallModel(wall_db=10.0, door_leak_db=20.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            WallModel(wall_db=-1.0)
+
+    def test_wall_count_point(self, walls, plan):
+        assert walls.wall_count_point(
+            plan, plan.room("kitchen").rect.center, plan.room("kitchen").rect.center
+        ) == 0
+        assert walls.wall_count_point(
+            plan, plan.room("kitchen").rect.center, (100.0, 100.0)
+        ) == 3

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def tiny_args():
+    return ["--days", "2", "--seed", "21", "--no-events"]
+
+
+class TestCli:
+    def test_run_prints_table(self, capsys, tiny_args):
+        assert main(["run", *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "company" in out and "GiB" in out
+
+    def test_save_and_analyze_round_trip(self, capsys, tiny_args, tmp_path):
+        path = str(tmp_path / "ds")
+        assert main(["save", *tiny_args, path]) == 0
+        saved = capsys.readouterr().out
+        assert "badge-days" in saved
+
+        assert main(["analyze", path]) == 0
+        analyzed = capsys.readouterr().out
+        assert "company" in analyzed
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])

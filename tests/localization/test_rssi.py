@@ -1,0 +1,62 @@
+"""Tests for RSSI conditioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.localization.rssi import ema_smooth, strongest_beacon
+
+
+class TestEmaSmooth:
+    def test_constant_signal_unchanged(self):
+        rssi = np.full((20, 3), -60.0)
+        out = ema_smooth(rssi)
+        np.testing.assert_allclose(out, rssi)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        rssi = -60.0 + rng.normal(0, 4, size=(500, 1))
+        out = ema_smooth(rssi, alpha=0.3)
+        assert np.nanstd(out[10:]) < np.nanstd(rssi[10:])
+
+    def test_carries_over_short_gaps(self):
+        rssi = np.full((10, 1), -60.0)
+        rssi[4:6, 0] = np.nan
+        out = ema_smooth(rssi, max_gap=3)
+        assert np.isfinite(out[4:6]).all()
+
+    def test_resets_after_long_gap(self):
+        rssi = np.full((20, 1), -60.0)
+        rssi[5:15, 0] = np.nan
+        out = ema_smooth(rssi, max_gap=3)
+        assert np.isnan(out[10, 0])
+
+    def test_leading_nans_stay_nan(self):
+        rssi = np.full((5, 1), np.nan)
+        rssi[3:, 0] = -50.0
+        out = ema_smooth(rssi)
+        assert np.isnan(out[:3]).all()
+        assert out[3, 0] == -50.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigError):
+            ema_smooth(np.zeros((2, 2)), alpha=0.0)
+
+    def test_alpha_one_passthrough(self):
+        rng = np.random.default_rng(1)
+        rssi = rng.normal(-60, 3, size=(50, 2))
+        np.testing.assert_allclose(ema_smooth(rssi, alpha=1.0), rssi)
+
+
+class TestStrongestBeacon:
+    def test_basic(self):
+        rssi = np.array([[-70.0, -50.0, -90.0]])
+        assert strongest_beacon(rssi)[0] == 1
+
+    def test_nan_ignored(self):
+        rssi = np.array([[np.nan, -80.0, np.nan]])
+        assert strongest_beacon(rssi)[0] == 1
+
+    def test_all_nan_is_minus_one(self):
+        rssi = np.full((3, 4), np.nan)
+        assert (strongest_beacon(rssi) == -1).all()

@@ -1,0 +1,105 @@
+"""Tests for ranging and position estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.localization.trilateration import (
+    gauss_newton_refine,
+    rssi_to_distance,
+    weighted_centroid,
+)
+
+
+class TestRanging:
+    def test_inverts_path_loss(self):
+        # RSSI at 1 m equals tx power; at 10 m it is 10*n dB lower.
+        assert rssi_to_distance(np.array([-59.0]))[0] == pytest.approx(1.0)
+        assert rssi_to_distance(np.array([-59.0 - 22.0]))[0] == pytest.approx(10.0)
+
+    def test_monotone(self):
+        rssi = np.array([-50.0, -60.0, -70.0])
+        d = rssi_to_distance(rssi)
+        assert d[0] < d[1] < d[2]
+
+    def test_bad_exponent(self):
+        with pytest.raises(ConfigError):
+            rssi_to_distance(np.array([-60.0]), path_loss_exponent=0.0)
+
+
+class TestWeightedCentroid:
+    def test_equidistant_gives_centroid(self):
+        beacons = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 2.0]])
+        rssi = np.full((1, 3), -65.0)
+        est = weighted_centroid(rssi, beacons)
+        np.testing.assert_allclose(est[0], beacons.mean(axis=0), atol=1e-9)
+
+    def test_pulls_toward_strong_beacon(self):
+        beacons = np.array([[0.0, 0.0], [10.0, 0.0]])
+        rssi = np.array([[-50.0, -80.0]])
+        est = weighted_centroid(rssi, beacons)
+        assert est[0, 0] < 1.0
+
+    def test_mask_limits_contributors(self):
+        beacons = np.array([[0.0, 0.0], [10.0, 0.0]])
+        rssi = np.array([[-50.0, -50.0]])
+        mask = np.array([[True, False]])
+        est = weighted_centroid(rssi, beacons, weight_mask=mask)
+        np.testing.assert_allclose(est[0], [0.0, 0.0], atol=1e-9)
+
+    def test_no_beacons_nan(self):
+        beacons = np.array([[0.0, 0.0]])
+        rssi = np.array([[np.nan]])
+        est = weighted_centroid(rssi, beacons)
+        assert np.isnan(est).all()
+
+    def test_accuracy_on_synthetic_room(self):
+        """Noise-free RSSI from 3 beacons localizes within ~1 m."""
+        rng = np.random.default_rng(0)
+        beacons = np.array([[0.5, 0.5], [3.5, 0.5], [2.0, 2.5]])
+        truth = rng.uniform(0.8, 2.8, size=(100, 2))
+        d = np.hypot(
+            truth[:, None, 0] - beacons[None, :, 0],
+            truth[:, None, 1] - beacons[None, :, 1],
+        )
+        rssi = -59.0 - 22.0 * np.log10(np.maximum(d, 0.3))
+        est = weighted_centroid(rssi, beacons)
+        err = np.hypot(est[:, 0] - truth[:, 0], est[:, 1] - truth[:, 1])
+        assert np.median(err) < 1.0
+
+
+class TestGaussNewton:
+    def test_exact_ranges_converge(self):
+        beacons = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        truth = np.array([1.5, 2.0])
+        ranges = np.hypot(beacons[:, 0] - truth[0], beacons[:, 1] - truth[1])
+        est = gauss_newton_refine(np.array([2.0, 2.0]), ranges, beacons, iterations=20)
+        np.testing.assert_allclose(est, truth, atol=1e-3)
+
+    def test_improves_over_centroid(self):
+        beacons = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0], [4.0, 4.0]])
+        truth = np.array([0.8, 0.7])
+        ranges = np.hypot(beacons[:, 0] - truth[0], beacons[:, 1] - truth[1])
+        start = beacons.mean(axis=0)
+        refined = gauss_newton_refine(start, ranges, beacons, iterations=25)
+        assert np.hypot(*(refined - truth)) < np.hypot(*(start - truth))
+
+    def test_single_beacon_returns_initial(self):
+        est = gauss_newton_refine(np.array([1.0, 1.0]), np.array([2.0]),
+                                  np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(est, [1.0, 1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            gauss_newton_refine(np.zeros(2), np.zeros(3), np.zeros((2, 2)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.5, 3.5), st.floats(0.5, 3.5))
+    def test_noise_free_recovery_property(self, x, y):
+        beacons = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0], [4.0, 4.0]])
+        truth = np.array([x, y])
+        ranges = np.hypot(beacons[:, 0] - truth[0], beacons[:, 1] - truth[1])
+        est = gauss_newton_refine(np.array([2.0, 2.0]), ranges, beacons, iterations=30)
+        assert np.hypot(*(est - truth)) < 0.05

@@ -1,0 +1,68 @@
+"""Tests for IR face-to-face contact detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.radio.infrared import IrModel
+
+
+def make_inputs(distance=0.5, frames=2000, worn=True, walking=False, same_room=True):
+    xy = {
+        0: np.tile(np.array([0.0, 0.0]), (frames, 1)),
+        1: np.tile(np.array([distance, 0.0]), (frames, 1)),
+    }
+    rooms = {
+        0: np.zeros(frames, dtype=np.int8),
+        1: np.zeros(frames, dtype=np.int8) if same_room else np.ones(frames, dtype=np.int8),
+    }
+    worn_masks = {i: np.full(frames, worn) for i in range(2)}
+    walking_masks = {i: np.full(frames, walking) for i in range(2)}
+    return xy, rooms, worn_masks, walking_masks
+
+
+class TestContactProbability:
+    def test_close_range_maximal(self):
+        model = IrModel()
+        p = model.contact_prob(np.array([0.3]))
+        assert p[0] == pytest.approx(model.max_contact_prob)
+
+    def test_beyond_range_zero(self):
+        model = IrModel()
+        assert model.contact_prob(np.array([5.0]))[0] == 0.0
+
+    def test_monotone_decreasing(self):
+        model = IrModel()
+        d = np.linspace(0.1, 3.0, 30)
+        p = model.contact_prob(d)
+        assert (np.diff(p) <= 1e-12).all()
+
+
+class TestPairwise:
+    def test_close_stationary_pair_contacts(self):
+        out = IrModel().pairwise(*make_inputs(distance=0.5), rng=np.random.default_rng(0))
+        frac = out[(0, 1)].mean()
+        assert frac == pytest.approx(IrModel().max_contact_prob, rel=0.1)
+
+    def test_distance_reduces_contact(self):
+        near = IrModel().pairwise(*make_inputs(0.5), rng=np.random.default_rng(0))
+        far = IrModel().pairwise(*make_inputs(1.8), rng=np.random.default_rng(0))
+        assert far[(0, 1)].mean() < 0.5 * near[(0, 1)].mean()
+
+    def test_walking_blocks_contact(self):
+        out = IrModel().pairwise(*make_inputs(walking=True), rng=np.random.default_rng(0))
+        assert not out[(0, 1)].any()
+
+    def test_unworn_blocks_contact(self):
+        out = IrModel().pairwise(*make_inputs(worn=False), rng=np.random.default_rng(0))
+        assert not out[(0, 1)].any()
+
+    def test_cross_room_blocks_contact(self):
+        out = IrModel().pairwise(*make_inputs(same_room=False), rng=np.random.default_rng(0))
+        assert not out[(0, 1)].any()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            IrModel(close_range_m=3.0, max_range_m=2.0)
+        with pytest.raises(ConfigError):
+            IrModel(max_contact_prob=0.0)

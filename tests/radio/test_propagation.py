@@ -1,0 +1,94 @@
+"""Unit and property tests for RF propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.habitat.floorplan import lunares_floorplan
+from repro.radio.propagation import BLE_2G4, SUBGHZ_868, PropagationModel
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return lunares_floorplan()
+
+
+class TestPathLoss:
+    def test_increases_with_distance(self):
+        model = PropagationModel()
+        d = np.array([1.0, 2.0, 5.0, 10.0])
+        loss = model.path_loss_db(d)
+        assert (np.diff(loss) > 0).all()
+
+    def test_reference_distance_loss(self):
+        model = PropagationModel(reference_loss_db=40.0)
+        assert model.path_loss_db(np.array([1.0]))[0] == pytest.approx(40.0)
+
+    def test_near_field_clamped(self):
+        model = PropagationModel(min_distance_m=0.3)
+        loss_close = model.path_loss_db(np.array([0.01]))[0]
+        loss_at_clamp = model.path_loss_db(np.array([0.3]))[0]
+        assert loss_close == loss_at_clamp
+
+    def test_exponent_scales_slope(self):
+        shallow = PropagationModel(path_loss_exponent=2.0)
+        steep = PropagationModel(path_loss_exponent=3.0)
+        d = np.array([10.0])
+        assert steep.path_loss_db(d)[0] > shallow.path_loss_db(d)[0]
+
+    @given(st.floats(0.5, 100.0), st.floats(0.5, 100.0))
+    def test_monotonicity_property(self, d1, d2):
+        model = PropagationModel()
+        l1 = model.path_loss_db(np.array([d1]))[0]
+        l2 = model.path_loss_db(np.array([d2]))[0]
+        if d1 < d2:
+            assert l1 <= l2
+        elif d1 > d2:
+            assert l1 >= l2
+
+
+class TestReceivedPower:
+    def test_deterministic_without_rng(self, plan):
+        model = PropagationModel(shadow_sigma_db=3.0)
+        kitchen = plan.room("kitchen")
+        rx = np.array([[9.0, 5.0], [10.0, 6.0]])
+        rooms = plan.locate_many(rx)
+        a = model.received_dbm(plan, -59.0, kitchen.rect.center, kitchen.index, rx, rooms)
+        b = model.received_dbm(plan, -59.0, kitchen.rect.center, kitchen.index, rx, rooms)
+        np.testing.assert_array_equal(a, b)
+
+    def test_shadowing_adds_noise(self, plan):
+        model = PropagationModel(shadow_sigma_db=3.0)
+        kitchen = plan.room("kitchen")
+        rx = np.tile(np.array([[9.0, 5.0]]), (200, 1))
+        rooms = plan.locate_many(rx)
+        rng = np.random.default_rng(0)
+        noisy = model.received_dbm(plan, -59.0, kitchen.rect.center, kitchen.index, rx, rooms, rng)
+        assert noisy.std() == pytest.approx(3.0, rel=0.3)
+
+    def test_same_room_stronger_than_cross_room(self, plan):
+        model = PropagationModel(shadow_sigma_db=0.0)
+        kitchen = plan.room("kitchen")
+        rx = np.array([
+            list(kitchen.rect.shrink(1.0).center),
+            list(plan.room("bedroom").rect.center),
+        ])
+        rooms = plan.locate_many(rx)
+        power = model.received_dbm(plan, -59.0, kitchen.rect.center, kitchen.index, rx, rooms)
+        assert power[0] > power[1] + 30.0
+
+    def test_band_defaults(self):
+        assert SUBGHZ_868.path_loss_exponent < BLE_2G4.path_loss_exponent
+        assert SUBGHZ_868.walls.wall_db < BLE_2G4.walls.wall_db
+
+
+class TestValidation:
+    def test_bad_exponent(self):
+        with pytest.raises(ConfigError):
+            PropagationModel(path_loss_exponent=0.0)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ConfigError):
+            PropagationModel(shadow_sigma_db=-1.0)

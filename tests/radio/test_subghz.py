@@ -1,0 +1,64 @@
+"""Tests for 868 MHz badge-to-badge proximity."""
+
+import numpy as np
+import pytest
+
+from repro.habitat.floorplan import lunares_floorplan
+from repro.radio.subghz import SubGhzModel
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return lunares_floorplan()
+
+
+def make_pair(plan, room_a, room_b, frames=300):
+    a = plan.room(room_a).rect.shrink(1.0).center
+    b = plan.room(room_b).rect.shrink(1.0).center
+    xy = {
+        0: np.tile(np.array(a, dtype=np.float64), (frames, 1)),
+        1: np.tile(np.array(b, dtype=np.float64), (frames, 1)),
+    }
+    rooms = {
+        0: np.full(frames, plan.index_of(room_a), dtype=np.int8),
+        1: np.full(frames, plan.index_of(room_b), dtype=np.int8),
+    }
+    active = {0: np.ones(frames, dtype=bool), 1: np.ones(frames, dtype=bool)}
+    return xy, rooms, active
+
+
+class TestPairwise:
+    def test_same_room_strong_contact(self, plan):
+        xy, rooms, active = make_pair(plan, "kitchen", "kitchen")
+        out = SubGhzModel().pairwise(plan, xy, rooms, active, np.random.default_rng(0))
+        rssi = out[(0, 1)]
+        assert (~np.isnan(rssi)).mean() > 0.8
+        assert np.nanmean(rssi) > -80
+
+    def test_cross_room_weaker(self, plan):
+        same_xy, same_rooms, active = make_pair(plan, "kitchen", "kitchen")
+        cross_xy, cross_rooms, _ = make_pair(plan, "kitchen", "office")
+        model = SubGhzModel()
+        same = model.pairwise(plan, same_xy, same_rooms, active, np.random.default_rng(0))
+        cross = model.pairwise(plan, cross_xy, cross_rooms, active, np.random.default_rng(0))
+        assert np.nanmean(same[(0, 1)]) > np.nanmean(cross[(0, 1)]) + 15
+
+    def test_all_pairs_present(self, plan):
+        frames = 50
+        xy = {i: np.zeros((frames, 2)) + i for i in range(4)}
+        rooms = {i: np.full(frames, plan.main_index, dtype=np.int8) for i in range(4)}
+        active = {i: np.ones(frames, dtype=bool) for i in range(4)}
+        out = SubGhzModel().pairwise(plan, xy, rooms, active, np.random.default_rng(0))
+        assert set(out) == {(i, j) for i in range(4) for j in range(i + 1, 4)}
+
+    def test_inactive_badge_silent(self, plan):
+        xy, rooms, active = make_pair(plan, "kitchen", "kitchen")
+        active[1][:] = False
+        out = SubGhzModel().pairwise(plan, xy, rooms, active, np.random.default_rng(0))
+        assert np.isnan(out[(0, 1)]).all()
+
+    def test_detection_prob_zero_means_silence(self, plan):
+        xy, rooms, active = make_pair(plan, "kitchen", "kitchen")
+        model = SubGhzModel(detection_prob=1e-12)
+        out = model.pairwise(plan, xy, rooms, active, np.random.default_rng(0))
+        assert np.isnan(out[(0, 1)]).all()

@@ -1,0 +1,77 @@
+"""Tests for opportunistic time synchronization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import ClockModel
+from repro.radio.timesync import TimeSyncSimulator, apply_clock_skew
+
+
+def run_sync(drift_ppm=50.0, visits_station=True, frames=20_000):
+    clock = ClockModel(offset_s=0.0, drift_ppm=drift_ppm)
+    xy = np.tile(np.array([50.0, 50.0]), (frames, 1))  # far from station
+    if visits_station:
+        # Visit the station (at origin) every ~2000 frames for 60 s.
+        for start in range(1000, frames, 2000):
+            xy[start : start + 60] = [0.0, 0.0]
+    active = np.ones(frames, dtype=bool)
+    sync = TimeSyncSimulator(station_xy=(0.0, 0.0), sync_range_m=5.0, min_spacing_s=300.0)
+    return sync.run_day(clock, xy, active, t0=0.0, dt=1.0)
+
+
+class TestSync:
+    def test_errors_bounded_with_visits(self):
+        errors, events = run_sync()
+        assert len(events) > 5
+        # Between 300-spaced syncs and 2000 s gaps at 50 ppm: < 0.15 s.
+        assert np.abs(errors[2000:]).max() < 0.2
+
+    def test_error_grows_without_visits(self):
+        errors, events = run_sync(visits_station=False)
+        assert events == []
+        assert abs(errors[-1]) == pytest.approx(50e-6 * 20_000, rel=0.01)
+
+    def test_sync_resets_error(self):
+        errors, events = run_sync(drift_ppm=200.0)
+        for event in events:
+            idx = int(event.time_s)
+            assert abs(errors[idx]) < 1e-6
+
+    def test_min_spacing_respected(self):
+        __, events = run_sync()
+        times = [e.time_s for e in events]
+        assert all(b - a >= 300.0 for a, b in zip(times, times[1:]))
+
+    def test_inactive_badge_never_syncs(self):
+        clock = ClockModel(drift_ppm=100.0)
+        xy = np.zeros((5000, 2))  # parked on the station
+        active = np.zeros(5000, dtype=bool)
+        sync = TimeSyncSimulator(station_xy=(0.0, 0.0))
+        __, events = sync.run_day(clock, xy, active, 0.0, 1.0)
+        assert events == []
+
+
+class TestApplyClockSkew:
+    def test_zero_error_identity(self):
+        values = np.arange(100)
+        out = apply_clock_skew(values, np.zeros(100), dt=1.0)
+        np.testing.assert_array_equal(out, values)
+
+    def test_subframe_error_identity(self):
+        values = np.arange(100)
+        out = apply_clock_skew(values, np.full(100, 0.4), dt=1.0)
+        np.testing.assert_array_equal(out, values)
+
+    def test_constant_shift(self):
+        values = np.arange(10)
+        out = apply_clock_skew(values, np.full(10, 3.0), dt=1.0)
+        np.testing.assert_array_equal(out[3:], values[:7])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(-5.0, 5.0))
+    def test_preserves_value_set_property(self, error):
+        values = np.arange(50)
+        out = apply_clock_skew(values, np.full(50, error), dt=1.0)
+        assert set(out).issubset(set(values))

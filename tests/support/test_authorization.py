@@ -1,0 +1,115 @@
+"""Tests for multi-party authorization."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import ProtocolError
+from repro.support.authorization import (
+    AuthorizationService,
+    EarthVoter,
+    ProposalState,
+)
+from repro.support.bus import Network
+
+CREW = ["A", "B", "D", "E", "F"]
+
+
+@pytest.fixture()
+def auth():
+    sim = Simulator()
+    net = Network(sim)
+    service = AuthorizationService("auth", sim, crew=CREW, timeout_s=3600.0)
+    net.register(service)
+    voter = EarthVoter("earth", sim, "auth")
+    net.register(voter)
+    net.set_link_latency("auth", "earth", 1200.0)
+    net.set_link_latency("earth", "auth", 1200.0)
+    return sim, net, service, voter
+
+
+class TestNormalPath:
+    def test_unanimous_plus_earth_approves(self, auth):
+        sim, net, service, voter = auth
+        proposal = service.propose("B", "raise sampling rate")
+        for astro in ("A", "D", "E", "F"):
+            service.vote(proposal.proposal_id, astro, True)
+        sim.run_until(3000.0)
+        assert proposal.state is ProposalState.APPROVED
+        assert proposal.decided_at >= 2400.0  # waited for the Earth RTT
+
+    def test_crew_votes_alone_insufficient(self, auth):
+        sim, net, service, voter = auth
+        net.partition("auth", "earth")
+        proposal = service.propose("B", "change")
+        for astro in ("A", "D", "E", "F"):
+            service.vote(proposal.proposal_id, astro, True)
+        sim.run_until(3000.0)
+        assert proposal.state is ProposalState.PENDING
+
+    def test_any_rejection_rejects(self, auth):
+        sim, net, service, voter = auth
+        proposal = service.propose("B", "risky change")
+        service.vote(proposal.proposal_id, "E", False)
+        assert proposal.state is ProposalState.REJECTED
+
+    def test_earth_rejection_rejects(self, auth):
+        sim, net, service, __ = auth
+        net.node("earth").approve_all = False
+        proposal = service.propose("B", "change")
+        for astro in ("A", "D", "E", "F"):
+            service.vote(proposal.proposal_id, astro, True)
+        sim.run_until(3000.0)
+        assert proposal.state is ProposalState.REJECTED
+
+    def test_timeout_expires(self, auth):
+        sim, net, service, __ = auth
+        net.partition("auth", "earth")
+        proposal = service.propose("B", "change")
+        sim.run_until(4000.0)
+        assert proposal.state is ProposalState.EXPIRED
+
+
+class TestEmergencyPath:
+    def test_majority_approves_without_earth(self, auth):
+        sim, net, service, __ = auth
+        net.partition("auth", "earth")  # Earth unreachable
+        proposal = service.propose("B", "vent module 3", emergency=True)
+        service.vote(proposal.proposal_id, "A", True)
+        service.vote(proposal.proposal_id, "D", True)
+        assert proposal.state is ProposalState.APPROVED
+        assert proposal.decided_at < 10.0  # no 40-minute wait
+
+    def test_minority_insufficient(self, auth):
+        sim, net, service, __ = auth
+        proposal = service.propose("B", "emergency", emergency=True)
+        service.vote(proposal.proposal_id, "A", True)
+        assert proposal.state is ProposalState.PENDING
+
+    def test_emergency_quorum_is_majority(self, auth):
+        __, __, service, __ = auth
+        assert service.emergency_quorum == 3
+
+
+class TestValidation:
+    def test_unknown_proposer(self, auth):
+        __, __, service, __ = auth
+        with pytest.raises(ProtocolError):
+            service.propose("Z", "change")
+
+    def test_unknown_voter(self, auth):
+        __, __, service, __ = auth
+        proposal = service.propose("B", "change")
+        with pytest.raises(ProtocolError):
+            service.vote(proposal.proposal_id, "Z", True)
+
+    def test_vote_after_decision_ignored(self, auth):
+        sim, __, service, __ = auth
+        proposal = service.propose("B", "change")
+        service.vote(proposal.proposal_id, "E", False)
+        service.vote(proposal.proposal_id, "A", True)
+        assert proposal.state is ProposalState.REJECTED
+
+    def test_unknown_proposal(self, auth):
+        __, __, service, __ = auth
+        with pytest.raises(ProtocolError):
+            service.vote(999, "A", True)

@@ -1,0 +1,145 @@
+"""Tests for the message bus."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError, ProtocolError
+from repro.support.bus import Message, Network, Node
+
+
+class Recorder(Node):
+    def __init__(self, name, sim):
+        super().__init__(name, sim)
+        self.received = []
+
+    def handle_default(self, message):
+        self.received.append(message)
+
+    def handle_ping(self, message):
+        self.received.append(("ping", message.payload))
+        self.send(message.src, "pong", message.payload)
+
+
+@pytest.fixture()
+def net():
+    sim = Simulator()
+    network = Network(sim, default_latency_s=0.1)
+    a, b = Recorder("a", sim), Recorder("b", sim)
+    network.register(a)
+    network.register(b)
+    return sim, network, a, b
+
+
+class TestDelivery:
+    def test_basic_send(self, net):
+        sim, network, a, b = net
+        a.send("b", "hello", 42)
+        sim.run()
+        assert b.received[0].payload == 42
+
+    def test_latency_applied(self, net):
+        sim, network, a, b = net
+        network.set_link_latency("a", "b", 5.0)
+        a.send("b", "hello")
+        sim.run()
+        assert sim.now == pytest.approx(5.0)
+
+    def test_dispatch_to_handler(self, net):
+        sim, network, a, b = net
+        a.send("b", "ping", "x")
+        sim.run()
+        assert ("ping", "x") in b.received
+        assert any(m.kind == "pong" for m in a.received)
+
+    def test_broadcast(self, net):
+        sim, network, a, b = net
+        c = Recorder("c", sim)
+        network.register(c)
+        network.broadcast("a", "note")
+        sim.run()
+        assert len(b.received) == 1 and len(c.received) == 1
+        assert not a.received  # no self-delivery
+
+    def test_unknown_destination_dropped(self, net):
+        sim, network, a, __ = net
+        a.send("ghost", "hello")
+        sim.run()
+        assert network.dropped == 1
+
+    def test_duplicate_name_rejected(self, net):
+        sim, network, *_ = net
+        with pytest.raises(ConfigError):
+            network.register(Recorder("a", sim))
+
+    def test_unattached_node_cannot_send(self):
+        node = Recorder("lonely", Simulator())
+        with pytest.raises(ProtocolError):
+            node.send("x", "hello")
+
+
+class TestFailures:
+    def test_partition_blocks(self, net):
+        sim, network, a, b = net
+        network.partition("a", "b")
+        a.send("b", "hello")
+        sim.run()
+        assert not b.received
+        assert network.dropped == 1
+
+    def test_heal_restores(self, net):
+        sim, network, a, b = net
+        network.partition("a", "b")
+        network.heal("a", "b")
+        a.send("b", "hello")
+        sim.run()
+        assert b.received
+
+    def test_crashed_node_receives_nothing(self, net):
+        sim, network, a, b = net
+        network.crash("b")
+        a.send("b", "hello")
+        sim.run()
+        assert not b.received
+
+    def test_crashed_node_cannot_send(self, net):
+        sim, network, a, b = net
+        network.crash("a")
+        a.send("b", "hello")
+        sim.run()
+        assert not b.received
+
+    def test_recover(self, net):
+        sim, network, a, b = net
+        network.crash("b")
+        network.recover("b")
+        a.send("b", "hello")
+        sim.run()
+        assert b.received
+
+    def test_lossy_link(self):
+        import numpy as np
+
+        sim = Simulator()
+        network = Network(sim, loss_prob=0.5, rng=np.random.default_rng(0))
+        a, b = Recorder("a", sim), Recorder("b", sim)
+        network.register(a)
+        network.register(b)
+        for _ in range(200):
+            a.send("b", "hello")
+        sim.run()
+        assert 50 < len(b.received) < 150
+
+    def test_every_repeats_until_crash(self, net):
+        sim, network, a, b = net
+        ticks = []
+        a.every(1.0, ticks.append, 1)
+        sim.run_until(5.5)
+        assert len(ticks) == 5
+        network.crash("a")
+        sim.run_until(10.0)
+        assert len(ticks) == 5
+
+
+class TestMessage:
+    def test_repr(self):
+        assert "a->b" in repr(Message("a", "b", "kind"))

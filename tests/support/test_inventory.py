@@ -1,0 +1,86 @@
+"""Tests for spares provisioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.support.inventory import (
+    ICARES_FLEET,
+    DeviceSpec,
+    provision_manifest,
+    spares_needed,
+    survival_probability,
+)
+
+BADGE = DeviceSpec(name="badge", units_in_service=6,
+                   failure_rate_per_day=0.01, mass_kg=0.111)
+
+
+class TestSurvival:
+    def test_no_failures_certain(self):
+        spec = DeviceSpec(name="x", units_in_service=3,
+                          failure_rate_per_day=0.0, mass_kg=1.0)
+        assert survival_probability(spec, 500.0, 0) == pytest.approx(1.0)
+
+    def test_more_spares_more_survival(self):
+        p0 = survival_probability(BADGE, 14.0, 0)
+        p1 = survival_probability(BADGE, 14.0, 1)
+        p6 = survival_probability(BADGE, 14.0, 6)
+        assert p0 < p1 < p6
+
+    def test_longer_mission_less_survival(self):
+        short = survival_probability(BADGE, 14.0, 2)
+        long = survival_probability(BADGE, 500.0, 2)
+        assert long < short
+
+    def test_zero_spares_is_poisson_zero(self):
+        import math
+
+        mean = 6 * 0.01 * 14.0
+        assert survival_probability(BADGE, 14.0, 0) == pytest.approx(math.exp(-mean))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 20), st.floats(1.0, 1000.0))
+    def test_probability_bounds_property(self, spares, days):
+        p = survival_probability(BADGE, days, spares)
+        assert 0.0 <= p <= 1.0
+
+
+class TestSparesNeeded:
+    def test_icares_badges_need_about_one_spare_each(self):
+        """The deployment carried 6 backups for 6 badges over 14 days;
+        Poisson provisioning at 99.9% lands in the same ballpark."""
+        spares = spares_needed(BADGE, 14.0, target_availability=0.999)
+        assert 2 <= spares <= 6
+
+    def test_meets_target(self):
+        spares = spares_needed(BADGE, 14.0, 0.99)
+        assert survival_probability(BADGE, 14.0, spares) >= 0.99
+        if spares > 0:
+            assert survival_probability(BADGE, 14.0, spares - 1) < 0.99
+
+    def test_mars_mission_needs_more(self):
+        assert spares_needed(BADGE, 500.0, 0.99) > spares_needed(BADGE, 14.0, 0.99)
+
+    def test_bad_target(self):
+        with pytest.raises(ConfigError):
+            spares_needed(BADGE, 14.0, 1.5)
+
+
+class TestManifest:
+    def test_icares_fleet(self):
+        lines, cost = provision_manifest(ICARES_FLEET, mission_days=14.0)
+        assert len(lines) == 3
+        assert all(line.availability >= 0.99 for line in lines)
+        assert cost > 0
+
+    def test_cost_scales_with_launch_price(self):
+        __, cheap = provision_manifest(ICARES_FLEET, 14.0, launch_cost_per_kg=1000.0)
+        __, pricey = provision_manifest(ICARES_FLEET, 14.0, launch_cost_per_kg=10_000.0)
+        assert pricey == pytest.approx(10 * cheap)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec(name="x", units_in_service=0,
+                       failure_rate_per_day=0.1, mass_kg=1.0)

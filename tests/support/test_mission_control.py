@@ -1,0 +1,84 @@
+"""Tests for the delayed Earth link (the day-12 scenario)."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.support.bus import Network
+from repro.support.mission_control import DEFAULT_ONE_WAY_DELAY_S, EarthLink
+
+
+@pytest.fixture()
+def link():
+    sim = Simulator()
+    net = Network(sim)
+    return sim, EarthLink.build(net, sim, one_way_delay_s=1200.0)
+
+
+class TestDelay:
+    def test_default_is_20_minutes(self):
+        assert DEFAULT_ONE_WAY_DELAY_S == 1200.0
+
+    def test_command_arrives_after_delay(self, link):
+        sim, earth_link = link
+        earth_link.mission_control.issue("topic", "go")
+        sim.run_until(1199.0)
+        assert not earth_link.habitat_agent.applied_commands
+        sim.run_until(1201.0)
+        assert earth_link.habitat_agent.applied_commands
+
+    def test_ack_round_trip(self, link):
+        sim, earth_link = link
+        cmd = earth_link.mission_control.issue("topic", "go")
+        sim.run()
+        assert cmd.command_id in earth_link.mission_control.acknowledged
+        assert sim.now >= 2400.0  # full RTT
+
+
+class TestContradiction:
+    def test_day12_scenario(self, link):
+        """The crew decides; a stale contradicting command arrives;
+        a reprimand follows 40 minutes of light-time later."""
+        sim, earth_link = link
+        earth_link.mission_control.issue("rover-route", "south")
+        sim.run_until(600.0)
+        earth_link.habitat_agent.decide_locally("rover-route", "north")
+        sim.run()
+        contradictions = earth_link.habitat_agent.contradictions
+        assert len(contradictions) == 1
+        assert contradictions[0].staleness_s == pytest.approx(1200.0)
+        assert earth_link.mission_control.reprimands
+        assert earth_link.habitat_agent.reprimands_received == 1
+
+    def test_agreeing_command_applies(self, link):
+        sim, earth_link = link
+        earth_link.habitat_agent.decide_locally("topic", "go")
+        earth_link.mission_control.issue("topic", "go")
+        sim.run()
+        assert not earth_link.habitat_agent.contradictions
+        assert earth_link.habitat_agent.applied_commands
+
+    def test_command_without_local_decision_applies(self, link):
+        sim, earth_link = link
+        earth_link.mission_control.issue("fresh-topic", "go")
+        sim.run()
+        assert earth_link.habitat_agent.applied_commands
+        assert earth_link.habitat_agent.decisions["fresh-topic"].action == "go"
+
+
+class TestBlackout:
+    def test_blackout_drops_commands(self, link):
+        sim, earth_link = link
+        earth_link.blackout()
+        earth_link.mission_control.issue("topic", "go")
+        sim.run()
+        assert not earth_link.habitat_agent.applied_commands
+
+    def test_restore_allows_new_commands(self, link):
+        sim, earth_link = link
+        earth_link.blackout()
+        earth_link.mission_control.issue("topic", "go")
+        sim.run()
+        earth_link.restore()
+        earth_link.mission_control.issue("topic", "go-again")
+        sim.run()
+        assert earth_link.habitat_agent.applied_commands

@@ -1,0 +1,67 @@
+"""Tests for privacy controls."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.support.privacy import PrivacyManager
+
+
+@pytest.fixture()
+def manager():
+    return PrivacyManager()
+
+
+class TestRequests:
+    def test_grant_and_lookup(self, manager):
+        manager.request("A", "microphone", 100.0, 700.0, reason="medical")
+        suppressed = manager.suppressed_set("A", "microphone")
+        assert suppressed.total() == 600.0
+
+    def test_non_suppressible_sensor_rejected(self, manager):
+        with pytest.raises(ConfigError):
+            manager.request("A", "accelerometer", 0.0, 100.0)
+
+    def test_oversized_window_rejected(self, manager):
+        with pytest.raises(ConfigError):
+            manager.request("A", "microphone", 0.0, 3 * 3600.0)
+
+    def test_budget_enforced(self, manager):
+        manager.request("A", "microphone", 0.0, 2 * 3600.0)
+        with pytest.raises(ConfigError):
+            manager.request("A", "microphone", 10_000.0, 10_000.0 + 2 * 3600.0)
+
+    def test_budget_per_astronaut_and_sensor(self, manager):
+        manager.request("A", "microphone", 0.0, 2 * 3600.0)
+        manager.request("B", "microphone", 0.0, 2 * 3600.0)  # other astronaut
+        manager.request("A", "localization", 0.0, 2 * 3600.0)  # other sensor
+
+    def test_audit_trail(self, manager):
+        manager.request("A", "microphone", 0.0, 60.0, reason="call home")
+        assert any("call home" in line for line in manager.audit)
+
+
+class TestRedaction:
+    def test_redacts_window(self, manager):
+        manager.request("A", "microphone", 10.0, 20.0)
+        values = np.arange(30, dtype=float)
+        out = manager.redact("A", "microphone", values, t0=0.0, dt=1.0)
+        assert np.isnan(out[10:20]).all()
+        assert np.isfinite(out[:10]).all() and np.isfinite(out[20:]).all()
+
+    def test_no_windows_returns_input(self, manager):
+        values = np.arange(5, dtype=float)
+        out = manager.redact("A", "microphone", values, 0.0, 1.0)
+        np.testing.assert_array_equal(out, values)
+
+    def test_other_astronaut_untouched(self, manager):
+        manager.request("A", "microphone", 0.0, 10.0)
+        values = np.ones(10)
+        out = manager.redact("B", "microphone", values, 0.0, 1.0)
+        assert np.isfinite(out).all()
+
+    def test_custom_fill(self, manager):
+        manager.request("A", "localization", 0.0, 5.0)
+        values = np.ones(10)
+        out = manager.redact("A", "localization", values, 0.0, 1.0, fill=-1.0)
+        assert (out[:5] == -1.0).all()

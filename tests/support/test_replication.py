@@ -1,0 +1,88 @@
+"""Tests for primary/backup replication."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError
+from repro.support.bus import Network
+from repro.support.replication import Replica, ReplicatedService
+
+
+@pytest.fixture()
+def service():
+    sim = Simulator()
+    net = Network(sim, default_latency_s=0.01)
+    svc = ReplicatedService.build(net, sim, heartbeat_s=1.0, failover_timeout_s=3.5)
+    return sim, net, svc
+
+
+class TestReplication:
+    def test_updates_replicate_to_backup(self, service):
+        sim, net, svc = service
+        svc.submit("u1")
+        svc.submit("u2")
+        sim.run_until(1.0)
+        assert svc.backup.state == ["u1", "u2"]
+
+    def test_backup_rejects_writes(self, service):
+        sim, net, svc = service
+        assert not svc.backup.submit("direct")
+        assert svc.backup.rejected_updates == 1
+
+    def test_no_failover_while_primary_alive(self, service):
+        sim, net, svc = service
+        sim.run_until(30.0)
+        assert svc.primary.is_primary and not svc.backup.is_primary
+
+
+class TestFailover:
+    def test_backup_takes_over(self, service):
+        sim, net, svc = service
+        svc.submit("u1")
+        sim.run_until(5.0)
+        net.crash("svc-a")
+        sim.run_until(15.0)
+        assert svc.backup.is_primary
+        assert svc.current_primary() is svc.backup
+
+    def test_state_survives_failover(self, service):
+        sim, net, svc = service
+        svc.submit("u1")
+        sim.run_until(5.0)
+        net.crash("svc-a")
+        sim.run_until(15.0)
+        assert svc.submit("u2")
+        assert svc.backup.state == ["u1", "u2"]
+
+    def test_failover_within_timeout_bound(self, service):
+        sim, net, svc = service
+        sim.run_until(5.0)
+        net.crash("svc-a")
+        sim.run_until(5.0 + 3.5 + 1.5)
+        assert svc.backup.took_over_at is not None
+        assert svc.backup.took_over_at - 5.0 <= 3.5 + 1.1
+
+    def test_total_failure_rejects_writes(self, service):
+        sim, net, svc = service
+        net.crash("svc-a")
+        net.crash("svc-b")
+        sim.run_until(10.0)
+        assert svc.current_primary() is None
+        assert not svc.submit("u")
+
+    def test_split_brain_resolves_on_heal(self, service):
+        sim, net, svc = service
+        sim.run_until(2.0)
+        net.partition("svc-a", "svc-b")
+        sim.run_until(10.0)  # backup promotes itself during the partition
+        assert svc.primary.is_primary and svc.backup.is_primary
+        net.heal("svc-a", "svc-b")
+        sim.run_until(20.0)
+        assert svc.primary.is_primary != svc.backup.is_primary
+
+
+class TestValidation:
+    def test_timeout_must_exceed_heartbeat(self):
+        with pytest.raises(ConfigError):
+            Replica("r", Simulator(), peer="p", is_primary=True,
+                    heartbeat_s=2.0, failover_timeout_s=1.0)

@@ -1,0 +1,92 @@
+"""Tests for the rescheduling advisor."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.support.scheduling import ReschedulingAdvisor
+from repro.support.stream import StreamWindow
+
+
+def window(badge_id=1, worn=1.0, speech=0.3, accel=0.35):
+    return StreamWindow(badge_id=badge_id, t0=0.0, t1=300.0,
+                        worn_fraction=worn, speech_fraction=speech,
+                        mean_accel=accel, room_mode=2)
+
+
+def feed(advisor, badge_id, n=8, **kwargs):
+    for _ in range(n):
+        advisor.observe(window(badge_id=badge_id, **kwargs))
+
+
+class TestLoads:
+    def test_fresh_social_member_scores_low(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1)
+        load = advisor.loads()[0]
+        assert load.fatigue < 0.2 and load.isolation < 0.2
+
+    def test_fatigued_member_scores_high(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1, accel=0.02)
+        assert advisor.loads()[0].fatigue > 0.8
+
+    def test_isolated_member_scores_high(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1, speech=0.0)
+        assert advisor.loads()[0].isolation > 0.8
+
+    def test_unworn_badge_no_false_fatigue(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1, worn=0.1, accel=0.0)
+        load = advisor.loads()[0]
+        assert load.fatigue == 0.0
+        assert load.wear < 0.2
+
+    def test_history_bounded(self):
+        advisor = ReschedulingAdvisor(window_history=4)
+        feed(advisor, 1, n=20)
+        assert len(advisor._windows[1]) == 4
+
+
+class TestAdvice:
+    def test_no_advice_when_all_fresh(self):
+        advisor = ReschedulingAdvisor()
+        for badge in (1, 2, 3):
+            feed(advisor, badge)
+        assert advisor.advise() == []
+
+    def test_advance_break_for_fatigue(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1, accel=0.02)
+        kinds = {a.kind for a in advisor.advise()}
+        assert "advance-break" in kinds
+
+    def test_pair_up_for_isolation(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1, speech=0.0)
+        kinds = {a.kind for a in advisor.advise()}
+        assert "pair-up" in kinds
+
+    def test_swap_task_for_imbalance(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1, accel=0.02)   # exhausted
+        feed(advisor, 2, accel=0.6)    # fresh
+        swap = [a for a in advisor.advise() if a.kind == "swap-task"]
+        assert swap and swap[0].badge_id == 1
+        assert "badge-2" in swap[0].detail
+
+    def test_check_in_for_unworn(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1, worn=0.1)
+        kinds = {a.kind for a in advisor.advise()}
+        assert kinds == {"check-in"}
+
+    def test_sorted_by_urgency(self):
+        advisor = ReschedulingAdvisor()
+        feed(advisor, 1, accel=0.02, speech=0.0)
+        urgencies = [a.urgency for a in advisor.advise()]
+        assert urgencies == sorted(urgencies, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReschedulingAdvisor(window_history=1)

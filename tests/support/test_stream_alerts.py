@@ -1,0 +1,106 @@
+"""Tests for sensor streaming and the alert engine."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.dataset import BadgeDaySummary
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError
+from repro.support.alerts import AlertEngine, AlertRules
+from repro.support.bus import Network
+from repro.support.stream import SensorStream, StreamWindow, summarize_window
+
+
+def make_summary(n=3600, voice_db=65.0, accel=0.3, worn=True):
+    voice = np.full(n, voice_db, dtype=np.float32)
+    return BadgeDaySummary(
+        badge_id=7, day=2, t0=0.0, dt=1.0,
+        active=np.ones(n, dtype=bool), worn=np.full(n, worn),
+        room=np.full(n, 3, dtype=np.int8),
+        x=np.zeros(n, dtype=np.float32), y=np.zeros(n, dtype=np.float32),
+        accel_rms=np.full(n, accel, dtype=np.float32), voice_db=voice,
+        dominant_pitch_hz=np.full(n, 120.0, dtype=np.float32),
+        pitch_stability=np.full(n, 0.4, dtype=np.float32),
+        sound_db=voice,
+    )
+
+
+class TestSummarizeWindow:
+    def test_fields(self):
+        window = summarize_window(make_summary(), 0.0, 600.0)
+        assert window.duration == 600.0
+        assert window.worn_fraction == 1.0
+        assert window.speech_fraction == 1.0
+        assert window.room_mode == 3
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize_window(make_summary(), 100.0, 100.0)
+
+    def test_quiet_window(self):
+        window = summarize_window(make_summary(voice_db=40.0), 0.0, 600.0)
+        assert window.speech_fraction == 0.0
+
+
+class TestStreamToAlerts:
+    def run_stream(self, summary, rules=None):
+        sim = Simulator()
+        net = Network(sim)
+        engine = AlertEngine("alerts", sim, rules=rules)
+        net.register(engine)
+        stream = SensorStream("stream-7", sim, summary, ["alerts"],
+                             window_s=300.0, time_scale=100.0)
+        net.register(stream)
+        stream.start()
+        sim.run()
+        return stream, engine
+
+    def test_all_windows_published(self):
+        stream, engine = self.run_stream(make_summary(n=3600))
+        assert stream.windows_published == 12
+        assert engine.inbox_count == 12
+
+    def test_passivity_alert_fires(self):
+        summary = make_summary(voice_db=40.0)  # never any speech
+        __, engine = self.run_stream(summary)
+        assert engine.alerts_of_kind("passivity")
+
+    def test_fatigue_alert_fires(self):
+        summary = make_summary(accel=0.02)
+        __, engine = self.run_stream(summary)
+        assert engine.alerts_of_kind("fatigue")
+
+    def test_active_talker_no_alerts(self):
+        summary = make_summary(voice_db=70.0, accel=0.5)
+        __, engine = self.run_stream(summary)
+        assert not engine.alerts
+
+    def test_unworn_badge_wear_alert_only(self):
+        summary = make_summary(worn=False, voice_db=40.0, accel=0.02)
+        __, engine = self.run_stream(summary)
+        kinds = {a.kind for a in engine.alerts}
+        assert kinds == {"wear-compliance"}
+
+    def test_alert_fires_once_until_cleared(self):
+        summary = make_summary(voice_db=40.0)
+        __, engine = self.run_stream(summary)
+        assert len(engine.alerts_of_kind("passivity")) == 1
+
+    def test_clear_reenables(self):
+        sim = Simulator()
+        engine = AlertEngine("alerts", sim)
+        net = Network(sim)
+        net.register(engine)
+        window = StreamWindow(badge_id=1, t0=0, t1=300, worn_fraction=1.0,
+                              speech_fraction=0.0, mean_accel=0.3, room_mode=2)
+        for _ in range(engine.rules.passivity_windows):
+            engine._history.setdefault(1, []).append(window)
+        engine._evaluate(1, engine._history[1])
+        assert len(engine.alerts) == 1
+        engine.clear("passivity", "badge-1")
+        engine._evaluate(1, engine._history[1])
+        assert len(engine.alerts) == 2
+
+    def test_rules_validation(self):
+        with pytest.raises(ConfigError):
+            AlertRules(passivity_windows=0)

@@ -1,0 +1,87 @@
+"""Tests for the survey substrate."""
+
+import pytest
+
+from repro.core.errors import ConfigError, DataError
+from repro.surveys.questionnaire import DIMENSIONS, Questionnaire, SurveyResponse
+from repro.surveys.responses import responses_by_day, synthesize_responses
+from repro.surveys.validation import validation_report
+
+
+class TestQuestionnaire:
+    def test_paper_dimensions(self):
+        assert DIMENSIONS == (
+            "satisfaction", "wellbeing", "comfort", "productivity", "distraction"
+        )
+
+    def test_validate_answers(self):
+        q = Questionnaire()
+        answers = {d: 4 for d in DIMENSIONS}
+        q.validate_answers(answers)
+
+    def test_missing_answer(self):
+        with pytest.raises(DataError):
+            Questionnaire().validate_answers({"satisfaction": 4})
+
+    def test_out_of_range(self):
+        answers = {d: 4 for d in DIMENSIONS}
+        answers["comfort"] = 9
+        with pytest.raises(DataError):
+            Questionnaire().validate_answers(answers)
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigError):
+            Questionnaire(scale_min=5, scale_max=2)
+
+    def test_response_lookup(self):
+        r = SurveyResponse("A", 2, {d: 4 for d in DIMENSIONS})
+        assert r.answer("wellbeing") == 4
+        with pytest.raises(DataError):
+            r.answer("mood")
+
+
+class TestSynthesis:
+    @pytest.fixture(scope="class")
+    def responses(self, truth):
+        return synthesize_responses(truth)
+
+    def test_everyone_every_day_except_dead_c(self, responses, truth, mission_cfg):
+        by_day = responses_by_day(responses)
+        death = mission_cfg.events.death_day
+        assert len(by_day[death - 1]) == 6
+        assert len(by_day[death + 1]) == 5
+        assert not any(r.astro_id == "C" for r in by_day[death + 1])
+
+    def test_all_answers_valid(self, responses):
+        q = Questionnaire()
+        for response in responses:
+            q.validate_answers(response.answers)
+
+    def test_deterministic(self, truth):
+        a = synthesize_responses(truth)
+        b = synthesize_responses(truth)
+        assert [(r.astro_id, r.day, r.answers) for r in a] == [
+            (r.astro_id, r.day, r.answers) for r in b
+        ]
+
+
+class TestValidationLoop:
+    def test_report_builds(self, sensing, truth):
+        responses = synthesize_responses(truth)
+        report = validation_report(sensing, responses)
+        means = report.mean_r()
+        assert set(means) == {
+            "speech_vs_distraction", "speech_vs_satisfaction", "walking_vs_productivity"
+        }
+        assert all(-1.0 <= v <= 1.0 for v in means.values())
+
+    def test_speech_distraction_positively_linked(self, sensing, truth):
+        """More detected conversation should co-move with self-reported
+        distraction (they share the day-mood driver)."""
+        responses = synthesize_responses(truth)
+        report = validation_report(sensing, responses)
+        assert report.mean_r()["speech_vs_distraction"] > -0.2
+
+    def test_str_renders(self, sensing, truth):
+        responses = synthesize_responses(truth)
+        assert "Pearson" in str(validation_report(sensing, responses))
