@@ -1,0 +1,107 @@
+"""Benchmark guard: disabled telemetry must be free.
+
+Every instrumentation point in the pipeline starts with one boolean
+read, so a telemetry-disabled run must stay within 5% of the
+uninstrumented baseline.  We verify that bound directly: count the
+instrumentation operations one ``sense_day`` actually performs (from a
+telemetry-enabled run), measure the per-operation cost of the disabled
+fast path, and check that their product is under 5% of the measured
+``sense_day`` wall time.  This is deterministic where timing two full
+runs against each other is noisy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.pipeline import SensingModels, make_fleet, sense_day
+from repro.core.config import MissionConfig
+from repro.core.rng import RngRegistry
+from repro.crew.behavior import simulate_mission
+
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _run_sense_day(cfg, truth, assignment, models):
+    rngs = RngRegistry(3)
+    fleet = make_fleet(assignment, rngs)
+    return sense_day(truth, 2, assignment, models, fleet, rngs)
+
+
+@pytest.mark.tier2
+def test_disabled_telemetry_overhead_under_5pct():
+    cfg = MissionConfig(days=2, seed=13, events=None)
+    truth = simulate_mission(cfg)
+    assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
+    models = SensingModels.default(cfg, truth.plan)
+
+    # 1. How many instrumentation ops does one sense_day perform?
+    obs.reset()
+    obs.enable()
+    _run_sense_day(cfg, truth, assignment, models)
+    n_spans = len(obs.tracing.collector.spans)
+    n_metric_ops = sum(
+        len(obs.metrics.registry.get(name).snapshot()["series"])
+        for name in obs.metrics.registry.names()
+    )
+    obs.reset()
+    assert n_spans > 0  # the pipeline really is instrumented
+
+    # 2. Wall time of a telemetry-disabled sense_day (best of 3).
+    disabled_s = min(
+        _timed(_run_sense_day, cfg, truth, assignment, models) for _ in range(3)
+    )
+
+    # 3. Per-op cost of the disabled fast path (span + counter + histogram).
+    reps = 100_000
+    counter = obs.metrics.counter("bench.noop")
+    hist = obs.metrics.histogram("bench.noop_hist")
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with obs.span("bench.noop"):
+            pass
+        counter.inc()
+        hist.observe(1.0)
+    per_op_s = (time.perf_counter() - t0) / reps
+
+    # 4. The instrumentation budget one sense_day could possibly spend.
+    estimated_overhead_s = (n_spans + n_metric_ops) * per_op_s
+    assert estimated_overhead_s < MAX_OVERHEAD_FRACTION * disabled_s, (
+        f"disabled-telemetry overhead {estimated_overhead_s * 1e3:.3f} ms "
+        f"exceeds 5% of sense_day ({disabled_s * 1e3:.1f} ms)"
+    )
+
+
+@pytest.mark.tier2
+def test_enabled_telemetry_overhead_is_bounded():
+    """Even fully enabled, tracing must not dominate the pipeline."""
+    cfg = MissionConfig(days=2, seed=13, events=None)
+    truth = simulate_mission(cfg)
+    assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
+    models = SensingModels.default(cfg, truth.plan)
+
+    disabled_s = min(
+        _timed(_run_sense_day, cfg, truth, assignment, models) for _ in range(3)
+    )
+    obs.reset()
+    obs.enable()
+    try:
+        enabled_s = min(
+            _timed(_run_sense_day, cfg, truth, assignment, models) for _ in range(3)
+        )
+    finally:
+        obs.reset()
+    # Generous bound: spans/counters are bookkeeping, not work.
+    assert enabled_s < disabled_s * 1.5, (
+        f"enabled telemetry {enabled_s:.3f}s vs disabled {disabled_s:.3f}s"
+    )
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0

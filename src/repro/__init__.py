@@ -12,6 +12,7 @@ Quickstart::
     print(build_table1(result))
 """
 
+from repro import obs
 from repro.core.config import MissionConfig, ScriptedEventsConfig
 from repro.crew.behavior import simulate_mission
 from repro.crew.roster import icares_roster
@@ -41,6 +42,7 @@ __all__ = [
     "fig6",
     "icares_roster",
     "lunares_floorplan",
+    "obs",
     "run_mission",
     "simulate_mission",
 ]

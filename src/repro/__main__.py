@@ -5,6 +5,7 @@ Commands:
     figures    simulate and print every figure's data
     save       simulate and persist the sensing dataset to a directory
     analyze    re-run all analyses on a previously saved dataset
+    telemetry  run a short instrumented mission, print the telemetry report
 """
 
 from __future__ import annotations
@@ -81,6 +82,25 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    obs.logging.buffer.echo = args.echo_logs
+    try:
+        result = run_mission(_config(args))
+        print(result.telemetry_report())
+        if args.json:
+            print()
+            print(json.dumps(result.telemetry, indent=2, sort_keys=True, default=float))
+    finally:
+        obs.reset()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -100,6 +120,18 @@ def main(argv: list[str] | None = None) -> int:
     _add_mission_args(p_save)
     p_save.add_argument("path", help="output directory")
     p_save.set_defaults(func=cmd_save)
+
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="run a short instrumented mission and print the telemetry report",
+    )
+    _add_mission_args(p_tel)
+    p_tel.set_defaults(days=2)  # short mission by default; --days overrides
+    p_tel.add_argument("--json", action="store_true",
+                       help="also dump the raw telemetry snapshot as JSON")
+    p_tel.add_argument("--echo-logs", action="store_true",
+                       help="echo structured log records to stderr as they happen")
+    p_tel.set_defaults(func=cmd_telemetry)
 
     p_an = sub.add_parser("analyze", help="analyze a saved dataset")
     p_an.add_argument("path", help="directory written by 'save'")

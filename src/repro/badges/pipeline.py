@@ -27,6 +27,9 @@ from repro.core.rng import RngRegistry
 from repro.core.units import DAY
 from repro.crew.trace import MissionTruth
 from repro.habitat.beacons import Beacon, place_beacons
+from repro.obs import _state as _obs
+from repro.obs import metrics as _metrics
+from repro.obs import span
 from repro.habitat.environment import Environment
 from repro.habitat.floorplan import FloorPlan
 from repro.radio.ble import BleScanModel
@@ -112,6 +115,19 @@ def sense_day(
     Badge clocks in ``fleet`` are mutated (drift accumulates, syncs
     apply), so call with consecutive days for realistic clock behaviour.
     """
+    with span("sensing.day", day=day):
+        return _sense_day(truth, day, assignment, models, fleet, rngs, sdcard)
+
+
+def _sense_day(
+    truth: MissionTruth,
+    day: int,
+    assignment: BadgeAssignment,
+    models: SensingModels,
+    fleet: dict[int, Badge],
+    rngs: RngRegistry,
+    sdcard: SdCardAccountant | None = None,
+) -> tuple[dict[int, BadgeDayObservations], PairwiseDay]:
     cfg = truth.cfg
     plan = models.plan
     wear_model = WearModel(cfg, plan, battery=models.battery)
@@ -133,37 +149,62 @@ def sense_day(
     for badge_id, astro in sorted(mapping.items()):
         badge = fleet[badge_id]
         if not badge.alive_on(day):
+            if _obs.enabled:
+                _metrics.counter(
+                    "sensing.badge_days_skipped", "badge-days skipped (dead badge)"
+                ).inc(badge=badge_id)
             continue
         trace = truth.trace(astro, day)
         rng = rngs.get(f"badges.{badge_id}.day{day}")
-        wear = wear_model.simulate_day(
-            trace, rng, diligence=truth.roster.profile(astro).wear_diligence
-        )
-        wear_days[badge_id] = wear
+        with span("sensing.badge_day", badge=badge_id, day=day, astro=astro):
+            with span("sensing.wear", badge=badge_id, day=day):
+                wear = wear_model.simulate_day(
+                    trace, rng, diligence=truth.roster.profile(astro).wear_diligence
+                )
+            wear_days[badge_id] = wear
 
-        # Clock: overnight dock syncs at day start, then drifts/syncs.
-        badge.clock.correct(reference_local=t0, own_local=badge.clock.local_time(t0))
-        clock_errors, sync_events = timesync.run_day(
-            badge.clock, wear.badge_xy, wear.active, t0, dt
-        )
+            with span("sensing.clock", badge=badge_id, day=day):
+                # Clock: overnight dock syncs at day start, then drifts/syncs.
+                badge.clock.correct(
+                    reference_local=t0, own_local=badge.clock.local_time(t0)
+                )
+                clock_errors, sync_events = timesync.run_day(
+                    badge.clock, wear.badge_xy, wear.active, t0, dt
+                )
 
-        ble_rssi = models.ble.scan(
-            plan, models.beacons, wear.badge_xy, wear.badge_room, wear.active, rng
-        )
-        accel = models.accelerometer.synthesize(
-            trace.walking, wear.worn, wear.active, trace.activity, rng
-        )
-        gyro, heading = models.imu.synthesize(trace.walking, wear.worn, wear.active, rng)
-        mic: MicrophoneOutput = models.microphone.synthesize(
-            sources, wear.badge_xy, wear.badge_room, wear.active,
-            wall_matrix, noise_floors, rng,
-        )
-        temp, pressure, light = models.env_sensors.synthesize(
-            models.env, plan, wear.badge_room, wear.worn, wear.active, t_abs, rng
-        )
+            with span("sensing.ble", badge=badge_id, day=day):
+                ble_rssi = models.ble.scan(
+                    plan, models.beacons, wear.badge_xy, wear.badge_room, wear.active, rng
+                )
+            with span("sensing.motion", badge=badge_id, day=day):
+                accel = models.accelerometer.synthesize(
+                    trace.walking, wear.worn, wear.active, trace.activity, rng
+                )
+                gyro, heading = models.imu.synthesize(
+                    trace.walking, wear.worn, wear.active, rng
+                )
+            with span("sensing.microphone", badge=badge_id, day=day):
+                mic: MicrophoneOutput = models.microphone.synthesize(
+                    sources, wear.badge_xy, wear.badge_room, wear.active,
+                    wall_matrix, noise_floors, rng,
+                )
+            with span("sensing.environment", badge=badge_id, day=day):
+                temp, pressure, light = models.env_sensors.synthesize(
+                    models.env, plan, wear.badge_room, wear.worn, wear.active, t_abs, rng
+                )
         bytes_recorded = 0.0
         if sdcard is not None:
             bytes_recorded = sdcard.record_day(badge_id, day, float(wear.active.sum()) * dt)
+        if _obs.enabled:
+            _metrics.counter(
+                "sensing.badge_days", "badge-days synthesized"
+            ).inc()
+            _metrics.counter(
+                "sensing.bytes_recorded", "SD-card bytes recorded"
+            ).inc(bytes_recorded, badge=badge_id)
+            _metrics.histogram(
+                "sensing.active_fraction", "fraction of frames recording"
+            ).observe(float(wear.active.mean()))
 
         observations[badge_id] = BadgeDayObservations(
             badge_id=badge_id, day=day, t0=t0, dt=dt,
@@ -211,7 +252,8 @@ def sense_day(
         bytes_recorded=ref_bytes,
     )
 
-    pairwise = _pairwise_day(truth, day, mapping, wear_days, models, rngs)
+    with span("sensing.pairwise", day=day):
+        pairwise = _pairwise_day(truth, day, mapping, wear_days, models, rngs)
     return observations, pairwise
 
 

@@ -8,15 +8,28 @@ need it, which keeps the hot path vectorizable.
 The engine is deliberately small: a time-ordered heap of callbacks with
 stable FIFO ordering for simultaneous events, cancellation, and a few
 run-control helpers.  No coroutines, no magic.
+
+Bookkeeping: a live-event counter makes :meth:`Simulator.pending` O(1),
+and cancelled entries are purged from the heap lazily once they dominate
+it.  When :mod:`repro.obs` telemetry is enabled the loop also records
+per-callback counts/latencies and a queue-depth gauge; disabled, the
+instrumentation is a single boolean read per event.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, Optional
 
 from repro.core.errors import SimulationError
+from repro.obs import _state as _obs
+from repro.obs import metrics as _metrics
+
+#: Purge cancelled heap entries once they outnumber live ones (and the
+#: heap is big enough for the O(n) rebuild to be worth amortizing).
+_PURGE_MIN = 64
 
 
 class Event:
@@ -26,18 +39,24 @@ class Event:
     fire in scheduling order.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
+                 args: tuple, sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -65,6 +84,8 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._running = False
+        self._live = 0            # non-cancelled events in the heap
+        self._cancelled = 0       # cancelled events still in the heap
         self.events_processed = 0
 
     @property
@@ -82,14 +103,29 @@ class Simulator:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
-        event = Event(time, next(self._seq), callback, args)
+        event = Event(time, next(self._seq), callback, args, sim=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for :meth:`Event.cancel`; may trigger a lazy purge."""
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > _PURGE_MIN and self._cancelled > self._live:
+            self._purge()
+
+    def _purge(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
@@ -97,12 +133,36 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            self._live -= 1
+            event._sim = None  # fired: a late cancel() is a pure flag set
             self._now = event.time
-            event.callback(*event.args)
+            if _obs.enabled:
+                self._instrumented_fire(event)
+            else:
+                event.callback(*event.args)
             self.events_processed += 1
             return True
         return False
+
+    def _instrumented_fire(self, event: Event) -> None:
+        """Telemetry-enabled event dispatch (cold path)."""
+        qualname = getattr(event.callback, "__qualname__", repr(event.callback))
+        t0 = time.perf_counter()
+        try:
+            event.callback(*event.args)
+        finally:
+            elapsed = time.perf_counter() - t0
+            _metrics.counter(
+                "engine.events", "events fired, by callback qualname"
+            ).inc(callback=qualname)
+            _metrics.histogram(
+                "engine.callback_wall_s", "wall-clock seconds per callback"
+            ).observe(elapsed, callback=qualname)
+            _metrics.gauge(
+                "engine.queue_depth", "live events still queued"
+            ).set(self._live)
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the queue drains (or ``max_events`` fire)."""
@@ -130,5 +190,5 @@ class Simulator:
         self._now = max(self._now, time)
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live

@@ -28,6 +28,7 @@ from repro.crew.schedule import DaySchedule, Slot, build_day_schedule, override_
 from repro.crew.tasks import Activity
 from repro.crew.trace import DayTrace, MissionTruth
 from repro.habitat.floorplan import FloorPlan, lunares_floorplan
+from repro.obs import span
 
 #: Restroom visits per astronaut per day (mean of a Poisson draw).
 RESTROOM_VISITS_MEAN = 2.5
@@ -75,33 +76,47 @@ def simulate_mission(
     n_frames = cfg.frames_per_day
     t0 = cfg.daytime_start_s
 
-    for day in range(1, cfg.days + 1):
-        sched_rng = rngs.get(f"crew.schedule.day{day}")
-        absent = {DECEASED} if deceased_absent(cfg, day) else set()
-        sched = build_day_schedule(cfg, roster, day, sched_rng, absent)
-        truth.events.extend(apply_scripted_events(sched, cfg, roster, day))
-        _insert_restroom_visits(sched, roster, rngs.get(f"crew.restroom.day{day}"))
-        _insert_supervision_rounds(sched, roster, rngs.get(f"crew.supervision.day{day}"))
-        _insert_social_visits(sched, roster, rngs.get(f"crew.visits.day{day}"))
-        _insert_private_chats(sched, roster, rngs.get(f"crew.chats.day{day}"))
-        _insert_water_trips(sched, roster, rngs.get(f"crew.water.day{day}"))
-        truth.schedules[day] = sched
+    with span("crew.simulate_mission", days=cfg.days, crew=roster.size):
+        for day in range(1, cfg.days + 1):
+            _simulate_day(
+                truth, day, cfg, roster, rngs, movement, conversation, t0, n_frames
+            )
+    return truth
+
+
+def _simulate_day(truth, day, cfg, roster, rngs, movement, conversation,
+                  t0, n_frames) -> None:
+    """Build one day of ground truth (schedule, movement, conversation)."""
+    with span("crew.day", day=day):
+        with span("crew.schedule", day=day):
+            sched_rng = rngs.get(f"crew.schedule.day{day}")
+            absent = {DECEASED} if deceased_absent(cfg, day) else set()
+            sched = build_day_schedule(cfg, roster, day, sched_rng, absent)
+            truth.events.extend(apply_scripted_events(sched, cfg, roster, day))
+            _insert_restroom_visits(sched, roster, rngs.get(f"crew.restroom.day{day}"))
+            _insert_supervision_rounds(sched, roster, rngs.get(f"crew.supervision.day{day}"))
+            _insert_social_visits(sched, roster, rngs.get(f"crew.visits.day{day}"))
+            _insert_private_chats(sched, roster, rngs.get(f"crew.chats.day{day}"))
+            _insert_water_trips(sched, roster, rngs.get(f"crew.water.day{day}"))
+            truth.schedules[day] = sched
 
         mobility_factor = day_mobility_factor(cfg, day)
         day_arrays = {}
-        for astro in roster.ids:
-            move_rng = rngs.get(f"crew.movement.{astro}.day{day}")
-            day_arrays[astro] = movement.fill_day(
-                roster.profile(astro), sched.of(astro), t0, n_frames, move_rng,
-                mobility_factor=mobility_factor,
-            )
+        with span("crew.movement", day=day):
+            for astro in roster.ids:
+                move_rng = rngs.get(f"crew.movement.{astro}.day{day}")
+                day_arrays[astro] = movement.fill_day(
+                    roster.profile(astro), sched.of(astro), t0, n_frames, move_rng,
+                    mobility_factor=mobility_factor,
+                )
 
-        rooms = np.vstack([day_arrays[a].room for a in roster.ids])
-        activities = np.vstack([day_arrays[a].activity for a in roster.ids])
-        speech = conversation.generate(
-            rooms, activities, rngs.get(f"crew.conversation.day{day}"),
-            talk_factor=day_talk_factor(cfg, day),
-        )
+        with span("crew.conversation", day=day):
+            rooms = np.vstack([day_arrays[a].room for a in roster.ids])
+            activities = np.vstack([day_arrays[a].activity for a in roster.ids])
+            speech = conversation.generate(
+                rooms, activities, rngs.get(f"crew.conversation.day{day}"),
+                talk_factor=day_talk_factor(cfg, day),
+            )
 
         for row, astro in enumerate(roster.ids):
             arrays = day_arrays[astro]
@@ -119,7 +134,6 @@ def simulate_mission(
                 machine_speech=speech.machine_speech[row],
                 activity=arrays.activity,
             )
-    return truth
 
 
 # -- micro-interruptions ---------------------------------------------------

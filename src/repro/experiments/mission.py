@@ -19,6 +19,9 @@ from repro.core.rng import RngRegistry
 from repro.crew.behavior import simulate_mission
 from repro.crew.trace import MissionTruth
 from repro.localization.pipeline import Localizer
+from repro.obs import enabled as obs_enabled
+from repro.obs import export as obs_export
+from repro.obs import span
 
 
 @dataclass
@@ -30,10 +33,19 @@ class MissionResult:
     sensing: MissionSensing
     models: SensingModels
     sdcard: SdCardAccountant = field(default_factory=SdCardAccountant)
+    #: Telemetry snapshot (:func:`repro.obs.export.to_dict`) taken right
+    #: after the run when :mod:`repro.obs` was enabled, else None.
+    telemetry: dict | None = None
 
     @property
     def assignment(self) -> BadgeAssignment:
         return self.sensing.assignment
+
+    def telemetry_report(self) -> str:
+        """Human-readable per-stage breakdown of this run's telemetry."""
+        if self.telemetry is None:
+            return "(telemetry was disabled for this run)"
+        return obs_export.to_text_report(self.telemetry)
 
 
 def run_mission(
@@ -54,25 +66,28 @@ def run_mission(
         A :class:`MissionResult` whose ``sensing`` feeds every analysis.
     """
     cfg = cfg if cfg is not None else MissionConfig()
-    truth = truth if truth is not None else simulate_mission(cfg)
-    rngs = RngRegistry(cfg.seed).spawn("sensing")
-    assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
-    models = models if models is not None else SensingModels.default(cfg, truth.plan)
-    localizer = (
-        localizer if localizer is not None else Localizer(truth.plan, models.beacons)
-    )
-    fleet = make_fleet(assignment, rngs)
-    sdcard = SdCardAccountant()
-    sensing = MissionSensing(cfg=cfg, plan=truth.plan, assignment=assignment)
-
-    for day in cfg.instrumented_days:
-        observations, pairwise = sense_day(
-            truth, day, assignment, models, fleet, rngs, sdcard
+    with span("mission", days=cfg.days, seed=cfg.seed):
+        truth = truth if truth is not None else simulate_mission(cfg)
+        rngs = RngRegistry(cfg.seed).spawn("sensing")
+        assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
+        models = models if models is not None else SensingModels.default(cfg, truth.plan)
+        localizer = (
+            localizer if localizer is not None else Localizer(truth.plan, models.beacons)
         )
-        for badge_id, obs in observations.items():
-            loc = localizer.localize_day(obs.ble_rssi, obs.active)
-            obs.drop_ble()
-            sensing.summaries[(badge_id, day)] = BadgeDaySummary.from_observations(obs, loc)
-        sensing.pairwise[day] = pairwise
+        fleet = make_fleet(assignment, rngs)
+        sdcard = SdCardAccountant()
+        sensing = MissionSensing(cfg=cfg, plan=truth.plan, assignment=assignment)
 
-    return MissionResult(cfg=cfg, truth=truth, sensing=sensing, models=models, sdcard=sdcard)
+        for day in cfg.instrumented_days:
+            observations, pairwise = sense_day(
+                truth, day, assignment, models, fleet, rngs, sdcard
+            )
+            for badge_id, obs in observations.items():
+                loc = localizer.localize_day(obs.ble_rssi, obs.active)
+                obs.drop_ble()
+                sensing.summaries[(badge_id, day)] = BadgeDaySummary.from_observations(obs, loc)
+            sensing.pairwise[day] = pairwise
+
+    telemetry = obs_export.to_dict() if obs_enabled() else None
+    return MissionResult(cfg=cfg, truth=truth, sensing=sensing, models=models,
+                         sdcard=sdcard, telemetry=telemetry)

@@ -18,6 +18,9 @@ from repro.habitat.floorplan import FloorPlan
 from repro.localization.room_detector import RoomDetector
 from repro.localization.rssi import boxcar_smooth
 from repro.localization.trilateration import gauss_newton_batch, weighted_centroid
+from repro.obs import _state as _obs
+from repro.obs import metrics as _metrics
+from repro.obs import span
 
 
 @dataclass
@@ -68,36 +71,49 @@ class Localizer:
         Returns:
             Room and position estimates per frame.
         """
-        rssi = ble_rssi
-        if self.smooth_window is not None and self.smooth_window > 1:
-            rssi = boxcar_smooth(rssi, window=self.smooth_window)
-        room = self.detector.detect(rssi, active)
+        with span("localization.day", frames=int(ble_rssi.shape[0])):
+            rssi = ble_rssi
+            if self.smooth_window is not None and self.smooth_window > 1:
+                with span("localization.smooth"):
+                    rssi = boxcar_smooth(rssi, window=self.smooth_window)
+            with span("localization.room_detect"):
+                room = self.detector.detect(rssi, active)
 
-        # Restrict position estimation to the detected room's beacons.
-        in_room_mask = self.beacon_room[None, :] == room[:, None]
-        xy = weighted_centroid(
-            rssi,
-            self.beacon_xy,
-            weight_mask=in_room_mask,
-            tx_power_dbm=self.tx_power_dbm,
-            path_loss_exponent=self.path_loss_exponent,
-        )
-        if self.refine:
-            # Range-based least squares recovers positions outside the
-            # beacons' convex hull (the centroid alone compresses the
-            # occupancy maps toward the room centers).
-            xy = gauss_newton_batch(
-                xy, rssi, self.beacon_xy,
-                weight_mask=in_room_mask,
-                tx_power_dbm=self.tx_power_dbm,
-                path_loss_exponent=self.path_loss_exponent,
+            # Restrict position estimation to the detected room's beacons.
+            in_room_mask = self.beacon_room[None, :] == room[:, None]
+            with span("localization.centroid"):
+                xy = weighted_centroid(
+                    rssi,
+                    self.beacon_xy,
+                    weight_mask=in_room_mask,
+                    tx_power_dbm=self.tx_power_dbm,
+                    path_loss_exponent=self.path_loss_exponent,
+                )
+            if self.refine:
+                # Range-based least squares recovers positions outside the
+                # beacons' convex hull (the centroid alone compresses the
+                # occupancy maps toward the room centers).
+                with span("localization.refine"):
+                    xy = gauss_newton_batch(
+                        xy, rssi, self.beacon_xy,
+                        weight_mask=in_room_mask,
+                        tx_power_dbm=self.tx_power_dbm,
+                        path_loss_exponent=self.path_loss_exponent,
+                    )
+            xy = self._clamp_to_rooms(xy, room)
+            result = LocalizationResult(
+                room=room.astype(np.int8),
+                x=xy[:, 0].astype(np.float32),
+                y=xy[:, 1].astype(np.float32),
             )
-        xy = self._clamp_to_rooms(xy, room)
-        return LocalizationResult(
-            room=room.astype(np.int8),
-            x=xy[:, 0].astype(np.float32),
-            y=xy[:, 1].astype(np.float32),
-        )
+            if _obs.enabled:
+                _metrics.counter(
+                    "localization.days", "badge-days localized"
+                ).inc()
+                _metrics.histogram(
+                    "localization.known_fraction", "fraction of frames with a room fix"
+                ).observe(result.known_fraction())
+            return result
 
     def _clamp_to_rooms(self, xy: np.ndarray, room: np.ndarray) -> np.ndarray:
         """Clamp estimates into the detected room's rectangle."""

@@ -1,0 +1,24 @@
+"""Shared mutable state of the telemetry layer.
+
+One tiny module so every hot path pays a single attribute read
+(``_state.enabled``) to find out telemetry is off.  Everything heavier
+(registries, collectors, the sim-time clock) hangs off this module and
+is only touched when telemetry is on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+#: Master switch.  All instrumentation call sites check this first and
+#: fall through in a handful of nanoseconds when it is False.
+enabled: bool = False
+
+#: Optional source of simulation time (seconds).  When set, spans and
+#: log records carry sim-time alongside wall-clock time.
+sim_clock: Optional[Callable[[], float]] = None
+
+
+def sim_now() -> Optional[float]:
+    """Current simulation time, or ``None`` if no clock is registered."""
+    return sim_clock() if sim_clock is not None else None

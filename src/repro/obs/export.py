@@ -1,0 +1,132 @@
+"""Export telemetry — metrics, spans, logs — as dict, JSON, or a report.
+
+``to_dict()`` snapshots all three stores; ``to_json()`` serializes that
+snapshot; ``to_text_report()`` renders the mission-control view: a span
+tree with per-stage wall/sim time, the metric tables, and recent logs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs import logging as obs_logging
+from repro.obs import metrics, tracing
+
+
+def to_dict() -> dict:
+    """Snapshot every telemetry store into plain data."""
+    return {
+        "metrics": metrics.registry.snapshot(),
+        "spans": [s.to_dict() for s in tracing.collector.spans],
+        "span_breakdown": tracing.collector.breakdown(),
+        "logs": [r.to_dict() for r in obs_logging.buffer.records],
+    }
+
+
+def to_json(indent: Optional[int] = None) -> str:
+    """JSON snapshot (round-trips through ``json.loads``)."""
+    return json.dumps(to_dict(), indent=indent, sort_keys=True, default=float)
+
+
+def from_json(text: str) -> dict:
+    """Inverse of :func:`to_json` (plain data, not live objects)."""
+    return json.loads(text)
+
+
+def _format_secs(value: Optional[float]) -> str:
+    if value is None:
+        return "     --"
+    if value >= 100.0:
+        return f"{value:7.1f}"
+    return f"{value:7.3f}"
+
+
+def _span_tree_lines(snapshot: dict, max_children: int = 8) -> list[str]:
+    spans = snapshot["spans"]
+    by_parent: dict[Optional[int], list[dict]] = {}
+    ids = {s["span_id"] for s in spans}
+    for s in spans:
+        parent = s["parent_id"] if s["parent_id"] in ids else None
+        by_parent.setdefault(parent, []).append(s)
+
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{span['name']:<{max(1, 36 - 2 * depth)}s}"
+            f" wall={_format_secs(span['wall_s'])}s"
+            f" sim={_format_secs(span['sim_s'])}s"
+        )
+        children = sorted(by_parent.get(span["span_id"], []),
+                          key=lambda s: s["span_id"])
+        shown = children[:max_children]
+        for child in shown:
+            walk(child, depth + 1)
+        if len(children) > len(shown):
+            lines.append(f"{indent}  ... and {len(children) - len(shown)} more")
+
+    for root in sorted(by_parent.get(None, []), key=lambda s: s["span_id"]):
+        walk(root, 0)
+    return lines
+
+
+def to_text_report(snapshot: Optional[dict] = None, max_logs: int = 30) -> str:
+    """Human-readable telemetry report (the ``repro telemetry`` output)."""
+    snap = snapshot if snapshot is not None else to_dict()
+    lines: list[str] = ["== Telemetry report =="]
+
+    lines.append("")
+    lines.append("-- Stage breakdown (by span name) --")
+    breakdown = snap.get("span_breakdown", {})
+    if breakdown:
+        lines.append(f"{'stage':<36s} {'count':>6s} {'wall s':>9s} {'sim s':>10s}")
+        for name in sorted(breakdown, key=lambda n: -breakdown[n]["wall_s"]):
+            entry = breakdown[name]
+            lines.append(
+                f"{name:<36s} {entry['count']:>6d} {entry['wall_s']:>9.3f}"
+                f" {entry['sim_s']:>10.1f}"
+            )
+    else:
+        lines.append("(no spans recorded)")
+
+    if snap.get("spans"):
+        lines.append("")
+        lines.append("-- Span tree --")
+        lines.extend(_span_tree_lines(snap))
+
+    lines.append("")
+    lines.append("-- Metrics --")
+    metric_snap = snap.get("metrics", {})
+    if metric_snap:
+        for name in sorted(metric_snap):
+            metric = metric_snap[name]
+            lines.append(f"{name} ({metric['type']})")
+            for series in metric["series"]:
+                labels = ",".join(f"{k}={v}" for k, v in sorted(series["labels"].items()))
+                labels = f"{{{labels}}}" if labels else ""
+                if metric["type"] == "histogram":
+                    p50 = series.get("p50")
+                    p99 = series.get("p99")
+                    detail = (
+                        f"count={series['count']} sum={series['sum']:.4g}"
+                        + (f" p50={p50:.4g}" if p50 is not None else "")
+                        + (f" p99={p99:.4g}" if p99 is not None else "")
+                    )
+                else:
+                    detail = f"{series['value']:.6g}"
+                lines.append(f"  {labels:<44s} {detail}")
+    else:
+        lines.append("(no metrics recorded)")
+
+    lines.append("")
+    logs = snap.get("logs", [])
+    lines.append(f"-- Logs ({len(logs)} records, last {min(len(logs), max_logs)}) --")
+    for record in logs[-max_logs:]:
+        fields = " ".join(f"{k}={v!r}" for k, v in record["fields"].items())
+        sim = obs_logging.format_sim_time(record.get("sim_time"))
+        body = f"{record['event']} {fields}".rstrip()
+        lines.append(f"[{sim}] {record['level'].upper():7s} {record['logger']}: {body}")
+
+    return "\n".join(lines)

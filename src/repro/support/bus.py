@@ -4,6 +4,15 @@ Support-system units (stream processors, the alert engine, the Earth
 link, replicas) are :class:`Node` instances exchanging :class:`Message`
 objects over a :class:`Network` that models per-link latency, loss, and
 injected partitions — the substrate every Section-VI scenario runs on.
+
+Accounting is exact: every :meth:`Network.send` increments ``sent``, and
+each message ends up in exactly one of ``delivered`` or ``dropped``
+(whatever the drop reason — crashed source, cut link, channel loss,
+crashed/unknown destination), so ``sent == delivered + dropped`` holds
+whenever no message is still in flight.  With :mod:`repro.obs` enabled
+the same accounting is exported per message ``kind`` and drop reason,
+plus a per-kind delivery-latency histogram and structured logs for every
+fault-injection action.
 """
 
 from __future__ import annotations
@@ -13,8 +22,13 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.core.engine import Simulator
+from repro.core.engine import Event, Simulator
 from repro.core.errors import ConfigError, ProtocolError
+from repro.obs import _state as _obs
+from repro.obs import metrics as _metrics
+from repro.obs.logging import get_logger
+
+log = get_logger("repro.support.bus")
 
 
 @dataclass(frozen=True)
@@ -52,6 +66,7 @@ class Network:
         self._link_latency: dict[tuple[str, str], float] = {}
         self._down_links: set[tuple[str, str]] = set()
         self._down_nodes: set[str] = set()
+        self.sent = 0
         self.delivered = 0
         self.dropped = 0
 
@@ -86,37 +101,61 @@ class Network:
         self._down_links.add((src, dst))
         if bidirectional:
             self._down_links.add((dst, src))
+        log.warning("link-partitioned", src=src, dst=dst,
+                    bidirectional=bidirectional, sim_time=self.sim.now)
 
     def heal(self, src: str, dst: str, bidirectional: bool = True) -> None:
         """Restore a cut link."""
         self._down_links.discard((src, dst))
         if bidirectional:
             self._down_links.discard((dst, src))
+        log.info("link-healed", src=src, dst=dst,
+                 bidirectional=bidirectional, sim_time=self.sim.now)
 
     def crash(self, name: str) -> None:
         """Crash a node: it stops receiving (and should stop sending)."""
         self._down_nodes.add(name)
         self.node(name).crashed = True
+        log.warning("node-crashed", node=name, sim_time=self.sim.now)
 
     def recover(self, name: str) -> None:
         """Recover a crashed node."""
         self._down_nodes.discard(name)
         self.node(name).crashed = False
+        log.info("node-recovered", node=name, sim_time=self.sim.now)
 
     # -- delivery ---------------------------------------------------------
 
+    def _drop(self, message: Message, reason: str) -> None:
+        """Count (and, with telemetry on, export and log) one dropped message."""
+        self.dropped += 1
+        if _obs.enabled:
+            _metrics.counter(
+                "bus.dropped", "messages dropped, by kind and reason"
+            ).inc(kind=message.kind, reason=reason)
+            log.debug("message-dropped", src=message.src, dst=message.dst,
+                      kind=message.kind, reason=reason, sim_time=self.sim.now)
+
     def send(self, message: Message) -> None:
         """Queue a message for delivery (may be lost or blocked)."""
+        self.sent += 1
+        if _obs.enabled:
+            _metrics.counter(
+                "bus.sent", "messages handed to the bus, by kind"
+            ).inc(kind=message.kind)
         if message.src in self._down_nodes:
-            return  # a crashed node cannot transmit
+            # A crashed node cannot transmit; the attempt still counts so
+            # bus accounting stays exact across all drop reasons.
+            self._drop(message, "src-crashed")
+            return
         if (message.src, message.dst) in self._down_links:
-            self.dropped += 1
+            self._drop(message, "partitioned")
             return
         if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
-            self.dropped += 1
+            self._drop(message, "loss")
             return
         latency = self._link_latency.get((message.src, message.dst), self.default_latency_s)
-        self.sim.schedule(latency, self._deliver, message)
+        self.sim.schedule(latency, self._deliver, message, latency)
 
     def broadcast(self, src: str, kind: str, payload: Any = None) -> None:
         """Send to every other registered node."""
@@ -124,16 +163,44 @@ class Network:
             if name != src:
                 self.send(Message(src=src, dst=name, kind=kind, payload=payload))
 
-    def _deliver(self, message: Message) -> None:
+    def _deliver(self, message: Message, latency: float = 0.0) -> None:
         if message.dst in self._down_nodes:
-            self.dropped += 1
+            self._drop(message, "dst-crashed")
             return
         node = self._nodes.get(message.dst)
         if node is None:
-            self.dropped += 1
+            self._drop(message, "no-such-node")
             return
         self.delivered += 1
+        if _obs.enabled:
+            _metrics.counter(
+                "bus.delivered", "messages delivered, by kind"
+            ).inc(kind=message.kind)
+            _metrics.histogram(
+                "bus.latency_s", "delivery latency seconds, by kind"
+            ).observe(latency, kind=message.kind)
         node.on_message(message)
+
+    def in_flight(self) -> int:
+        """Messages queued on the simulator but not yet delivered/dropped."""
+        return self.sent - self.delivered - self.dropped
+
+
+class PeriodicTask:
+    """Cancellable handle returned by :meth:`Node.every`."""
+
+    __slots__ = ("cancelled", "_event")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self._event: Optional[Event] = None
+
+    def cancel(self) -> None:
+        """Stop the periodic callback.  Idempotent."""
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
 
 
 class Node:
@@ -166,14 +233,27 @@ class Node:
     def handle_default(self, message: Message) -> None:
         """Fallback for unrecognized message kinds (override to log)."""
 
-    def every(self, period_s: float, callback, *args) -> None:
-        """Run ``callback`` periodically until the node crashes."""
-        def tick() -> None:
-            if not self.crashed:
-                callback(*args)
-            self.sim.schedule(period_s, tick)
+    def every(self, period_s: float, callback, *args) -> PeriodicTask:
+        """Run ``callback`` periodically until cancelled or the node crashes.
 
-        self.sim.schedule(period_s, tick)
+        Once ``crashed`` is set the tick stops rescheduling itself, so a
+        drained scenario's :meth:`Simulator.run` terminates; cancel the
+        returned handle to stop it explicitly.
+        """
+        task = PeriodicTask()
+
+        def tick() -> None:
+            if self.crashed or task.cancelled:
+                task._event = None
+                return
+            callback(*args)
+            if not self.crashed and not task.cancelled:
+                task._event = self.sim.schedule(period_s, tick)
+            else:
+                task._event = None
+
+        task._event = self.sim.schedule(period_s, tick)
+        return task
 
 
 @dataclass

@@ -48,3 +48,12 @@ def sensing(result):
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    """Keep the process-global telemetry stores from leaking across tests."""
+    from repro import obs
+
+    yield
+    obs.reset()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.core.engine import Simulator
 from repro.core.errors import SimulationError
 
@@ -131,3 +132,117 @@ class TestRunControl:
         with pytest.raises(SimulationError):
             sim.schedule(1.0, sim.run)
             sim.run()
+
+    def test_run_until_simultaneous_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(4):
+            sim.schedule(2.0, fired.append, i)
+        sim.schedule(2.0 + 1e-9, fired.append, "after")
+        sim.run_until(2.0)
+        assert fired == [0, 1, 2, 3]  # all ties fire, FIFO, boundary inclusive
+        assert sim.now == 2.0
+        sim.run_until(3.0)
+        assert fired[-1] == "after"
+
+
+class TestLiveCountAndPurge:
+    def test_pending_tracks_schedule_cancel_step(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending() == 5
+        events[0].cancel()
+        assert sim.pending() == 4
+        sim.step()  # fires the event at t=2 (t=1 was cancelled)
+        assert sim.pending() == 3
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()  # already fired: flag only
+        assert sim.pending() == 1
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+
+    def test_mass_cancel_purges_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # Lazy purge kicked in: the heap no longer holds the cancelled bulk.
+        assert sim.pending() == 100
+        assert len(sim._heap) < 300
+        fired = 0
+        while sim.step():
+            fired += 1
+        assert fired == 100
+
+    def test_purged_events_never_fire(self):
+        sim = Simulator()
+        fired = []
+        keep = [sim.schedule(float(i + 1), fired.append, i) for i in range(200)]
+        for event in keep[::2]:
+            event.cancel()
+        sim.run()
+        assert fired == list(range(1, 200, 2))
+
+    def test_peek_updates_bookkeeping(self):
+        sim = Simulator()
+        early = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        early.cancel()
+        assert sim.peek() == 2.0
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+
+class TestEngineTelemetry:
+    def test_per_callback_metrics_recorded(self):
+        obs.reset()
+        obs.enable()
+
+        def ping():
+            pass
+
+        sim = Simulator()
+        sim.schedule(1.0, ping)
+        sim.schedule(2.0, ping)
+        sim.run()
+        events = obs.metrics.registry.get("engine.events")
+        assert events.value(callback=ping.__qualname__) == 2.0
+        hist = obs.metrics.registry.get("engine.callback_wall_s")
+        assert hist.count(callback=ping.__qualname__) == 2
+        depth = obs.metrics.registry.get("engine.queue_depth")
+        assert depth.value() == 0.0
+
+    def test_disabled_records_nothing(self):
+        obs.reset()
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert obs.metrics.registry.names() == []
+
+    def test_callback_exception_still_counted(self):
+        obs.reset()
+        obs.enable()
+
+        def boom():
+            raise RuntimeError("bad")
+
+        sim = Simulator()
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        events = obs.metrics.registry.get("engine.events")
+        assert events.value(callback=boom.__qualname__) == 1.0

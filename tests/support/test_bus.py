@@ -139,6 +139,109 @@ class TestFailures:
         sim.run_until(10.0)
         assert len(ticks) == 5
 
+    def test_every_stops_rescheduling_after_crash(self, net):
+        """A crashed node's periodic tick must not keep the queue alive
+        forever: run() on a drained scenario terminates."""
+        sim, network, a, b = net
+        a.every(1.0, lambda: None)
+        sim.schedule(3.5, network.crash, "a")
+        sim.run()  # would never return if tick kept rescheduling itself
+        assert sim.pending() == 0
+        assert sim.now == pytest.approx(4.0)  # last scheduled tick, suppressed
+
+    def test_every_handle_cancel(self, net):
+        sim, network, a, b = net
+        ticks = []
+        task = a.every(1.0, ticks.append, 1)
+        sim.run_until(2.5)
+        assert len(ticks) == 2
+        task.cancel()
+        sim.run()
+        assert len(ticks) == 2
+        assert sim.pending() == 0
+
+    def test_every_handle_cancel_idempotent(self, net):
+        sim, network, a, b = net
+        task = a.every(1.0, lambda: None)
+        task.cancel()
+        task.cancel()
+        sim.run()
+        assert task.cancelled
+
+
+class TestAccounting:
+    def test_sent_counts_every_send(self, net):
+        sim, network, a, b = net
+        a.send("b", "hello")
+        a.send("ghost", "hello")
+        sim.run()
+        assert network.sent == 2
+        assert network.delivered == 1
+        assert network.dropped == 1
+
+    def test_crashed_source_counted_as_dropped(self, net):
+        sim, network, a, b = net
+        network.crash("a")
+        a.send("b", "hello")
+        sim.run()
+        assert network.sent == 1
+        assert network.dropped == 1
+        assert network.delivered == 0
+
+    def test_invariant_across_all_drop_reasons(self):
+        import numpy as np
+
+        sim = Simulator()
+        network = Network(sim, loss_prob=0.3, rng=np.random.default_rng(2))
+        nodes = [Recorder(name, sim) for name in "abcd"]
+        for node in nodes:
+            network.register(node)
+        network.partition("a", "b")
+        network.crash("c")
+        for _ in range(50):
+            nodes[0].send("b", "blocked")      # partitioned
+            nodes[0].send("c", "to-crashed")   # dst crashed (or lost)
+            nodes[2].send("a", "from-crashed")  # src crashed
+            nodes[0].send("ghost", "nowhere")  # unknown destination
+            nodes[3].send("a", "normal")       # lossy but mostly delivered
+        sim.run()
+        assert network.sent == 250
+        assert network.in_flight() == 0
+        assert network.delivered + network.dropped == network.sent
+        assert network.delivered > 0
+
+    def test_per_kind_metrics_and_drop_reasons(self, net):
+        from repro import obs
+
+        sim, network, a, b = net
+        obs.reset()
+        obs.enable()
+        network.crash("a")
+        a.send("b", "alert")
+        network.recover("a")
+        network.partition("a", "b")
+        a.send("b", "alert")
+        network.heal("a", "b")
+        a.send("b", "alert")
+        sim.run()
+        dropped = obs.metrics.registry.get("bus.dropped")
+        assert dropped.value(kind="alert", reason="src-crashed") == 1.0
+        assert dropped.value(kind="alert", reason="partitioned") == 1.0
+        sent = obs.metrics.registry.get("bus.sent")
+        delivered = obs.metrics.registry.get("bus.delivered")
+        assert sent.value(kind="alert") == 3.0
+        assert delivered.value(kind="alert") == 1.0
+        latency = obs.metrics.registry.get("bus.latency_s")
+        assert latency.count(kind="alert") == 1
+        assert latency.sum(kind="alert") == pytest.approx(0.1)
+        # Fault injections were logged with sim-time stamps.
+        events = [r.event for r in obs.logging.buffer.records]
+        assert "node-crashed" in events
+        assert "link-partitioned" in events
+        assert "link-healed" in events
+        assert "node-recovered" in events
+        obs.reset()
+
 
 class TestMessage:
     def test_repr(self):
