@@ -14,6 +14,7 @@ Quickstart::
 
 from repro import obs
 from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.faults import FaultCampaign, FaultPlan, ReliabilityReport, run_support_scenario
 from repro.crew.behavior import simulate_mission
 from repro.crew.roster import icares_roster
 from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
@@ -28,8 +29,11 @@ from repro.habitat.floorplan import lunares_floorplan
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultCampaign",
+    "FaultPlan",
     "MissionConfig",
     "MissionResult",
+    "ReliabilityReport",
     "ScriptedEventsConfig",
     "__version__",
     "build_deployment_stats",
@@ -44,5 +48,6 @@ __all__ = [
     "lunares_floorplan",
     "obs",
     "run_mission",
+    "run_support_scenario",
     "simulate_mission",
 ]

@@ -6,6 +6,7 @@ Commands:
     save       simulate and persist the sensing dataset to a directory
     analyze    re-run all analyses on a previously saved dataset
     telemetry  run a short instrumented mission, print the telemetry report
+    faults     run a faulted mission under a seeded chaos campaign
 """
 
 from __future__ import annotations
@@ -101,6 +102,34 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.faults import FaultCampaign
+
+    cfg = _config(args)
+    campaign = FaultCampaign.reference(
+        days=cfg.days, seed=args.campaign_seed,
+        n_beacons=cfg.n_beacons, n_badges=cfg.crew_size,
+    )
+    plan = campaign.generate()
+    cfg = dataclasses.replace(cfg, fault_plan=plan)
+    print(f"campaign seed {args.campaign_seed}: {len(plan.events)} fault events "
+          f"({len(plan.bus_events())} bus, {len(plan.sensing_events())} sensing)")
+    result = run_mission(cfg)
+    print()
+    print(result.reliability_report())
+    print()
+    print(f"badge-days sensed: {len(result.sensing.summaries)}, "
+          f"SD-card total: {result.sdcard.total_gib():.1f} GiB, "
+          f"cards over capacity: {result.sdcard.over_capacity() or 'none'}")
+    if args.json:
+        print()
+        print(json.dumps(result.reliability.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -132,6 +161,18 @@ def main(argv: list[str] | None = None) -> int:
     p_tel.add_argument("--echo-logs", action="store_true",
                        help="echo structured log records to stderr as they happen")
     p_tel.set_defaults(func=cmd_telemetry)
+
+    p_flt = sub.add_parser(
+        "faults",
+        help="run a faulted mission under a seeded chaos campaign",
+    )
+    _add_mission_args(p_flt)
+    p_flt.set_defaults(days=3)  # short chaos mission by default; --days overrides
+    p_flt.add_argument("--campaign-seed", type=int, default=0,
+                       help="seed of the randomized fault campaign")
+    p_flt.add_argument("--json", action="store_true",
+                       help="also dump the reliability report as JSON")
+    p_flt.set_defaults(func=cmd_faults)
 
     p_an = sub.add_parser("analyze", help="analyze a saved dataset")
     p_an.add_argument("path", help="directory written by 'save'")

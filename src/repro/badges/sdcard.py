@@ -31,18 +31,35 @@ CARD_CAPACITY_BYTES = 64 * GIB
 
 @dataclass
 class SdCardAccountant:
-    """Accumulates bytes written across the fleet."""
+    """Accumulates bytes written across the fleet.
+
+    Totals are maintained as running per-badge and fleet counters, so
+    :meth:`badge_total` and :meth:`total_bytes` are O(1) regardless of
+    mission length (they used to re-sum the ``written`` dict on every
+    query).  Re-recording a ``(badge, day)`` entry adjusts the counters
+    by the delta, so overwrites (fault-injection masking a day after the
+    fact) stay exact.
+    """
 
     rates_bps: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_RATES_BPS))
     capacity_bytes: float = CARD_CAPACITY_BYTES
     #: (badge_id, day) -> bytes written that day.
     written: dict[tuple[int, int], float] = field(default_factory=dict)
+    #: Per-badge capacity overrides (fault injection: a worn-out card).
+    capacity_overrides: dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if any(rate < 0 for rate in self.rates_bps.values()):
             raise ConfigError("logging rates must be non-negative")
         if self.capacity_bytes <= 0:
             raise ConfigError("capacity must be positive")
+        if any(cap <= 0 for cap in self.capacity_overrides.values()):
+            raise ConfigError("capacity must be positive")
+        self._badge_totals: dict[int, float] = {}
+        self._fleet_total = 0.0
+        for (badge_id, _), value in self.written.items():
+            self._badge_totals[badge_id] = self._badge_totals.get(badge_id, 0.0) + value
+            self._fleet_total += value
 
     @property
     def total_rate_bps(self) -> float:
@@ -54,22 +71,43 @@ class SdCardAccountant:
         if active_seconds < 0:
             raise ConfigError("active_seconds must be non-negative")
         written = active_seconds * self.total_rate_bps
+        previous = self.written.get((badge_id, day), 0.0)
         self.written[(badge_id, day)] = written
+        self._badge_totals[badge_id] = (
+            self._badge_totals.get(badge_id, 0.0) + written - previous
+        )
+        self._fleet_total += written - previous
         return written
 
     def badge_total(self, badge_id: int) -> float:
-        """Total bytes a badge has written so far."""
-        return sum(v for (b, _), v in self.written.items() if b == badge_id)
+        """Total bytes a badge has written so far.  O(1)."""
+        return self._badge_totals.get(badge_id, 0.0)
 
     def total_bytes(self) -> float:
-        """Total bytes across the fleet."""
-        return sum(self.written.values())
+        """Total bytes across the fleet.  O(1)."""
+        return self._fleet_total
 
     def total_gib(self) -> float:
         """Fleet total in GiB (the paper reports ~150 GiB)."""
         return self.total_bytes() / GIB
 
+    def capacity_for(self, badge_id: int) -> float:
+        """Card capacity of one badge (override or fleet default)."""
+        return self.capacity_overrides.get(badge_id, self.capacity_bytes)
+
+    def set_capacity(self, badge_id: int, capacity_bytes: float) -> None:
+        """Override one badge's card capacity (fault injection)."""
+        if capacity_bytes <= 0:
+            raise ConfigError("capacity must be positive")
+        self.capacity_overrides[badge_id] = capacity_bytes
+
+    def remaining(self, badge_id: int) -> float:
+        """Free card space on one badge (0 when exhausted)."""
+        return max(0.0, self.capacity_for(badge_id) - self.badge_total(badge_id))
+
     def over_capacity(self) -> list[int]:
         """Badges whose cumulative writes exceed their card capacity."""
-        badges = {b for b, _ in self.written}
-        return sorted(b for b in badges if self.badge_total(b) > self.capacity_bytes)
+        return sorted(
+            b for b, total in self._badge_totals.items()
+            if total > self.capacity_for(b)
+        )

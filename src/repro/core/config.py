@@ -9,10 +9,13 @@ described in the paper; tests shrink ``days`` for speed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.errors import ConfigError
-from repro.core.units import HOUR, parse_hhmm
+from repro.core.units import DAY, HOUR, parse_hhmm
+
+if TYPE_CHECKING:  # imported lazily to keep repro.core free of repro.faults
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -86,6 +89,8 @@ class MissionConfig:
     earth_link_delay_s: float = 20 * 60.0
     #: Scripted events; ``None`` disables all of them.
     events: Optional[ScriptedEventsConfig] = field(default_factory=ScriptedEventsConfig)
+    #: Fault-injection plan; ``None`` runs the mission fault-free.
+    fault_plan: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -143,6 +148,14 @@ class MissionConfig:
             raise ConfigError("daytime must end within the same day")
         if self.events is not None:
             self.events.validate()
+        if self.fault_plan is not None:
+            for event in self.fault_plan.events:
+                event.validate()
+                if event.time_s >= self.days * DAY:
+                    raise ConfigError(
+                        f"fault event at t={event.time_s:.0f}s lies beyond the "
+                        f"{self.days}-day mission"
+                    )
 
     def with_days(self, days: int) -> "MissionConfig":
         """A copy of this config with a different mission length."""

@@ -10,14 +10,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analytics.dataset import BadgeDaySummary, MissionSensing
 from repro.badges.assignment import BadgeAssignment
-from repro.badges.pipeline import SensingModels, make_fleet, sense_day
+from repro.badges.pipeline import BadgeDayObservations, SensingModels, make_fleet, sense_day
 from repro.badges.sdcard import SdCardAccountant
 from repro.core.config import MissionConfig
 from repro.core.rng import RngRegistry
 from repro.crew.behavior import simulate_mission
 from repro.crew.trace import MissionTruth
+from repro.faults.plan import FaultPlan
+from repro.faults.report import ReliabilityReport
+from repro.faults.scenario import run_support_scenario
 from repro.localization.pipeline import Localizer
 from repro.obs import enabled as obs_enabled
 from repro.obs import export as obs_export
@@ -36,6 +41,9 @@ class MissionResult:
     #: Telemetry snapshot (:func:`repro.obs.export.to_dict`) taken right
     #: after the run when :mod:`repro.obs` was enabled, else None.
     telemetry: dict | None = None
+    #: Support-system reliability under the configured fault plan
+    #: (availability, MTTR, delivery success); None for fault-free runs.
+    reliability: ReliabilityReport | None = None
 
     @property
     def assignment(self) -> BadgeAssignment:
@@ -46,6 +54,12 @@ class MissionResult:
         if self.telemetry is None:
             return "(telemetry was disabled for this run)"
         return obs_export.to_text_report(self.telemetry)
+
+    def reliability_report(self) -> str:
+        """Human-readable reliability summary of the faulted run."""
+        if self.reliability is None:
+            return "(no fault plan was configured for this run)"
+        return self.reliability.to_text()
 
 
 def run_mission(
@@ -77,17 +91,65 @@ def run_mission(
         fleet = make_fleet(assignment, rngs)
         sdcard = SdCardAccountant()
         sensing = MissionSensing(cfg=cfg, plan=truth.plan, assignment=assignment)
+        plan = cfg.fault_plan
+        if plan is not None:
+            for badge_id, cap in plan.sdcard_caps().items():
+                sdcard.set_capacity(badge_id, cap)
 
         for day in cfg.instrumented_days:
             observations, pairwise = sense_day(
                 truth, day, assignment, models, fleet, rngs, sdcard
             )
+            dead = (
+                plan.dead_beacons_on_day(day, cfg.daytime_start_s, cfg.daytime_s)
+                if plan is not None else frozenset()
+            )
             for badge_id, obs in observations.items():
-                loc = localizer.localize_day(obs.ble_rssi, obs.active)
+                if plan is not None:
+                    _degrade_day(cfg, plan, obs, sdcard)
+                loc = localizer.localize_day(obs.ble_rssi, obs.active, dead_beacons=dead)
                 obs.drop_ble()
                 sensing.summaries[(badge_id, day)] = BadgeDaySummary.from_observations(obs, loc)
             sensing.pairwise[day] = pairwise
 
+        reliability = run_support_scenario(cfg, plan) if plan is not None else None
+
     telemetry = obs_export.to_dict() if obs_enabled() else None
     return MissionResult(cfg=cfg, truth=truth, sensing=sensing, models=models,
-                         sdcard=sdcard, telemetry=telemetry)
+                         sdcard=sdcard, telemetry=telemetry, reliability=reliability)
+
+
+def _degrade_day(
+    cfg: MissionConfig,
+    plan: FaultPlan,
+    obs: BadgeDayObservations,
+    sdcard: SdCardAccountant,
+) -> None:
+    """Apply sensing-level faults to one badge-day, in place.
+
+    A battery depletion stops recording from its in-day frame onward; an
+    exhausted SD card stops recording once the cumulative write budget is
+    spent.  The accountant entry for the day is re-recorded so storage
+    totals reflect the truncated recording.
+    """
+    cut = plan.battery_cut_frame(
+        obs.badge_id, obs.day, cfg.daytime_start_s, len(obs.active), cfg.frame_dt
+    )
+    changed = False
+    if cut is not None:
+        obs.active[cut:] = False
+        obs.worn[cut:] = False
+        changed = True
+    # Card budget available for *this* day: capacity minus what the badge
+    # had written on the preceding days.
+    written_before = sdcard.badge_total(obs.badge_id) - obs.bytes_recorded
+    budget = sdcard.capacity_for(obs.badge_id) - written_before
+    budget_frames = int(max(0.0, budget) / (sdcard.total_rate_bps * cfg.frame_dt))
+    active_idx = np.flatnonzero(obs.active)
+    if len(active_idx) > budget_frames:
+        obs.active[active_idx[budget_frames:]] = False
+        changed = True
+    if changed:
+        obs.bytes_recorded = sdcard.record_day(
+            obs.badge_id, obs.day, float(obs.active.sum()) * cfg.frame_dt
+        )

@@ -1,0 +1,40 @@
+"""Fault injection, chaos campaigns, and reliability reporting.
+
+This package makes the support system's failure story testable: scripted
+:class:`FaultPlan`\\ s and seeded randomized :class:`FaultCampaign`\\ s
+describe *what* goes wrong (node crashes, link flaps, lossy windows,
+Earth-link blackouts, beacon outages, badge battery/SD-card faults), the
+:class:`FaultInjector` replays the bus-level events onto a live support
+stack, and :func:`run_support_scenario` reduces a faulted run to a
+:class:`ReliabilityReport` — availability, MTTR, and per-kind delivery
+success under the reliable-transport guarantees of
+:mod:`repro.support.bus`.
+"""
+
+from repro.faults.campaign import FaultCampaign
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BUS_ACTIONS,
+    SENSING_ACTIONS,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.report import (
+    ReliabilityReport,
+    aggregate_delivery,
+    availability_from_downtime,
+)
+from repro.faults.scenario import run_support_scenario
+
+__all__ = [
+    "BUS_ACTIONS",
+    "SENSING_ACTIONS",
+    "FaultCampaign",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "ReliabilityReport",
+    "aggregate_delivery",
+    "availability_from_downtime",
+    "run_support_scenario",
+]

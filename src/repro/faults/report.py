@@ -1,0 +1,172 @@
+"""Reliability reporting: availability, MTTR, delivery success.
+
+Turns what a fault campaign actually did — the injector's downtime
+intervals, every node's reliable-delivery counters, the replica pair's
+role transitions — into one :class:`ReliabilityReport`: per-node
+availability over the horizon, mean time to repair, per-kind delivery
+success (acked / sent, with dead-letter and retry counts), duplicate
+suppression, and the failover/fail-back timeline.  The dict form is
+deterministic for a given seed, which is what the chaos tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.support.bus import Network
+from repro.support.reliable import ReliableStats
+
+
+@dataclass
+class ReliabilityReport:
+    """Everything a fault campaign measured."""
+
+    horizon_s: float
+    #: Per-node fraction of the horizon spent up (1.0 = never down).
+    availability: dict[str, float] = field(default_factory=dict)
+    #: Mean time to repair across closed outages (None if no outage).
+    mttr_s: Optional[float] = None
+    n_outages: int = 0
+    #: Per message kind: sent/acked/dead/success over all reliable senders.
+    delivery: dict[str, dict] = field(default_factory=dict)
+    retries: int = 0
+    duplicates_suppressed: int = 0
+    dead_letters: int = 0
+    pending: int = 0
+    #: Bus totals (fire-and-forget accounting included).
+    bus_sent: int = 0
+    bus_delivered: int = 0
+    bus_dropped: int = 0
+    #: Replica role changes, as (sim_time, node, "take-over"|"yield").
+    transitions: list[tuple[float, str, str]] = field(default_factory=list)
+    primary_at_end: Optional[str] = None
+    split_brain_at_end: bool = False
+    faults_injected: int = 0
+    faults_skipped: int = 0
+
+    def delivery_success(self, kind: str) -> float:
+        entry = self.delivery.get(kind)
+        if entry is None or entry["sent"] == 0:
+            return 1.0
+        return entry["acked"] / entry["sent"]
+
+    def takeovers(self) -> list[float]:
+        return [t for t, _, what in self.transitions if what == "take-over"]
+
+    def failbacks(self) -> list[float]:
+        return [t for t, _, what in self.transitions if what == "yield"]
+
+    def to_dict(self) -> dict:
+        """Deterministic, JSON-serializable snapshot."""
+        return {
+            "horizon_s": self.horizon_s,
+            "availability": {k: self.availability[k] for k in sorted(self.availability)},
+            "mttr_s": self.mttr_s,
+            "n_outages": self.n_outages,
+            "delivery": {k: dict(self.delivery[k]) for k in sorted(self.delivery)},
+            "retries": self.retries,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "dead_letters": self.dead_letters,
+            "pending": self.pending,
+            "bus": {
+                "sent": self.bus_sent,
+                "delivered": self.bus_delivered,
+                "dropped": self.bus_dropped,
+            },
+            "transitions": [list(t) for t in self.transitions],
+            "primary_at_end": self.primary_at_end,
+            "split_brain_at_end": self.split_brain_at_end,
+            "faults_injected": self.faults_injected,
+            "faults_skipped": self.faults_skipped,
+        }
+
+    def to_text(self) -> str:
+        """Human-readable campaign summary."""
+        lines = [f"fault campaign over {self.horizon_s / 3600.0:.1f} h:"]
+        lines.append(f"  faults injected: {self.faults_injected} "
+                     f"(skipped: {self.faults_skipped})")
+        if self.availability:
+            worst = min(self.availability, key=self.availability.get)
+            lines.append("  availability: " + ", ".join(
+                f"{node}={self.availability[node]:.4f}"
+                for node in sorted(self.availability)
+            ) + f" (worst: {worst})")
+        if self.mttr_s is not None:
+            lines.append(f"  outages: {self.n_outages}, MTTR {self.mttr_s:.0f} s")
+        for kind in sorted(self.delivery):
+            entry = self.delivery[kind]
+            lines.append(
+                f"  delivery[{kind}]: {entry['acked']}/{entry['sent']} acked "
+                f"({self.delivery_success(kind):.1%}), {entry['dead']} dead-lettered"
+            )
+        lines.append(
+            f"  retries: {self.retries}, duplicates suppressed: "
+            f"{self.duplicates_suppressed}, DLQ: {self.dead_letters}, "
+            f"pending: {self.pending}"
+        )
+        lines.append(
+            f"  bus: {self.bus_sent} sent = {self.bus_delivered} delivered "
+            f"+ {self.bus_dropped} dropped"
+        )
+        if self.transitions:
+            timeline = "; ".join(
+                f"t={t:.0f} {node} {what}" for t, node, what in self.transitions
+            )
+            lines.append(f"  failover timeline: {timeline}")
+        lines.append(
+            "  primary at end: "
+            f"{self.primary_at_end or '(none)'}"
+            + (" [SPLIT BRAIN]" if self.split_brain_at_end else "")
+        )
+        return "\n".join(lines)
+
+
+def aggregate_delivery(network: Network) -> tuple[dict[str, dict], ReliableStats, int, int, int]:
+    """Fold every node's reliable stats into per-kind delivery entries.
+
+    Returns ``(delivery, totals, duplicates, dead_letters, pending)``.
+    """
+    totals = ReliableStats()
+    duplicates = 0
+    dead_letters = 0
+    pending = 0
+    for name in network.nodes():
+        node = network.node(name)
+        node.reliable.merge_into(totals)
+        duplicates += node.duplicates_suppressed
+        dead_letters += len(node.dead_letters)
+        pending += node.reliable_pending()
+    delivery = {
+        kind: {
+            "sent": totals.sent.get(kind, 0),
+            "acked": totals.acked.get(kind, 0),
+            "dead": totals.dead.get(kind, 0),
+            "success": totals.delivery_success(kind),
+        }
+        for kind in totals.kinds()
+    }
+    return delivery, totals, duplicates, dead_letters, pending
+
+
+def availability_from_downtime(
+    downtime: dict[str, list[tuple[float, float]]],
+    nodes: list[str],
+    horizon_s: float,
+) -> tuple[dict[str, float], Optional[float], int]:
+    """Compute per-node availability and MTTR from closed outage intervals.
+
+    Returns ``(availability, mttr_s, n_outages)``; nodes without outages
+    report availability 1.0.
+    """
+    availability: dict[str, float] = {}
+    repairs: list[float] = []
+    n_outages = 0
+    for node in nodes:
+        intervals = downtime.get(node, [])
+        down = sum(end - start for start, end in intervals)
+        availability[node] = max(0.0, 1.0 - down / horizon_s) if horizon_s > 0 else 1.0
+        n_outages += len(intervals)
+        repairs.extend(end - start for start, end in intervals)
+    mttr = sum(repairs) / len(repairs) if repairs else None
+    return availability, mttr, n_outages

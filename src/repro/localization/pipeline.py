@@ -9,6 +9,7 @@ its beacon messages into.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -30,6 +31,9 @@ class LocalizationResult:
     room: np.ndarray   # int8; -1 unknown
     x: np.ndarray      # float32; NaN unknown
     y: np.ndarray      # float32; NaN unknown
+    #: Beacons masked out of this day's scans (fault injection); room
+    #: detection degraded gracefully instead of consuming dead columns.
+    masked_beacons: tuple[int, ...] = ()
 
     def known_fraction(self) -> float:
         """Fraction of frames with a room fix."""
@@ -61,18 +65,41 @@ class Localizer:
         self.path_loss_exponent = float(path_loss_exponent)
         self.refine = bool(refine)
 
-    def localize_day(self, ble_rssi: np.ndarray, active: np.ndarray) -> LocalizationResult:
+    def localize_day(
+        self,
+        ble_rssi: np.ndarray,
+        active: np.ndarray,
+        dead_beacons: "Iterable[int] | None" = None,
+    ) -> LocalizationResult:
         """Localize one badge-day.
 
         Args:
             ble_rssi: ``(frames, n_beacons)`` scan matrix.
             active: ``(frames,)`` recording mask.
+            dead_beacons: beacon indices whose columns are masked to NaN
+                before detection (beacon outage): the pipeline keeps
+                detecting rooms from the surviving beacons at reduced
+                confidence instead of crashing or consuming stale data.
 
         Returns:
             Room and position estimates per frame.
         """
         with span("localization.day", frames=int(ble_rssi.shape[0])):
             rssi = ble_rssi
+            masked: tuple[int, ...] = ()
+            if dead_beacons:
+                masked = tuple(sorted(
+                    b for b in {int(b) for b in dead_beacons}
+                    if 0 <= b < rssi.shape[1]
+                ))
+            if masked:
+                rssi = rssi.copy()
+                rssi[:, list(masked)] = np.nan
+                if _obs.enabled:
+                    _metrics.counter(
+                        "localization.dead_beacon_days",
+                        "badge-days localized with masked (dead) beacons",
+                    ).inc()
             if self.smooth_window is not None and self.smooth_window > 1:
                 with span("localization.smooth"):
                     rssi = boxcar_smooth(rssi, window=self.smooth_window)
@@ -105,6 +132,7 @@ class Localizer:
                 room=room.astype(np.int8),
                 x=xy[:, 0].astype(np.float32),
                 y=xy[:, 1].astype(np.float32),
+                masked_beacons=masked,
             )
             if _obs.enabled:
                 _metrics.counter(

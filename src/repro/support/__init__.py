@@ -15,6 +15,7 @@ from repro.support.bus import Message, Network, Node
 from repro.support.hydration import HydrationTracker
 from repro.support.mission_control import EarthLink, MissionControl
 from repro.support.privacy import PrivacyManager
+from repro.support.reliable import CircuitBreaker, DeadLetter, ReliableStats
 from repro.support.replication import ReplicatedService, Replica
 from repro.support.scheduling import Advice, CrewLoad, ReschedulingAdvisor
 from repro.support.stream import SensorStream, StreamWindow
@@ -24,7 +25,9 @@ __all__ = [
     "Alert",
     "AlertEngine",
     "AuthorizationService",
+    "CircuitBreaker",
     "CrewLoad",
+    "DeadLetter",
     "EarthLink",
     "HydrationTracker",
     "Message",
@@ -33,6 +36,7 @@ __all__ = [
     "Node",
     "PrivacyManager",
     "Proposal",
+    "ReliableStats",
     "Replica",
     "ReplicatedService",
     "ReschedulingAdvisor",

@@ -27,21 +27,39 @@ from repro.core.errors import ConfigError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs import metrics as _metrics
 from repro.obs.logging import get_logger
+from repro.support.reliable import (
+    ACK_KIND,
+    DEFAULT_COOLDOWN_TIMEOUTS,
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_MAX_ATTEMPTS,
+    CircuitBreaker,
+    DeadLetter,
+    PendingReliable,
+    ReliableStats,
+)
 
 log = get_logger("repro.support.bus")
 
 
 @dataclass(frozen=True)
 class Message:
-    """One bus message."""
+    """One bus message.
+
+    ``msg_id`` is set only on reliable traffic (see
+    :meth:`Node.send_reliable`): the receiver acknowledges it and uses it
+    to deduplicate retransmissions; plain fire-and-forget messages carry
+    ``None``.
+    """
 
     src: str
     dst: str
     kind: str
     payload: Any = None
+    msg_id: Optional[str] = None
 
     def __repr__(self) -> str:
-        return f"<Message {self.src}->{self.dst} {self.kind}>"
+        rel = f" id={self.msg_id}" if self.msg_id is not None else ""
+        return f"<Message {self.src}->{self.dst} {self.kind}{rel}>"
 
 
 class Network:
@@ -94,6 +112,17 @@ class Network:
             raise ConfigError("latency must be non-negative")
         self._link_latency[(src, dst)] = latency_s
 
+    def latency(self, src: str, dst: str) -> float:
+        """Effective one-way latency of a directed link."""
+        return self._link_latency.get((src, dst), self.default_latency_s)
+
+    def set_loss_prob(self, loss_prob: float) -> None:
+        """Change the channel loss probability (lossy-window injection)."""
+        if not 0.0 <= loss_prob < 1.0:
+            raise ConfigError("loss_prob must be in [0, 1)")
+        self.loss_prob = loss_prob
+        log.info("loss-prob-set", loss_prob=loss_prob, sim_time=self.sim.now)
+
     # -- failure injection ------------------------------------------------
 
     def partition(self, src: str, dst: str, bidirectional: bool = True) -> None:
@@ -114,15 +143,28 @@ class Network:
 
     def crash(self, name: str) -> None:
         """Crash a node: it stops receiving (and should stop sending)."""
+        node = self.node(name)
         self._down_nodes.add(name)
-        self.node(name).crashed = True
+        node.crashed = True
         log.warning("node-crashed", node=name, sim_time=self.sim.now)
+        node.on_crash()
+
+    def is_down(self, name: str) -> bool:
+        """Whether a node is currently crashed."""
+        return name in self._down_nodes
 
     def recover(self, name: str) -> None:
-        """Recover a crashed node."""
+        """Recover a crashed node.
+
+        The node's :meth:`Node.on_recover` hook runs after the crashed
+        flag clears, so stateful nodes can reset wall clocks (heartbeat
+        staleness!) and restart their periodic work.
+        """
+        node = self.node(name)
         self._down_nodes.discard(name)
-        self.node(name).crashed = False
+        node.crashed = False
         log.info("node-recovered", node=name, sim_time=self.sim.now)
+        node.on_recover()
 
     # -- delivery ---------------------------------------------------------
 
@@ -204,7 +246,15 @@ class PeriodicTask:
 
 
 class Node:
-    """Base class for support-system units."""
+    """Base class for support-system units.
+
+    Besides fire-and-forget :meth:`send`, every node speaks the reliable
+    protocol: :meth:`send_reliable` retries unacknowledged messages under
+    exponential backoff with jitter until acked or dead-lettered, and the
+    receive path acknowledges and deduplicates reliable messages before
+    dispatch, so ``handle_<kind>`` methods stay idempotent under retry
+    without any per-handler bookkeeping.
+    """
 
     def __init__(self, name: str, sim: Simulator):
         self.name = name
@@ -212,17 +262,215 @@ class Node:
         self.network: Optional[Network] = None
         self.crashed = False
         self.inbox_count = 0
+        # -- reliable-delivery state --------------------------------------
+        self._rel_seq = 0
+        self._rel_pending: dict[str, PendingReliable] = {}
+        self._rel_seen: set[str] = set()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.dead_letters: list[DeadLetter] = []
+        self.duplicates_suppressed = 0
+        self.reliable = ReliableStats()
 
     def send(self, dst: str, kind: str, payload: Any = None) -> None:
-        """Send a message over the bus."""
+        """Send a message over the bus (fire-and-forget)."""
         if self.network is None:
             raise ProtocolError(f"node {self.name!r} is not attached to a network")
         self.network.send(Message(src=self.name, dst=dst, kind=kind, payload=payload))
 
+    # -- reliable delivery ------------------------------------------------
+
+    def send_reliable(
+        self,
+        dst: str,
+        kind: str,
+        payload: Any = None,
+        *,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        ack_timeout_s: Optional[float] = None,
+        backoff_base_s: Optional[float] = None,
+        use_breaker: bool = True,
+    ) -> str:
+        """Send with at-least-once delivery; returns the message id.
+
+        The message is retransmitted on ack timeout with exponential
+        backoff and jitter until acknowledged; after ``max_attempts`` it
+        is appended to :attr:`dead_letters` — a reliable message is
+        therefore *never* silently lost.  The receiver dedups by message
+        id, so the remote handler runs at most once.  When the
+        per-destination circuit breaker is open (the destination kept
+        timing out), the send dead-letters immediately instead of
+        queueing retries.
+
+        Args:
+            dst: destination node name.
+            kind: message kind (dispatched as ``handle_<kind>`` remotely).
+            payload: message payload.
+            max_attempts: transmissions before dead-lettering.
+            ack_timeout_s: ack wait per attempt; defaults to the link
+                round-trip time plus slack.
+            backoff_base_s: first retry backoff; defaults to the ack
+                timeout.
+            use_breaker: consult the per-destination circuit breaker.
+        """
+        if self.network is None:
+            raise ProtocolError(f"node {self.name!r} is not attached to a network")
+        if max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        now = self.sim.now
+        if ack_timeout_s is None:
+            rtt = self.network.latency(self.name, dst) + self.network.latency(dst, self.name)
+            ack_timeout_s = rtt + 4 * self.network.default_latency_s + 0.1
+        if backoff_base_s is None:
+            backoff_base_s = ack_timeout_s
+        msg_id = f"{self.name}#{self._rel_seq}"
+        self._rel_seq += 1
+        self.reliable.record_sent(kind)
+        if _obs.enabled:
+            _metrics.counter(
+                "bus.reliable.sent", "reliable sends, by kind"
+            ).inc(kind=kind)
+        breaker = self._breakers.get(dst)
+        if use_breaker and breaker is not None and not breaker.allow(now):
+            self._dead_letter(
+                PendingReliable(
+                    msg_id=msg_id, dst=dst, kind=kind, payload=payload,
+                    max_attempts=max_attempts, ack_timeout_s=ack_timeout_s,
+                    backoff_base_s=backoff_base_s, first_sent_s=now,
+                ),
+                reason="circuit-open",
+            )
+            return msg_id
+        pending = PendingReliable(
+            msg_id=msg_id, dst=dst, kind=kind, payload=payload,
+            max_attempts=max_attempts, ack_timeout_s=ack_timeout_s,
+            backoff_base_s=backoff_base_s, first_sent_s=now,
+        )
+        self._rel_pending[msg_id] = pending
+        self._transmit(pending)
+        return msg_id
+
+    def configure_breaker(
+        self,
+        dst: str,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        cooldown_s: float = 60.0,
+    ) -> CircuitBreaker:
+        """Install (or replace) the circuit breaker for one destination."""
+        breaker = CircuitBreaker(failure_threshold, cooldown_s)
+        self._breakers[dst] = breaker
+        return breaker
+
+    def reliable_pending(self) -> int:
+        """Reliable messages awaiting an ack or a retry."""
+        return len(self._rel_pending)
+
+    def _breaker_for(self, pending: PendingReliable) -> CircuitBreaker:
+        breaker = self._breakers.get(pending.dst)
+        if breaker is None:
+            breaker = self._breakers[pending.dst] = CircuitBreaker(
+                DEFAULT_FAILURE_THRESHOLD,
+                DEFAULT_COOLDOWN_TIMEOUTS * pending.ack_timeout_s,
+            )
+        return breaker
+
+    def _transmit(self, pending: PendingReliable) -> None:
+        pending.attempts += 1
+        if pending.attempts > 1:
+            self.reliable.retries += 1
+            if _obs.enabled:
+                _metrics.counter(
+                    "bus.reliable.retries", "reliable retransmissions, by kind"
+                ).inc(kind=pending.kind)
+        self.network.send(Message(
+            src=self.name, dst=pending.dst, kind=pending.kind,
+            payload=pending.payload, msg_id=pending.msg_id,
+        ))
+        pending.timer = self.sim.schedule(
+            pending.ack_timeout_s, self._on_ack_timeout, pending.msg_id
+        )
+
+    def _on_ack_timeout(self, msg_id: str) -> None:
+        pending = self._rel_pending.get(msg_id)
+        if pending is None:
+            return  # acked in the meantime
+        self._breaker_for(pending).record_failure(self.sim.now)
+        if pending.attempts >= pending.max_attempts:
+            del self._rel_pending[msg_id]
+            self._dead_letter(pending, reason="max-attempts")
+            return
+        jitter = self.network.rng.uniform(0.75, 1.25) if self.network is not None else 1.0
+        pending.timer = self.sim.schedule(
+            pending.backoff_s(jitter), self._retransmit, msg_id
+        )
+
+    def _retransmit(self, msg_id: str) -> None:
+        pending = self._rel_pending.get(msg_id)
+        if pending is not None:
+            self._transmit(pending)
+
+    def _on_ack(self, msg_id: str) -> None:
+        pending = self._rel_pending.pop(msg_id, None)
+        if pending is None:
+            return  # duplicate ack
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self._breaker_for(pending).record_success(self.sim.now)
+        self.reliable.record_acked(pending.kind)
+        if _obs.enabled:
+            _metrics.counter(
+                "bus.reliable.acked", "reliable sends acknowledged, by kind"
+            ).inc(kind=pending.kind)
+            _metrics.histogram(
+                "bus.reliable.delivery_s",
+                "time from first send to ack, by kind",
+            ).observe(self.sim.now - pending.first_sent_s, kind=pending.kind)
+
+    def _dead_letter(self, pending: PendingReliable, reason: str) -> None:
+        self.dead_letters.append(DeadLetter(
+            msg_id=pending.msg_id, dst=pending.dst, kind=pending.kind,
+            payload=pending.payload, attempts=pending.attempts,
+            first_sent_s=pending.first_sent_s, dead_at_s=self.sim.now,
+            reason=reason,
+        ))
+        self.reliable.record_dead(pending.kind)
+        log.warning("dead-lettered", node=self.name, dst=pending.dst,
+                    kind=pending.kind, msg_id=pending.msg_id, reason=reason,
+                    attempts=pending.attempts, sim_time=self.sim.now)
+        if _obs.enabled:
+            _metrics.counter(
+                "bus.reliable.dead_lettered",
+                "reliable sends abandoned, by kind and reason",
+            ).inc(kind=pending.kind, reason=reason)
+            _metrics.gauge(
+                "bus.reliable.dlq_depth", "dead-letter queue depth, by node"
+            ).set(len(self.dead_letters), node=self.name)
+
+    # -- receive path ------------------------------------------------------
+
     def on_message(self, message: Message) -> None:
-        """Handle a delivered message; dispatches to ``handle_<kind>``."""
+        """Handle a delivered message; dispatches to ``handle_<kind>``.
+
+        Reliable messages are acknowledged and deduplicated here, before
+        dispatch, so handlers never see a retransmission twice.
+        """
         if self.crashed:
             return
+        if message.kind == ACK_KIND:
+            self._on_ack(message.payload)
+            return
+        if message.msg_id is not None:
+            # Re-ack duplicates too: the retransmission means the sender
+            # never saw our first ack.
+            self.send(message.src, ACK_KIND, message.msg_id)
+            if message.msg_id in self._rel_seen:
+                self.duplicates_suppressed += 1
+                if _obs.enabled:
+                    _metrics.counter(
+                        "bus.reliable.duplicates",
+                        "retransmissions suppressed by receiver dedup, by kind",
+                    ).inc(kind=message.kind)
+                return
+            self._rel_seen.add(message.msg_id)
         self.inbox_count += 1
         handler = getattr(self, f"handle_{message.kind}", None)
         if handler is None:
@@ -232,6 +480,20 @@ class Node:
 
     def handle_default(self, message: Message) -> None:
         """Fallback for unrecognized message kinds (override to log)."""
+
+    # -- lifecycle hooks ---------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Called by :meth:`Network.crash` after the node goes down."""
+
+    def on_recover(self) -> None:
+        """Called by :meth:`Network.recover` after the node comes back.
+
+        Override to reset any wall-clock-relative state (heartbeat
+        staleness trackers!) and restart periodic work — :meth:`every`
+        tasks stop rescheduling themselves on crash and do not resume on
+        their own.
+        """
 
     def every(self, period_s: float, callback, *args) -> PeriodicTask:
         """Run ``callback`` periodically until cancelled or the node crashes.

@@ -101,6 +101,8 @@ class HabitatAgent(Node):
         self.applied_commands: list[Command] = []
         self.contradictions: list[Contradiction] = []
         self.reprimands_received: int = 0
+        self._seen_command_ids: set[int] = set()
+        self.duplicate_commands: int = 0
 
     def decide_locally(self, topic: str, action: str) -> Decision:
         """The crew acts autonomously on a topic (cannot wait 40 min RTT)."""
@@ -110,7 +112,14 @@ class HabitatAgent(Node):
 
     def handle_command(self, message: Message) -> None:
         command: Command = message.payload
+        # Always (re-)acknowledge, but apply at most once: a command
+        # retried over the lossy Earth link must not be re-applied or
+        # reported as a contradiction twice.
         self.send(self.earth, "ack", command.command_id)
+        if command.command_id in self._seen_command_ids:
+            self.duplicate_commands += 1
+            return
+        self._seen_command_ids.add(command.command_id)
         local = self.decisions.get(command.topic)
         if local is not None and local.action != command.action and local.decided_at < self.sim.now:
             contradiction = Contradiction(

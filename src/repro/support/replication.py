@@ -25,7 +25,11 @@ class Replica(Node):
 
     State is an append-only list of accepted updates; the primary
     forwards each accepted update to its peer, and heartbeats let the
-    backup detect a dead primary and take over.
+    backup detect a dead primary and take over.  Crash recovery restarts
+    the heartbeat/monitor tasks, resets the peer-heartbeat clock (a
+    stale clock would otherwise trigger an instant, false failover into
+    split-brain), and requests a state sync from the peer to pick up
+    updates accepted while this replica was down.
     """
 
     def __init__(
@@ -48,13 +52,38 @@ class Replica(Node):
         self.last_peer_heartbeat = 0.0
         self.took_over_at: float | None = None
         self.rejected_updates = 0
+        #: (sim_time, "take-over" | "yield") role changes, in order.
+        self.transitions: list[tuple[float, str]] = []
+        self._tasks: list = []
 
     def start(self) -> None:
-        """Begin heartbeating and (on the backup) monitoring."""
+        """Begin heartbeating and monitoring the peer."""
         self.last_peer_heartbeat = self.sim.now
-        self.every(self.heartbeat_s, self._heartbeat)
-        if not self.is_primary:
-            self.every(self.heartbeat_s, self._check_primary)
+        self._start_tasks()
+
+    def stop(self) -> None:
+        """Cancel the periodic protocol tasks (scenario teardown)."""
+        for task in self._tasks:
+            task.cancel()
+        self._tasks = []
+
+    def _start_tasks(self) -> None:
+        self.stop()
+        self._tasks = [
+            self.every(self.heartbeat_s, self._heartbeat),
+            self.every(self.heartbeat_s, self._check_primary),
+        ]
+
+    def on_crash(self) -> None:
+        self.stop()
+
+    def on_recover(self) -> None:
+        # Reset the heartbeat clock BEFORE the monitor restarts: comparing
+        # against the pre-crash timestamp would (wrongly) declare the peer
+        # dead on the very first check.
+        self.last_peer_heartbeat = self.sim.now
+        self._start_tasks()
+        self.send(self.peer, "sync_request")
 
     # -- client API --------------------------------------------------------
 
@@ -78,6 +107,7 @@ class Replica(Node):
         if self.sim.now - self.last_peer_heartbeat > self.failover_timeout_s:
             self.is_primary = True
             self.took_over_at = self.sim.now
+            self.transitions.append((self.sim.now, "take-over"))
 
     def handle_heartbeat(self, message: Message) -> None:
         self.last_peer_heartbeat = self.sim.now
@@ -86,9 +116,23 @@ class Replica(Node):
         if self.is_primary and self.took_over_at is not None and self.name > message.src:
             self.is_primary = False
             self.took_over_at = None
+            self.transitions.append((self.sim.now, "yield"))
 
     def handle_replicate(self, message: Message) -> None:
         self.state.append(message.payload)
+
+    def handle_submit(self, message: Message) -> None:
+        """Remote client write (see :meth:`submit`); rejected on backups."""
+        self.submit(message.payload)
+
+    def handle_sync_request(self, message: Message) -> None:
+        """A recovering peer asks for the updates it missed."""
+        self.send(message.src, "sync_state", list(self.state))
+
+    def handle_sync_state(self, message: Message) -> None:
+        """Adopt the peer's longer update log after recovery."""
+        if len(message.payload) > len(self.state):
+            self.state = list(message.payload)
 
 
 @dataclass

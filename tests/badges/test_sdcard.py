@@ -49,3 +49,56 @@ class TestAccounting:
     def test_invalid_rates_rejected(self):
         with pytest.raises(ConfigError):
             SdCardAccountant(rates_bps={"microphone": -1.0})
+
+
+class TestRunningCounters:
+    def test_overwrite_adjusts_by_delta(self):
+        """Re-recording a badge-day (fault masking) must not double-count."""
+        sd = SdCardAccountant()
+        sd.record_day(0, 2, 1000.0)
+        sd.record_day(0, 2, 400.0)  # day truncated after the fact
+        assert sd.badge_total(0) == pytest.approx(400.0 * sd.total_rate_bps)
+        assert sd.total_bytes() == pytest.approx(400.0 * sd.total_rate_bps)
+
+    def test_counters_match_resummed_written(self):
+        sd = SdCardAccountant()
+        for day in range(2, 10):
+            for badge in range(4):
+                sd.record_day(badge, day, 100.0 * day)
+        sd.record_day(2, 5, 0.0)  # one overwrite
+        assert sd.total_bytes() == pytest.approx(sum(sd.written.values()))
+        for badge in range(4):
+            expected = sum(v for (b, _), v in sd.written.items() if b == badge)
+            assert sd.badge_total(badge) == pytest.approx(expected)
+
+    def test_counters_rebuilt_from_written(self):
+        sd = SdCardAccountant(written={(0, 2): 100.0, (0, 3): 50.0, (1, 2): 25.0})
+        assert sd.badge_total(0) == pytest.approx(150.0)
+        assert sd.total_bytes() == pytest.approx(175.0)
+
+
+class TestCapacityOverrides:
+    def test_override_applies_to_one_badge(self):
+        sd = SdCardAccountant(capacity_bytes=10 * GIB)
+        sd.set_capacity(1, 1 * GIB)
+        assert sd.capacity_for(0) == 10 * GIB
+        assert sd.capacity_for(1) == 1 * GIB
+
+    def test_remaining_clamps_at_zero(self):
+        sd = SdCardAccountant()
+        sd.set_capacity(0, 1000.0)
+        sd.record_day(0, 2, 3600.0)
+        assert sd.remaining(0) == 0.0
+
+    def test_over_capacity_respects_override(self):
+        sd = SdCardAccountant()
+        sd.set_capacity(0, 1000.0)
+        sd.record_day(0, 2, 3600.0)
+        sd.record_day(1, 2, 3600.0)
+        assert sd.over_capacity() == [0]
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ConfigError):
+            SdCardAccountant().set_capacity(0, 0.0)
+        with pytest.raises(ConfigError):
+            SdCardAccountant(capacity_overrides={0: -1.0})

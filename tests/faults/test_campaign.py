@@ -1,0 +1,90 @@
+"""Tests for randomized fault campaigns."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.units import DAY
+from repro.faults.campaign import FaultCampaign
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        camp = FaultCampaign.reference(days=7, seed=42)
+        assert camp.generate() == camp.generate()
+
+    def test_different_seeds_differ(self):
+        a = FaultCampaign.reference(days=7, seed=1).generate()
+        b = FaultCampaign.reference(days=7, seed=2).generate()
+        assert a != b
+
+    def test_plan_is_sorted(self):
+        plan = FaultCampaign.reference(days=7, seed=0).generate()
+        times = [e.time_s for e in plan.events]
+        assert times == sorted(times)
+
+
+class TestGeneration:
+    def test_zero_rates_empty_plan(self):
+        camp = FaultCampaign(
+            seed=0, horizon_s=7 * DAY,
+            crashes_per_day=0.0, flaps_per_day=0.0, lossy_windows_per_day=0.0,
+            blackouts_per_day=0.0, beacon_outages_per_day=0.0,
+            battery_depletions=0, sdcard_exhaustions=0,
+        )
+        assert camp.generate().is_empty()
+
+    def test_events_within_horizon(self):
+        plan = FaultCampaign.reference(days=5, seed=3).generate()
+        assert all(0.0 <= e.time_s < 5 * DAY for e in plan.events)
+
+    def test_reference_covers_fault_classes(self):
+        # High enough rates that every class appears at some seed.
+        camp = dataclasses.replace(
+            FaultCampaign.reference(days=14, seed=0),
+            crashes_per_day=2.0, flaps_per_day=2.0, lossy_windows_per_day=2.0,
+            blackouts_per_day=2.0, beacon_outages_per_day=2.0,
+        )
+        actions = {e.action for e in camp.generate().events}
+        assert {"crash", "link-down", "lossy", "blackout",
+                "beacon-outage", "badge-battery", "sdcard-cap"} <= actions
+
+    def test_targets_come_from_campaign_sets(self):
+        camp = FaultCampaign.reference(days=14, seed=7)
+        plan = camp.generate()
+        for event in plan.events:
+            if event.action == "crash":
+                assert event.target in camp.nodes
+            elif event.action == "beacon-outage":
+                assert 0 <= int(event.target) < camp.n_beacons
+            elif event.action in ("badge-battery", "sdcard-cap"):
+                assert event.badge_id() in camp.badge_ids
+
+    def test_crashes_need_nodes(self):
+        camp = FaultCampaign(seed=0, horizon_s=DAY, crashes_per_day=10.0,
+                             flaps_per_day=0.0, lossy_windows_per_day=0.0,
+                             blackouts_per_day=0.0, beacon_outages_per_day=0.0)
+        assert all(e.action != "crash" for e in camp.generate().events)
+
+
+class TestValidation:
+    def test_horizon_positive(self):
+        with pytest.raises(ConfigError):
+            FaultCampaign(horizon_s=0.0)
+
+    def test_lossy_prob_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultCampaign(lossy_prob=1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultCampaign(crashes_per_day=-1.0)
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultCampaign(mean_downtime_s=0.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultCampaign(battery_depletions=-1)

@@ -1,0 +1,138 @@
+"""End-to-end chaos test: a seeded mission under a scripted fault plan.
+
+The acceptance scenario for the fault subsystem: one mission config with
+a node crash, an Earth-link blackout, a beacon outage, a lossy-channel
+window, a badge battery depletion, and an SD-card cap, run through the
+full pipeline.  Asserts the reliability invariants (exactly-once-or-
+dead-lettered, failover without split-brain), graceful sensing
+degradation, and two-run determinism at the same seed.
+"""
+
+import pytest
+
+from repro.core.config import MissionConfig
+from repro.core.units import DAY, HOUR
+from repro.experiments.mission import run_mission
+from repro.faults.plan import FaultEvent, FaultPlan
+
+BATTERY_BADGE = 1
+SDCARD_BADGE = 2
+DEAD_BEACONS = (0, 1)
+
+CHAOS_PLAN = FaultPlan.build(
+    # Day 1 (bus-level): crash the primary for an hour, black out the
+    # Earth link for four, degrade every link for two.
+    FaultEvent(time_s=6 * HOUR, action="crash", target="svc-a", duration_s=1 * HOUR),
+    FaultEvent(time_s=10 * HOUR, action="blackout", duration_s=4 * HOUR),
+    FaultEvent(time_s=12 * HOUR, action="lossy", duration_s=2 * HOUR, value=0.3),
+    # Day 2 (sensing-level): a badge battery dies at 10:00.
+    FaultEvent(time_s=1 * DAY + 10 * HOUR, action="badge-battery",
+               target=str(BATTERY_BADGE)),
+    # Day 3: two beacons dark through the whole daytime.
+    FaultEvent(time_s=2 * DAY + 6 * HOUR, action="beacon-outage",
+               target=",".join(str(b) for b in DEAD_BEACONS), duration_s=16 * HOUR),
+    # Whole mission: one badge's SD card is nearly worn out.
+    FaultEvent(time_s=0.0, action="sdcard-cap", target=str(SDCARD_BADGE), value=1e9),
+)
+
+
+def _chaos_config():
+    return MissionConfig(days=3, seed=7, events=None, fault_plan=CHAOS_PLAN)
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return run_mission(_chaos_config())
+
+
+@pytest.mark.tier2
+class TestReliableDeliveryUnderChaos:
+    def test_no_silent_loss(self, chaos_result):
+        """Every reliable send is acked or dead-lettered — never lost."""
+        report = chaos_result.reliability
+        assert report is not None
+        assert report.pending == 0
+        for kind, entry in report.delivery.items():
+            assert entry["sent"] == entry["acked"] + entry["dead"], kind
+
+    def test_bus_accounting_exact(self, chaos_result):
+        report = chaos_result.reliability
+        assert report.bus_sent == report.bus_delivered + report.bus_dropped
+
+    def test_delivery_success_reported_per_kind(self, chaos_result):
+        report = chaos_result.reliability
+        assert {"submit", "status"} <= set(report.delivery)
+        for kind in ("submit", "status"):
+            assert 0.0 < report.delivery_success(kind) <= 1.0
+
+    def test_faults_were_injected(self, chaos_result):
+        report = chaos_result.reliability
+        assert report.faults_injected == 3  # crash + blackout + lossy
+        assert report.faults_skipped == 0
+
+
+@pytest.mark.tier2
+class TestFailoverUnderChaos:
+    def test_takeover_and_failback_without_split_brain(self, chaos_result):
+        report = chaos_result.reliability
+        assert report.takeovers(), "backup never took over during the crash"
+        assert report.failbacks(), "promoted backup never yielded after recovery"
+        assert not report.split_brain_at_end
+        assert report.primary_at_end == "svc-a"
+
+    def test_availability_and_mttr(self, chaos_result):
+        report = chaos_result.reliability
+        assert report.availability["svc-a"] == pytest.approx(1.0 - HOUR / (3 * DAY))
+        assert report.availability["svc-b"] == 1.0
+        assert report.mttr_s == pytest.approx(HOUR)
+        assert report.n_outages == 1
+
+
+@pytest.mark.tier2
+class TestSensingDegradation:
+    def test_rooms_detected_during_beacon_outage(self, chaos_result):
+        """Day 3 runs with two beacons dark; detection must continue."""
+        sensing = chaos_result.sensing
+        for badge_id in (0, 3):
+            summary = sensing.summaries[(badge_id, 3)]
+            detected = (summary.room >= 0).sum()
+            assert detected > 0, f"badge {badge_id} lost all rooms on outage day"
+
+    def test_battery_depletion_stops_recording_midday(self, chaos_result):
+        summary = chaos_result.sensing.summaries[(BATTERY_BADGE, 2)]
+        cut = int(3 * HOUR)  # fault at 10:00, daytime starts 07:00, 1 s frames
+        assert not summary.active[cut:].any()
+        # The next morning the badge is recharged and records again.
+        assert chaos_result.sensing.summaries[(BATTERY_BADGE, 3)].active.any()
+
+    def test_sdcard_cap_exhausts_recording(self, chaos_result):
+        sd = chaos_result.sdcard
+        assert sd.capacity_for(SDCARD_BADGE) == 1e9
+        assert sd.badge_total(SDCARD_BADGE) <= 1e9 + sd.total_rate_bps
+        # Day 2 fills the worn card; day 3 has no budget left.
+        assert not chaos_result.sensing.summaries[(SDCARD_BADGE, 3)].active.any()
+        assert chaos_result.sensing.summaries[(SDCARD_BADGE, 2)].active.any()
+
+    def test_unfaulted_badges_unaffected(self, chaos_result):
+        summary = chaos_result.sensing.summaries[(4, 2)]
+        assert summary.active.any()
+        assert chaos_result.sdcard.badge_total(4) > 1e9  # default capacity
+
+
+@pytest.mark.tier2
+class TestDeterminism:
+    def test_identical_reliability_across_runs(self, chaos_result):
+        again = run_mission(_chaos_config())
+        assert chaos_result.reliability.to_dict() == again.reliability.to_dict()
+
+    def test_identical_sensing_across_runs(self, chaos_result):
+        import numpy as np
+
+        again = run_mission(_chaos_config())
+        assert set(again.sensing.summaries) == set(chaos_result.sensing.summaries)
+        for key in ((BATTERY_BADGE, 2), (SDCARD_BADGE, 3), (0, 3)):
+            one = chaos_result.sensing.summaries[key]
+            two = again.sensing.summaries[key]
+            np.testing.assert_array_equal(one.room, two.room)
+            np.testing.assert_array_equal(one.active, two.active)
+        assert again.sdcard.total_bytes() == chaos_result.sdcard.total_bytes()

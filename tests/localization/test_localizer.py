@@ -59,6 +59,46 @@ class TestLocalizerOnMission:
         assert np.isnan(summary.x[~summary.active]).all()
 
 
+class TestDeadBeaconMasking:
+    """Graceful degradation: dead beacons are masked, detection continues."""
+
+    @pytest.fixture()
+    def loc(self, truth):
+        return Localizer(truth.plan, place_beacons(truth.plan, 9))
+
+    @pytest.fixture()
+    def scan(self):
+        rng = np.random.default_rng(0)
+        rssi = rng.uniform(-90.0, -50.0, size=(60, 9)).astype(np.float32)
+        return rssi, np.ones(60, dtype=bool)
+
+    def test_masked_beacons_recorded(self, loc, scan):
+        rssi, active = scan
+        result = loc.localize_day(rssi, active, dead_beacons=[3, 7, 3])
+        assert result.masked_beacons == (3, 7)
+
+    def test_input_rssi_not_mutated(self, loc, scan):
+        rssi, active = scan
+        before = rssi.copy()
+        loc.localize_day(rssi, active, dead_beacons=[2])
+        np.testing.assert_array_equal(rssi, before)
+
+    def test_detection_continues_with_dead_beacons(self, loc, scan):
+        rssi, active = scan
+        result = loc.localize_day(rssi, active, dead_beacons=[0, 1, 2])
+        assert (result.room >= 0).sum() > 0  # still detecting rooms
+
+    def test_no_dead_beacons_identical_to_default(self, loc, scan):
+        rssi, active = scan
+        base = loc.localize_day(rssi, active)
+        masked = loc.localize_day(rssi, active, dead_beacons=[])
+        np.testing.assert_array_equal(base.room, masked.room)
+
+    def test_out_of_range_ids_ignored(self, loc, scan):
+        rssi, active = scan
+        result = loc.localize_day(rssi, active, dead_beacons=[-1, 99, 4])
+        assert result.masked_beacons == (4,)
+
 class TestLocalizerConstruction:
     def test_requires_beacons(self, truth):
         with pytest.raises(ConfigError):

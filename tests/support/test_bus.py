@@ -243,6 +243,81 @@ class TestAccounting:
         obs.reset()
 
 
+class LifecycleNode(Recorder):
+    def __init__(self, name, sim):
+        super().__init__(name, sim)
+        self.lifecycle = []
+
+    def on_crash(self):
+        self.lifecycle.append(("crash", self.sim.now))
+
+    def on_recover(self):
+        self.lifecycle.append(("recover", self.sim.now))
+
+
+class TestCrashRecoverCycles:
+    def test_lifecycle_hooks_fire_in_order(self):
+        sim = Simulator()
+        network = Network(sim)
+        node = LifecycleNode("n", sim)
+        network.register(node)
+        sim.schedule(1.0, network.crash, "n")
+        sim.schedule(2.0, network.recover, "n")
+        sim.schedule(3.0, network.crash, "n")
+        sim.schedule(4.0, network.recover, "n")
+        sim.run()
+        assert node.lifecycle == [
+            ("crash", 1.0), ("recover", 2.0), ("crash", 3.0), ("recover", 4.0),
+        ]
+
+    def test_is_down_tracks_cycles(self, net):
+        sim, network, a, b = net
+        assert not network.is_down("a")
+        network.crash("a")
+        assert network.is_down("a")
+        network.recover("a")
+        assert not network.is_down("a")
+
+    def test_delivery_resumes_after_each_cycle(self, net):
+        sim, network, a, b = net
+        for cycle in range(3):
+            t = 10.0 * cycle
+            sim.schedule_at(t + 1.0, network.crash, "b")
+            sim.schedule_at(t + 2.0, a.send, "b", "during-crash", cycle)
+            sim.schedule_at(t + 5.0, network.recover, "b")
+            sim.schedule_at(t + 6.0, a.send, "b", "after-recover", cycle)
+        sim.run()
+        kinds = [m.kind for m in b.received]
+        assert kinds.count("after-recover") == 3
+        assert "during-crash" not in kinds
+        assert network.delivered == 3 and network.dropped == 3
+
+    def test_restarted_periodic_task_after_recover(self, net):
+        """every() stops on crash; a restarted task resumes ticking."""
+        sim, network, a, b = net
+        ticks = []
+        a.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, network.crash, "a")
+        sim.run_until(5.0)
+        assert len(ticks) == 2
+        network.recover("a")
+        a.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(8.5)
+        assert len(ticks) == 5
+
+    def test_reliable_messages_span_a_crash_cycle(self, net):
+        sim, network, a, b = net
+        network.crash("b")
+        a.send_reliable("b", "hello", "x")
+        sim.schedule(0.3, network.recover, "b")
+        sim.run()
+        assert any(m.payload == "x" for m in b.received)
+        assert a.reliable.acked == {"hello": 1}
+
+
 class TestMessage:
     def test_repr(self):
         assert "a->b" in repr(Message("a", "b", "kind"))
+
+    def test_repr_shows_reliable_id(self):
+        assert "id=a#0" in repr(Message("a", "b", "kind", msg_id="a#0"))

@@ -65,6 +65,49 @@ class TestContradiction:
         assert earth_link.habitat_agent.decisions["fresh-topic"].action == "go"
 
 
+class TestIdempotency:
+    def test_duplicate_command_applied_once(self, link):
+        """A command retransmitted over the lossy Earth link must apply
+        exactly once (and not re-trigger contradiction detection)."""
+        sim, earth_link = link
+        agent = earth_link.habitat_agent
+        cmd = earth_link.mission_control.issue("topic", "go")
+        sim.run()
+        from repro.support.bus import Message
+        agent.on_message(Message("earth", "habitat", "command", cmd))
+        sim.run()
+        assert len(agent.applied_commands) == 1
+        assert agent.duplicate_commands == 1
+
+    def test_duplicate_still_reacked(self, link):
+        """Re-ack duplicates: the retransmission means Earth never saw
+        the first ack."""
+        sim, earth_link = link
+        agent = earth_link.habitat_agent
+        cmd = earth_link.mission_control.issue("topic", "go")
+        sim.run()
+        earth_link.mission_control.acknowledged.clear()
+        from repro.support.bus import Message
+        agent.on_message(Message("earth", "habitat", "command", cmd))
+        sim.run()
+        assert cmd.command_id in earth_link.mission_control.acknowledged
+
+    def test_duplicate_contradiction_reported_once(self, link):
+        sim, earth_link = link
+        agent = earth_link.habitat_agent
+        earth_link.mission_control.issue("route", "south")
+        sim.run_until(600.0)
+        agent.decide_locally("route", "north")
+        sim.run()
+        assert len(agent.contradictions) == 1
+        from repro.support.bus import Message
+        cmd = earth_link.mission_control.sent_commands[0]
+        agent.on_message(Message("earth", "habitat", "command", cmd))
+        sim.run()
+        assert len(agent.contradictions) == 1
+        assert len(earth_link.mission_control.reprimands) == 1
+
+
 class TestBlackout:
     def test_blackout_drops_commands(self, link):
         sim, earth_link = link

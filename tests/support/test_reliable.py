@@ -1,0 +1,251 @@
+"""Tests for reliable delivery: acks, retries, DLQ, dedup, breaker."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigError
+from repro.support.bus import Network, Node
+from repro.support.reliable import (
+    ACK_KIND,
+    CircuitBreaker,
+    DeadLetter,
+    PendingReliable,
+    ReliableStats,
+)
+
+
+class Counting(Node):
+    def __init__(self, name, sim):
+        super().__init__(name, sim)
+        self.handled = []
+
+    def handle_job(self, message):
+        self.handled.append(message.payload)
+
+
+def make_net(loss_prob=0.0, seed=0):
+    sim = Simulator()
+    network = Network(sim, default_latency_s=0.1, loss_prob=loss_prob,
+                      rng=np.random.default_rng(seed))
+    a, b = Counting("a", sim), Counting("b", sim)
+    network.register(a)
+    network.register(b)
+    return sim, network, a, b
+
+
+class TestHappyPath:
+    def test_delivered_and_acked(self):
+        sim, network, a, b = make_net()
+        msg_id = a.send_reliable("b", "job", 1)
+        sim.run()
+        assert b.handled == [1]
+        assert a.reliable.acked == {"job": 1}
+        assert a.reliable_pending() == 0
+        assert msg_id == "a#0"
+
+    def test_no_retries_without_loss(self):
+        sim, network, a, b = make_net()
+        for k in range(20):
+            a.send_reliable("b", "job", k)
+        sim.run()
+        assert a.reliable.retries == 0
+        assert a.reliable.delivery_success("job") == 1.0
+        assert b.duplicates_suppressed == 0
+
+    def test_ack_adds_no_delivery_latency(self):
+        """The payload arrives after one link latency, ack or not."""
+        sim, network, a, b = make_net()
+        a.send_reliable("b", "job", 1)
+        sim.run_until(0.1)
+        assert b.handled == [1]
+
+    def test_message_ids_unique_per_sender(self):
+        sim, network, a, b = make_net()
+        ids = {a.send_reliable("b", "job", k) for k in range(10)}
+        assert len(ids) == 10
+
+
+class TestRetries:
+    def test_lossy_link_exactly_once_dispatch(self):
+        sim, network, a, b = make_net(loss_prob=0.4, seed=3)
+        for k in range(50):
+            a.send_reliable("b", "job", k, max_attempts=10)
+        sim.run()
+        stats = a.reliable
+        assert stats.sent["job"] == 50
+        assert stats.acked.get("job", 0) + stats.dead.get("job", 0) == 50
+        assert a.reliable_pending() == 0
+        # At-least-once on the wire, exactly-once at the handler.
+        assert stats.retries > 0
+        assert sorted(b.handled) == sorted(set(b.handled))
+
+    def test_retry_after_single_drop(self):
+        sim, network, a, b = make_net()
+        network.partition("a", "b", bidirectional=False)
+        a.send_reliable("b", "job", 7)
+        sim.run_until(0.2)
+        network.heal("a", "b", bidirectional=False)
+        sim.run()
+        assert b.handled == [7]
+        assert a.reliable.retries >= 1
+        assert a.reliable.acked == {"job": 1}
+
+    def test_backoff_grows_exponentially(self):
+        pending = PendingReliable(
+            msg_id="x", dst="b", kind="job", payload=None, max_attempts=6,
+            ack_timeout_s=1.0, backoff_base_s=2.0, first_sent_s=0.0,
+        )
+        pending.attempts = 1
+        first = pending.backoff_s(jitter=1.0)
+        pending.attempts = 3
+        third = pending.backoff_s(jitter=1.0)
+        assert first == pytest.approx(2.0)
+        assert third == pytest.approx(8.0)
+
+    def test_duplicate_reacked_and_suppressed(self):
+        """Losing the ack (not the message) forces a retransmission; the
+        receiver must suppress the duplicate but re-ack it."""
+        sim, network, a, b = make_net()
+        network.partition("b", "a", bidirectional=False)  # acks blocked
+        a.send_reliable("b", "job", 1)
+        sim.run_until(1.0)
+        network.heal("b", "a", bidirectional=False)
+        sim.run()
+        assert b.handled == [1]  # dispatched once
+        assert b.duplicates_suppressed >= 1
+        assert a.reliable.acked == {"job": 1}
+
+
+class TestDeadLetters:
+    def test_max_attempts_dead_letters(self):
+        sim, network, a, b = make_net()
+        network.crash("b")
+        a.send_reliable("b", "job", 9, max_attempts=3)
+        sim.run()
+        assert a.reliable_pending() == 0
+        assert len(a.dead_letters) == 1
+        letter = a.dead_letters[0]
+        assert letter.reason == "max-attempts"
+        assert letter.attempts == 3
+        assert letter.payload == 9
+        assert a.reliable.dead == {"job": 1}
+
+    def test_delivery_after_recovery_not_dead_lettered(self):
+        sim, network, a, b = make_net()
+        network.crash("b")
+        sim.schedule(0.5, network.recover, "b")
+        a.send_reliable("b", "job", 1, max_attempts=6)
+        sim.run()
+        assert b.handled == [1]
+        assert not a.dead_letters
+
+    def test_invariant_sent_equals_acked_plus_dead(self):
+        sim, network, a, b = make_net(loss_prob=0.5, seed=5)
+        network.crash("b")
+        sim.schedule(2.0, network.recover, "b")
+        for k in range(30):
+            a.send_reliable("b", "job", k, max_attempts=4)
+        sim.run()
+        stats = a.reliable
+        assert stats.sent["job"] == 30
+        assert stats.acked.get("job", 0) + stats.dead.get("job", 0) == 30
+        assert a.reliable_pending() == 0
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0)
+        assert breaker.allow(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state == "closed"
+        breaker.record_failure(2.0)
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+        assert not breaker.allow(3.0)
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(5.0)
+        assert breaker.allow(10.0)  # half-open probe
+        assert breaker.state == "half-open"
+        breaker.record_success(10.5)
+        assert breaker.state == "closed"
+        assert breaker.allow(11.0)
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_failure(10.5)
+        assert breaker.state == "open"
+        assert not breaker.allow(15.0)
+        assert breaker.opens == 2
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_success(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == "closed"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(cooldown_s=0.0)
+
+    def test_open_breaker_fast_fails_sends(self):
+        sim, network, a, b = make_net()
+        a.configure_breaker("b", failure_threshold=1, cooldown_s=1000.0)
+        network.crash("b")
+        a.send_reliable("b", "job", 1, max_attempts=2)
+        sim.run()  # both attempts time out; breaker opens
+        assert a._breakers["b"].state == "open"
+        a.send_reliable("b", "job", 2)
+        assert a.dead_letters[-1].reason == "circuit-open"
+        assert a.reliable_pending() == 0
+
+    def test_breaker_recovers_via_half_open_probe(self):
+        sim, network, a, b = make_net()
+        a.configure_breaker("b", failure_threshold=1, cooldown_s=5.0)
+        network.crash("b")
+        a.send_reliable("b", "job", 1, max_attempts=1)
+        sim.run()
+        assert a._breakers["b"].state == "open"
+        network.recover("b")
+        sim.schedule_at(10.0, a.send_reliable, "b", "job", 2)
+        sim.run()
+        assert 2 in b.handled
+        assert a._breakers["b"].state == "closed"
+
+
+class TestStats:
+    def test_delivery_success_defaults_to_one(self):
+        stats = ReliableStats()
+        assert stats.delivery_success("never-sent") == 1.0
+
+    def test_merge_into(self):
+        one, two, total = ReliableStats(), ReliableStats(), ReliableStats()
+        one.record_sent("job"); one.record_acked("job"); one.retries = 2
+        two.record_sent("job"); two.record_dead("job")
+        one.merge_into(total)
+        two.merge_into(total)
+        assert total.sent == {"job": 2}
+        assert total.acked == {"job": 1}
+        assert total.dead == {"job": 1}
+        assert total.retries == 2
+        assert total.delivery_success("job") == pytest.approx(0.5)
+
+    def test_ack_kind_is_reserved(self):
+        sim, network, a, b = make_net()
+        a.send("b", ACK_KIND, "a#999")  # stray ack for an unknown id
+        sim.run()
+        assert not b.handled  # never dispatched to a handler
+        assert b.inbox_count == 0
+
+    def test_dead_letter_frozen(self):
+        letter = DeadLetter("a#0", "b", "job", None, 3, 0.0, 9.0, "max-attempts")
+        with pytest.raises(AttributeError):
+            letter.reason = "other"
