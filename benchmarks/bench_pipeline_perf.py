@@ -11,6 +11,7 @@ import pytest
 from repro.analytics.speech import speech_windows
 from repro.badges.assignment import BadgeAssignment
 from repro.badges.pipeline import SensingModels, make_fleet, sense_day
+from repro.badges.sdcard import SdCardAccountant
 from repro.core.config import MissionConfig
 from repro.core.rng import RngRegistry
 from repro.crew.behavior import simulate_mission
@@ -40,7 +41,9 @@ def test_perf_sense_day(benchmark, one_day_cfg, one_day_truth):
     def run():
         rngs = RngRegistry(3)
         fleet = make_fleet(assignment, rngs)
-        return sense_day(one_day_truth, 2, assignment, models, fleet, rngs)
+        # Benchmark the production path: SD-card accounting included.
+        return sense_day(one_day_truth, 2, assignment, models, fleet, rngs,
+                         SdCardAccountant())
 
     benchmark.pedantic(run, rounds=3, iterations=1)
 
@@ -50,7 +53,8 @@ def test_perf_localize_day(benchmark, one_day_cfg, one_day_truth):
     models = SensingModels.default(one_day_cfg, one_day_truth.plan)
     rngs = RngRegistry(3)
     fleet = make_fleet(assignment, rngs)
-    observations, __ = sense_day(one_day_truth, 2, assignment, models, fleet, rngs)
+    observations, __ = sense_day(one_day_truth, 2, assignment, models, fleet, rngs,
+                                 SdCardAccountant())
     obs = observations[0]
     localizer = Localizer(one_day_truth.plan, models.beacons)
 

@@ -7,13 +7,17 @@ a prototype of the Section VI mission support system.
 
 Quickstart::
 
-    from repro import MissionConfig, run_mission, build_table1
-    result = run_mission(MissionConfig(days=5, seed=7))
+    from repro import ExecutionConfig, MissionConfig, run_mission, build_table1
+    result = run_mission(
+        MissionConfig(days=5, seed=7),
+        execution=ExecutionConfig(n_workers=4, cache_dir=".repro-cache"),
+    )
     print(build_table1(result))
 """
 
 from repro import obs
-from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.core.config import ExecutionConfig, MissionConfig, ScriptedEventsConfig
+from repro.exec import MissionCache
 from repro.faults import FaultCampaign, FaultPlan, ReliabilityReport, run_support_scenario
 from repro.crew.behavior import simulate_mission
 from repro.crew.roster import icares_roster
@@ -29,8 +33,10 @@ from repro.habitat.floorplan import lunares_floorplan
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionConfig",
     "FaultCampaign",
     "FaultPlan",
+    "MissionCache",
     "MissionConfig",
     "MissionResult",
     "ReliabilityReport",

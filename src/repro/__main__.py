@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from repro import (
+    ExecutionConfig,
     MissionConfig,
     build_deployment_stats,
     build_section5_claims,
@@ -29,6 +30,12 @@ def _add_mission_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="master RNG seed")
     parser.add_argument("--no-events", action="store_true",
                         help="disable the scripted mission events")
+    parser.add_argument("--workers", default="serial", metavar="N",
+                        help="badge-day workers: an integer or 'serial' "
+                             "(default; results are identical either way)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="content-addressed result cache directory "
+                             "(reruns with an unchanged config load from it)")
 
 
 def _config(args: argparse.Namespace) -> MissionConfig:
@@ -38,8 +45,13 @@ def _config(args: argparse.Namespace) -> MissionConfig:
     return MissionConfig(**kwargs)
 
 
+def _execution(args: argparse.Namespace) -> ExecutionConfig:
+    workers = args.workers if args.workers == "serial" else int(args.workers)
+    return ExecutionConfig(n_workers=workers, cache_dir=args.cache)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    result = run_mission(_config(args))
+    result = run_mission(_config(args), execution=_execution(args))
     print(build_table1(result))
     print()
     print(build_deployment_stats(result))
@@ -54,7 +66,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         format_fig2, format_fig3, format_fig5, format_series,
     )
 
-    result = run_mission(_config(args))
+    result = run_mission(_config(args), execution=_execution(args))
     print("=== Figure 2 ===");  print(format_fig2(*fig2(result)))
     print("\n=== Figure 3 ==="); print(format_fig3(fig3(result, "A")))
     print("\n=== Figure 4 ==="); print(format_series(fig4(result)))
@@ -66,7 +78,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_save(args: argparse.Namespace) -> int:
     from repro.analytics.dataset_io import save_sensing
 
-    result = run_mission(_config(args))
+    result = run_mission(_config(args), execution=_execution(args))
     save_sensing(result.sensing, args.path)
     print(f"saved {len(result.sensing.summaries)} badge-days to {args.path}")
     return 0
@@ -92,8 +104,8 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     obs.enable()
     obs.logging.buffer.echo = args.echo_logs
     try:
-        result = run_mission(_config(args))
-        print(result.telemetry_report())
+        result = run_mission(_config(args), execution=_execution(args))
+        print(result.telemetry.to_text())
         if args.json:
             print()
             print(json.dumps(result.telemetry, indent=2, sort_keys=True, default=float))
@@ -117,9 +129,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
     cfg = dataclasses.replace(cfg, fault_plan=plan)
     print(f"campaign seed {args.campaign_seed}: {len(plan.events)} fault events "
           f"({len(plan.bus_events())} bus, {len(plan.sensing_events())} sensing)")
-    result = run_mission(cfg)
+    result = run_mission(cfg, execution=_execution(args))
     print()
-    print(result.reliability_report())
+    print(result.reliability.to_text())
     print()
     print(f"badge-days sensed: {len(result.sensing.summaries)}, "
           f"SD-card total: {result.sdcard.total_gib():.1f} GiB, "

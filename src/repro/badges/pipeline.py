@@ -23,7 +23,12 @@ from repro.badges.sensors.imu import ImuModel
 from repro.badges.sensors.microphone import MicrophoneModel, MicrophoneOutput, SpeechSources
 from repro.badges.wear import WearDay, WearModel
 from repro.core.config import MissionConfig
-from repro.core.rng import RngRegistry
+from repro.core.rng import (
+    RngRegistry,
+    badge_day_stream,
+    fleet_stream,
+    pairwise_day_stream,
+)
 from repro.core.units import DAY
 from repro.crew.trace import MissionTruth
 from repro.habitat.beacons import Beacon, place_beacons
@@ -113,7 +118,13 @@ def sense_day(
     """Synthesize all badge observations for one day.
 
     Badge clocks in ``fleet`` are mutated (drift accumulates, syncs
-    apply), so call with consecutive days for realistic clock behaviour.
+    apply), but the overnight dock sync at the start of every day zeroes
+    each clock's error at ``t0``, so a day's output does not depend on
+    which days (if any) were sensed before it.  Combined with the
+    day-scoped RNG streams (:func:`repro.core.rng.badge_day_stream`)
+    this makes ``sense_day`` safe to replay out of order or in parallel
+    workers — everything that reaches a :class:`BadgeDaySummary` is
+    bit-identical either way.
     """
     with span("sensing.day", day=day):
         return _sense_day(truth, day, assignment, models, fleet, rngs, sdcard)
@@ -155,7 +166,7 @@ def _sense_day(
                 ).inc(badge=badge_id)
             continue
         trace = truth.trace(astro, day)
-        rng = rngs.get(f"badges.{badge_id}.day{day}")
+        rng = rngs.get(badge_day_stream(badge_id, day))
         with span("sensing.badge_day", badge=badge_id, day=day, astro=astro):
             with span("sensing.wear", badge=badge_id, day=day):
                 wear = wear_model.simulate_day(
@@ -221,7 +232,7 @@ def _sense_day(
 
     # Reference badge: permanently charged and recording at the station.
     ref_id = assignment.reference_id
-    ref_rng = rngs.get(f"badges.{ref_id}.day{day}")
+    ref_rng = rngs.get(badge_day_stream(ref_id, day))
     ref_active = np.ones(n, dtype=bool)
     ref_xy = np.tile(np.float32(wear_model.station_xy), (n, 1))
     ref_room = np.full(n, wear_model.station_room, dtype=np.int8)
@@ -266,7 +277,7 @@ def _pairwise_day(
     rngs: RngRegistry,
 ) -> PairwiseDay:
     """Synthesize IR and sub-GHz badge-to-badge observations."""
-    rng = rngs.get(f"badges.pairwise.day{day}")
+    rng = rngs.get(pairwise_day_stream(day))
     badge_xy = {b: w.badge_xy.astype(np.float64) for b, w in wear_days.items()}
     badge_room = {b: w.badge_room for b, w in wear_days.items()}
     active = {b: w.active for b, w in wear_days.items()}
@@ -290,7 +301,7 @@ def make_fleet(assignment: BadgeAssignment, rngs: RngRegistry) -> dict[int, Badg
     F's own badge fails on the morning of the reuse day, which is why F
     picked up C's.
     """
-    fleet = badge_fleet(assignment.roster.size, rngs.get("badges.fleet"))
+    fleet = badge_fleet(assignment.roster.size, rngs.get(fleet_stream()))
     cfg = assignment.cfg
     if cfg.events is not None and cfg.event_active("badge_reuse_day") and "F" in assignment.roster.ids:
         f_badge = assignment.roster.index("F")

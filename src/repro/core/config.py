@@ -60,6 +60,61 @@ class ScriptedEventsConfig:
 
 
 @dataclass(frozen=True)
+class ExecutionConfig:
+    """How a mission run *executes* — never what it computes.
+
+    Execution knobs (worker count, cache location) are deliberately kept
+    out of :class:`MissionConfig`: the mission config fully determines
+    the mission's *content*, and the execution config only changes how
+    fast that content is produced.  The parallel executor is bit-exact
+    with the serial one (see ``repro.exec``), so no execution field may
+    ever enter a cache key.
+
+    Attributes:
+        n_workers: process-pool size for badge-day work; ``"serial"``
+            (or ``1``) runs everything in-process, the historical
+            behaviour and the fallback whenever parallel execution is
+            not applicable (fault plans, unpicklable overrides).
+        cache_dir: directory of the content-addressed mission cache, or
+            ``None`` for no caching.
+        cache_enabled: master switch; with ``False`` the cache directory
+            is neither read nor written even if configured.
+    """
+
+    n_workers: int | str = "serial"
+    cache_dir: Optional[str] = None
+    cache_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.n_workers, str):
+            if self.n_workers != "serial":
+                raise ConfigError(
+                    f"n_workers must be a positive int or 'serial', got {self.n_workers!r}"
+                )
+        elif not isinstance(self.n_workers, int) or self.n_workers < 1:
+            raise ConfigError(
+                f"n_workers must be a positive int or 'serial', got {self.n_workers!r}"
+            )
+        if self.cache_dir is not None and not str(self.cache_dir):
+            raise ConfigError("cache_dir must be a non-empty path or None")
+
+    @property
+    def worker_count(self) -> int:
+        """Resolved pool size (``"serial"`` counts as one worker)."""
+        return 1 if self.n_workers == "serial" else int(self.n_workers)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this config requests a process pool."""
+        return self.worker_count > 1
+
+    @property
+    def cache_active(self) -> bool:
+        """Whether a cache should actually be consulted."""
+        return self.cache_enabled and self.cache_dir is not None
+
+
+@dataclass(frozen=True)
 class MissionConfig:
     """Top-level knobs of a simulated ICAres-1-style mission."""
 

@@ -77,3 +77,43 @@ class RngRegistry:
     def names(self) -> list[str]:
         """Names of all streams created so far (sorted)."""
         return sorted(self._streams)
+
+
+# -- mission sensing sub-streams --------------------------------------
+#
+# The sensing stage draws exclusively from *day-scoped* streams of one
+# derived registry.  Because every stream is addressed by name (not by
+# draw order), a worker process that replays only day ``d`` builds
+# bit-identical streams to a serial run that walked days 2..d first —
+# the property ``repro.exec`` relies on to fan badge-days out across a
+# process pool without changing a single sample.
+
+
+def mission_sensing_registry(seed: int) -> RngRegistry:
+    """The registry the sensing stage draws from, derived from ``seed``.
+
+    Both the serial driver and every parallel worker MUST obtain their
+    sensing streams through this helper so the derivation stays
+    single-sourced; constructing the registry any other way silently
+    breaks serial/parallel bit-equality.
+    """
+    return RngRegistry(seed).spawn("sensing")
+
+
+def badge_day_stream(badge_id: int, day: int) -> str:
+    """Stream name for one badge's sensor synthesis on one day."""
+    return f"badges.{badge_id}.day{day}"
+
+
+def pairwise_day_stream(day: int) -> str:
+    """Stream name for the badge-to-badge (IR / sub-GHz) synthesis of a day."""
+    return f"badges.pairwise.day{day}"
+
+
+def fleet_stream() -> str:
+    """Stream name for badge-fleet creation (clock offsets and drifts).
+
+    Day-independent on purpose: the fleet is hardware state fixed at
+    deployment, so every worker recreates the identical fleet from it.
+    """
+    return "badges.fleet"

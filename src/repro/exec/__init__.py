@@ -1,0 +1,51 @@
+"""repro.exec: the mission execution engine.
+
+Everything about *how* a mission run executes — as opposed to *what* it
+computes — lives here:
+
+- :mod:`repro.exec.executor` — per-day work unit (:func:`compute_day` /
+  :class:`DayOutcome`) and the process-pool fan-out that is bit-identical
+  to serial execution;
+- :mod:`repro.exec.cache` — content-addressed on-disk cache of ground
+  truth and badge-day summaries;
+- :mod:`repro.exec.hashing` — the stable config fingerprints the cache
+  keys on.
+
+Callers select execution behaviour with a frozen
+:class:`~repro.core.config.ExecutionConfig`::
+
+    from repro import ExecutionConfig, MissionConfig, run_mission
+
+    result = run_mission(
+        MissionConfig(days=14),
+        execution=ExecutionConfig(n_workers=4, cache_dir=".mission-cache"),
+    )
+"""
+
+from repro.core.config import ExecutionConfig
+from repro.exec.cache import MissionCache
+from repro.exec.executor import (
+    DayOutcome,
+    ExecutorUnavailable,
+    compute_day,
+    run_days_parallel,
+)
+from repro.exec.hashing import (
+    SCHEMA_VERSION,
+    sensing_fingerprint,
+    truth_compatible,
+    truth_fingerprint,
+)
+
+__all__ = [
+    "DayOutcome",
+    "ExecutionConfig",
+    "ExecutorUnavailable",
+    "MissionCache",
+    "SCHEMA_VERSION",
+    "compute_day",
+    "run_days_parallel",
+    "sensing_fingerprint",
+    "truth_compatible",
+    "truth_fingerprint",
+]

@@ -1,0 +1,158 @@
+"""Content-addressed, on-disk cache of mission artifacts.
+
+A :class:`MissionCache` persists the two expensive stages of a mission
+run so repeated experiments only pay for what their overrides actually
+invalidate:
+
+* ``truth-<key>.pkl`` — one :class:`~repro.crew.trace.MissionTruth`,
+  keyed by :func:`repro.exec.hashing.truth_fingerprint`.  Ablation
+  sweeps over sensing knobs (beacon density, wear compliance, fault
+  plans) share a single cached truth.
+* ``sensing-<key>/dayNN.pkl`` — one :class:`repro.exec.executor.DayOutcome`
+  per instrumented day, keyed by
+  :func:`repro.exec.hashing.sensing_fingerprint`.  A warm re-run of an
+  unchanged config loads summaries instead of re-simulating.
+
+Keys embed a schema version (see :mod:`repro.exec.hashing`), so
+artifacts written by an older pipeline are simply never matched; corrupt
+or truncated files are treated as misses and removed.  Writes go through
+a temp file and :func:`os.replace`, so concurrent runs sharing one cache
+directory never observe partial artifacts.
+
+The cache stores only *derived* simulation outputs addressed by the
+config that produced them — it is safe to delete the directory at any
+time.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.config import MissionConfig
+from repro.crew.trace import MissionTruth
+from repro.exec import hashing
+from repro.obs import _state as _obs
+from repro.obs import get_logger
+from repro.obs import metrics as _metrics
+
+if TYPE_CHECKING:
+    from repro.exec.executor import DayOutcome
+
+#: Magic header pickled alongside every artifact; loads with a different
+#: header (foreign file, older incompatible format) count as misses.
+_MAGIC = "repro.exec.cache"
+
+log = get_logger("repro.exec.cache")
+
+
+class MissionCache:
+    """Directory-backed store of truth and badge-day artifacts.
+
+    Hit/miss counts are kept per stage on the instance (surfaced through
+    :attr:`repro.experiments.mission.MissionResult.cache_stats`) and
+    mirrored into ``exec.cache_*`` telemetry counters when
+    :mod:`repro.obs` is enabled.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits: dict[str, int] = {"truth": 0, "day": 0}
+        self.misses: dict[str, int] = {"truth": 0, "day": 0}
+
+    # -- paths ---------------------------------------------------------
+
+    def truth_path(self, cfg: MissionConfig) -> Path:
+        return self.root / f"truth-{hashing.truth_fingerprint(cfg)}.pkl"
+
+    def day_path(self, cfg: MissionConfig, day: int) -> Path:
+        return self.root / f"sensing-{hashing.sensing_fingerprint(cfg)}" / f"day{day:02d}.pkl"
+
+    # -- truth artifacts -----------------------------------------------
+
+    def load_truth(self, cfg: MissionConfig) -> Optional[MissionTruth]:
+        """Cached ground truth for ``cfg``'s truth fields, or ``None``.
+
+        The returned truth's ``cfg`` is rebound to ``cfg``: its content
+        depends only on :data:`repro.exec.hashing.TRUTH_FIELDS`, so one
+        cached simulation serves every config that agrees on those, and
+        downstream sensing must see the *current* config's sensing knobs.
+        """
+        truth = self._load("truth", self.truth_path(cfg))
+        if truth is None:
+            return None
+        truth.cfg = cfg
+        return truth
+
+    def store_truth(self, cfg: MissionConfig, truth: MissionTruth) -> None:
+        self._store("truth", self.truth_path(cfg), truth)
+
+    # -- badge-day artifacts -------------------------------------------
+
+    def load_day(self, cfg: MissionConfig, day: int) -> Optional["DayOutcome"]:
+        """Cached summaries + pairwise data for one day, or ``None``."""
+        return self._load("day", self.day_path(cfg, day))
+
+    def store_day(self, cfg: MissionConfig, outcome: "DayOutcome") -> None:
+        self._store("day", self.day_path(cfg, outcome.day), outcome)
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Plain-data hit/miss counts (``{"hits": {...}, "misses": {...}}``)."""
+        return {"hits": dict(self.hits), "misses": dict(self.misses)}
+
+    def _count(self, stage: str, hit: bool) -> None:
+        (self.hits if hit else self.misses)[stage] += 1
+        if _obs.enabled:
+            _metrics.counter(
+                "exec.cache_lookups", "mission-cache lookups by stage and result"
+            ).inc(stage=stage, result="hit" if hit else "miss")
+
+    # -- storage -------------------------------------------------------
+
+    def _load(self, stage: str, path: Path) -> Any:
+        try:
+            with open(path, "rb") as fh:
+                magic, schema, payload = pickle.load(fh)
+            if magic != _MAGIC or schema != hashing.SCHEMA_VERSION:
+                raise ValueError(f"unexpected header ({magic!r}, {schema!r})")
+        except FileNotFoundError:
+            self._count(stage, hit=False)
+            return None
+        except Exception as exc:  # corrupt/foreign artifact: a miss, not an error
+            log.warning("cache-artifact-unreadable", path=str(path), error=repr(exc))
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._count(stage, hit=False)
+            return None
+        self._count(stage, hit=True)
+        return payload
+
+    def _store(self, stage: str, path: Path, payload: Any) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(
+                    (_MAGIC, hashing.SCHEMA_VERSION, payload),
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if _obs.enabled:
+            _metrics.counter(
+                "exec.cache_stores", "mission-cache artifacts written"
+            ).inc(stage=stage)

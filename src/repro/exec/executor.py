@@ -1,0 +1,270 @@
+"""Parallel badge-day execution.
+
+The per-badge-day work of a mission — wear simulation, sensor synthesis,
+localization, summary reduction — is embarrassingly parallel once the
+ground truth exists, and the pipeline was built so each day is fully
+self-contained:
+
+* every stochastic draw comes from a *day-scoped* named stream
+  (:func:`repro.core.rng.badge_day_stream`), addressed by name rather
+  than draw order, so a worker that replays only day ``d`` sees the
+  exact bit-stream the serial driver would;
+* badge clocks are zeroed by the overnight dock sync at the start of
+  every day, so day ``d``'s sensing does not depend on which days ran
+  before it (see :func:`repro.badges.pipeline.sense_day`);
+* SD-card byte counts per day are a pure function of that day's active
+  seconds, and the mission-level accountant is reconstructed by
+  replaying them in day order.
+
+:func:`compute_day` is the single source of truth for one day's work —
+the serial driver calls it inline, the process-pool workers call it in
+:func:`_worker_day`.  Parallel execution is therefore **bit-identical**
+to serial for everything that reaches a
+:class:`~repro.analytics.dataset.BadgeDaySummary`.
+
+The one genuine cross-day coupling is fault injection: an SD-card
+capacity cap makes day ``d``'s truncation depend on the cumulative
+(post-degrade) bytes of days ``2..d-1``.  Missions with a fault plan
+therefore always run serially; :func:`run_days_parallel` refuses them.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analytics.dataset import BadgeDaySummary
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.pipeline import (
+    BadgeDayObservations,
+    PairwiseDay,
+    SensingModels,
+    make_fleet,
+    sense_day,
+)
+from repro.badges.badge import Badge
+from repro.badges.sdcard import SdCardAccountant
+from repro.core.config import MissionConfig
+from repro.core.errors import ConfigError
+from repro.core.rng import RngRegistry, mission_sensing_registry
+from repro.crew.trace import MissionTruth
+from repro.faults.plan import FaultPlan
+from repro.localization.pipeline import Localizer
+from repro.obs import _state as _obs
+from repro.obs import get_logger
+
+log = get_logger("repro.exec.executor")
+
+
+class ExecutorUnavailable(RuntimeError):
+    """Raised when parallel execution cannot run; callers fall back to serial."""
+
+
+@dataclass
+class DayOutcome:
+    """Everything one instrumented day contributes to a mission result.
+
+    This is both the unit of parallel transfer (worker -> driver) and
+    the unit of cache storage, so it carries only analysis-ready data —
+    the bulky BLE scan matrices never leave the worker.
+    """
+
+    day: int
+    #: badge_id -> analysis-ready summary (localization already applied).
+    summaries: dict[int, BadgeDaySummary] = field(default_factory=dict)
+    pairwise: PairwiseDay = None  # type: ignore[assignment]
+    #: badge_id -> seconds of recorded data, for replaying the mission's
+    #: SD-card accountant in day order.
+    active_seconds: dict[int, float] = field(default_factory=dict)
+    #: Worker-side telemetry snapshot to merge into the driver's stores
+    #: (parallel runs only; never cached).
+    telemetry: Optional[dict] = None
+
+
+def compute_day(
+    cfg: MissionConfig,
+    truth: MissionTruth,
+    day: int,
+    assignment: BadgeAssignment,
+    models: SensingModels,
+    localizer: Localizer,
+    fleet: dict[int, Badge],
+    rngs: RngRegistry,
+    sdcard: SdCardAccountant,
+    plan: Optional[FaultPlan],
+) -> DayOutcome:
+    """Sense, degrade (if faulted), and localize one instrumented day.
+
+    The single implementation behind both execution modes.  ``sdcard``
+    is mutated (day recorded, fault truncation re-recorded); parallel
+    workers pass a throwaway accountant and the driver replays the
+    returned ``active_seconds`` into the mission-level one.
+    """
+    observations, pairwise = sense_day(
+        truth, day, assignment, models, fleet, rngs, sdcard
+    )
+    dead = (
+        plan.dead_beacons_on_day(day, cfg.daytime_start_s, cfg.daytime_s)
+        if plan is not None else frozenset()
+    )
+    outcome = DayOutcome(day=day, pairwise=pairwise)
+    for badge_id, obs in observations.items():
+        if plan is not None:
+            degrade_day(cfg, plan, obs, sdcard)
+        loc = localizer.localize_day(obs.ble_rssi, obs.active, dead_beacons=dead)
+        obs.drop_ble()
+        summary = BadgeDaySummary.from_observations(obs, loc)
+        outcome.summaries[badge_id] = summary
+        outcome.active_seconds[badge_id] = summary.recorded_seconds()
+    return outcome
+
+
+def replay_accounting(outcome: DayOutcome, sdcard: SdCardAccountant) -> None:
+    """Re-record one day's (possibly cached/worker-computed) bytes.
+
+    ``record_day`` overwrites by (badge, day) and adjusts totals by the
+    delta, so replaying a day the accountant already saw is idempotent —
+    the driver can replay every outcome in day order regardless of how
+    each was produced.
+    """
+    for badge_id in sorted(outcome.active_seconds):
+        sdcard.record_day(badge_id, outcome.day, outcome.active_seconds[badge_id])
+
+
+def degrade_day(
+    cfg: MissionConfig,
+    plan: FaultPlan,
+    obs: BadgeDayObservations,
+    sdcard: SdCardAccountant,
+) -> None:
+    """Apply sensing-level faults to one badge-day, in place.
+
+    A battery depletion stops recording from its in-day frame onward; an
+    exhausted SD card stops recording once the cumulative write budget is
+    spent.  The accountant entry for the day is re-recorded so storage
+    totals reflect the truncated recording.
+
+    The SD-card budget reads the accountant's *cumulative* totals, which
+    is exactly the cross-day coupling that keeps faulted missions on the
+    serial path.
+    """
+    cut = plan.battery_cut_frame(
+        obs.badge_id, obs.day, cfg.daytime_start_s, len(obs.active), cfg.frame_dt
+    )
+    changed = False
+    if cut is not None:
+        obs.active[cut:] = False
+        obs.worn[cut:] = False
+        changed = True
+    # Card budget available for *this* day: capacity minus what the badge
+    # had written on the preceding days.
+    written_before = sdcard.badge_total(obs.badge_id) - obs.bytes_recorded
+    budget = sdcard.capacity_for(obs.badge_id) - written_before
+    budget_frames = int(max(0.0, budget) / (sdcard.total_rate_bps * cfg.frame_dt))
+    active_idx = np.flatnonzero(obs.active)
+    if len(active_idx) > budget_frames:
+        obs.active[active_idx[budget_frames:]] = False
+        changed = True
+    if changed:
+        obs.bytes_recorded = sdcard.record_day(
+            obs.badge_id, obs.day, float(obs.active.sum()) * cfg.frame_dt
+        )
+
+
+# -- process-pool workers ----------------------------------------------
+#
+# Workers are initialized once with the pickled mission context and keep
+# it in module globals; each task then ships only a day index in and one
+# DayOutcome out.  The worker's fleet/registry are reused across its
+# tasks — safe because day-start state is history-independent (see the
+# module docstring).
+
+_CTX: Optional[tuple] = None
+
+
+def _worker_init(payload: bytes, telemetry_enabled: bool) -> None:
+    global _CTX
+    from repro import obs
+
+    obs.reset()  # a forked worker inherits the driver's telemetry stores
+    if telemetry_enabled:
+        obs.enable()
+    cfg, truth, models, localizer = pickle.loads(payload)
+    assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
+    rngs = mission_sensing_registry(cfg.seed)
+    fleet = make_fleet(assignment, rngs)
+    _CTX = (cfg, truth, assignment, models, localizer, fleet, rngs)
+
+
+def _worker_day(day: int) -> DayOutcome:
+    from repro.obs import export as obs_export
+    from repro.obs import logging as obs_logging
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracing as obs_tracing
+
+    assert _CTX is not None, "worker used before initialization"
+    cfg, truth, assignment, models, localizer, fleet, rngs = _CTX
+    if _obs.enabled:
+        # Per-day snapshots: clear the stores so each outcome carries
+        # only its own day's telemetry and the driver can merge outcomes
+        # in day order without double counting.
+        obs_metrics.registry.reset()
+        obs_tracing.collector.reset()
+        obs_logging.buffer.reset()
+    outcome = compute_day(
+        cfg, truth, day, assignment, models, localizer, fleet, rngs,
+        SdCardAccountant(), plan=None,
+    )
+    if _obs.enabled:
+        outcome.telemetry = obs_export.to_dict(include_histogram_values=True)
+    return outcome
+
+
+def run_days_parallel(
+    cfg: MissionConfig,
+    truth: MissionTruth,
+    models: SensingModels,
+    localizer: Localizer,
+    days: list[int],
+    n_workers: int,
+) -> dict[int, DayOutcome]:
+    """Fan ``days`` out across a process pool; returns outcomes by day.
+
+    Raises :class:`ExecutorUnavailable` when the pool cannot run here
+    (unpicklable overrides, no multiprocessing primitives, a fault plan)
+    so the caller falls back to the serial path.  Genuine errors raised
+    by the day computation itself propagate unchanged.
+    """
+    if n_workers < 2:
+        raise ConfigError("run_days_parallel needs n_workers >= 2")
+    if cfg.fault_plan is not None:
+        raise ExecutorUnavailable(
+            "fault plans couple days through the SD-card budget; run serially"
+        )
+    try:
+        payload = pickle.dumps(
+            (cfg, truth, models, localizer), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception as exc:
+        raise ExecutorUnavailable(f"mission context is not picklable: {exc!r}") from exc
+
+    import concurrent.futures as cf
+
+    workers = min(n_workers, max(len(days), 1))
+    try:
+        pool = cf.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(payload, _obs.enabled),
+        )
+    except (OSError, ValueError, PermissionError) as exc:
+        raise ExecutorUnavailable(f"cannot start process pool: {exc!r}") from exc
+    try:
+        with pool:
+            outcomes = list(pool.map(_worker_day, days))
+    except cf.process.BrokenProcessPool as exc:
+        raise ExecutorUnavailable(f"process pool died: {exc!r}") from exc
+    return {outcome.day: outcome for outcome in outcomes}

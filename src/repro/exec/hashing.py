@@ -1,0 +1,125 @@
+"""Stable content fingerprints for mission configurations.
+
+The mission cache is *content-addressed*: an artifact's key is a hash of
+everything that determines its bytes — the relevant
+:class:`~repro.core.config.MissionConfig` fields plus a schema version
+tag — and nothing else.  Two configs that agree on those fields share
+artifacts; changing any of them (a different ``seed``, ``frame_dt``, or
+``fault_plan``) changes the key and therefore transparently invalidates
+every stale artifact without any explicit eviction logic.
+
+Fingerprints are computed by canonicalizing the config into plain JSON
+data (dataclasses become tagged dicts, sets are sorted, numpy scalars
+are unwrapped) and hashing the sorted-key JSON encoding with BLAKE2b.
+Python's builtin :func:`hash` is per-process salted and must never be
+used here.
+
+Two stages, two keys:
+
+* **truth** — the ground-truth crew simulation depends only on
+  :data:`TRUTH_FIELDS`.  Sensing-side knobs (beacon count, wear
+  compliance, fault plan) are deliberately excluded, so an ablation
+  sweep over those reuses one cached truth across every variant.
+* **sensing** — badge-day summaries depend on the full config
+  (including the fault plan), so any override invalidates them.
+
+Bump :data:`SCHEMA_VERSION` whenever the *pipeline itself* changes in a
+way that alters outputs for an unchanged config — the version is part of
+every key, so old artifacts simply stop matching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any
+
+from repro.core.config import MissionConfig
+from repro.core.errors import ConfigError
+
+#: Version tag baked into every fingerprint.  Bump on any change to the
+#: crew simulation, sensing synthesis, localization, or summary layout
+#: that alters results for an identical config.
+SCHEMA_VERSION = 1
+
+#: The config fields the ground-truth crew simulation reads.  Everything
+#: else (beacons, wear compliance, fault plan, link delay) only affects
+#: sensing and later stages.
+TRUTH_FIELDS = (
+    "seed",
+    "days",
+    "daytime_start",
+    "daytime_hours",
+    "frame_dt",
+    "crew_size",
+    "events",
+)
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to plain, JSON-serializable, order-stable data.
+
+    Dataclasses become ``{"__type__": name, **fields}`` dicts so two
+    different dataclasses with identical fields cannot collide; sets and
+    frozensets are sorted; tuples become lists; numpy scalars unwrap via
+    ``.item()``.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        out: dict[str, Any] = {"__type__": type(value).__name__}
+        for f in fields(value):
+            out[f.name] = canonical(getattr(value, f.name))
+        return out
+    if isinstance(value, Enum):
+        return [type(value).__name__, value.name]
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonical(v) for v in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return canonical(item())
+    raise ConfigError(
+        f"cannot canonicalize {type(value).__name__!r} for a cache key; "
+        "only dataclasses and plain data may live in a MissionConfig"
+    )
+
+
+def fingerprint(value: Any, *, stage: str = "") -> str:
+    """Hex BLAKE2b digest of the canonical form of ``value``.
+
+    The digest covers :data:`SCHEMA_VERSION` and the ``stage`` label, so
+    truth and sensing artifacts of the same config never share a key.
+    """
+    payload = json.dumps(
+        {"schema": SCHEMA_VERSION, "stage": stage, "value": canonical(value)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def truth_fingerprint(cfg: MissionConfig) -> str:
+    """Cache key of the ground-truth stage (:data:`TRUTH_FIELDS` only)."""
+    subset = {name: canonical(getattr(cfg, name)) for name in TRUTH_FIELDS}
+    return fingerprint(subset, stage="truth")
+
+
+def sensing_fingerprint(cfg: MissionConfig) -> str:
+    """Cache key of the sensing stage (the full config, fault plan included)."""
+    return fingerprint(cfg, stage="sensing")
+
+
+def truth_compatible(cfg: MissionConfig, other: MissionConfig) -> bool:
+    """Whether a truth simulated under ``other`` is valid for ``cfg``.
+
+    True exactly when the two configs agree on every truth-stage field;
+    the deterministic crew simulation then produces identical traces, so
+    the cached/supplied truth can stand in for ``simulate_mission(cfg)``.
+    """
+    return truth_fingerprint(cfg) == truth_fingerprint(other)

@@ -4,29 +4,47 @@ Runs the complete stack day by day: ground-truth crew simulation, badge
 and radio sensing, localization, and summary reduction.  The large BLE
 scan matrices are consumed and dropped per badge-day, so a full 14-day
 mission stays comfortably in memory.
+
+Execution is delegated to :mod:`repro.exec`: an
+:class:`~repro.core.config.ExecutionConfig` selects serial or
+process-pool execution of the per-day work (bit-identical either way)
+and an optional content-addressed cache that persists ground truth and
+badge-day summaries between runs.  Missions with a fault plan always run
+serially — SD-card capacity faults couple days through the cumulative
+write budget (see :mod:`repro.exec.executor`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Optional
 
-import numpy as np
-
-from repro.analytics.dataset import BadgeDaySummary, MissionSensing
+from repro.analytics.dataset import MissionSensing
 from repro.badges.assignment import BadgeAssignment
-from repro.badges.pipeline import BadgeDayObservations, SensingModels, make_fleet, sense_day
+from repro.badges.pipeline import SensingModels, make_fleet
 from repro.badges.sdcard import SdCardAccountant
-from repro.core.config import MissionConfig
-from repro.core.rng import RngRegistry
+from repro.core.config import ExecutionConfig, MissionConfig
+from repro.core.rng import mission_sensing_registry
 from repro.crew.behavior import simulate_mission
 from repro.crew.trace import MissionTruth
-from repro.faults.plan import FaultPlan
+from repro.exec.cache import MissionCache
+from repro.exec.executor import (
+    DayOutcome,
+    ExecutorUnavailable,
+    compute_day,
+    replay_accounting,
+    run_days_parallel,
+)
+from repro.exec.hashing import canonical, truth_compatible
 from repro.faults.report import ReliabilityReport
 from repro.faults.scenario import run_support_scenario
 from repro.localization.pipeline import Localizer
 from repro.obs import enabled as obs_enabled
 from repro.obs import export as obs_export
-from repro.obs import span
+from repro.obs import get_logger, span, tracing
+
+log = get_logger("repro.experiments.mission")
 
 
 @dataclass
@@ -40,23 +58,83 @@ class MissionResult:
     sdcard: SdCardAccountant = field(default_factory=SdCardAccountant)
     #: Telemetry snapshot (:func:`repro.obs.export.to_dict`) taken right
     #: after the run when :mod:`repro.obs` was enabled, else None.
-    telemetry: dict | None = None
+    telemetry: Optional[obs_export.TelemetrySnapshot] = None
     #: Support-system reliability under the configured fault plan
     #: (availability, MTTR, delivery success); None for fault-free runs.
-    reliability: ReliabilityReport | None = None
+    reliability: Optional[ReliabilityReport] = None
+    #: The execution config the run used (workers, cache).
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: Per-stage cache hit/miss counts when a cache was active, else None.
+    cache_stats: Optional[dict] = None
 
     @property
     def assignment(self) -> BadgeAssignment:
         return self.sensing.assignment
 
+    # -- the uniform report surface ------------------------------------
+    #
+    # Every report-like object exposes the same pair: ``to_dict()`` for
+    # plain data, ``to_text()`` for the human-readable rendering —
+    # matching ReliabilityReport and TelemetrySnapshot.
+
+    def to_dict(self) -> dict:
+        """Plain-data summary of the run (JSON-serializable)."""
+        days = self.sensing.days
+        return {
+            "config": canonical(self.cfg),
+            "execution": canonical(self.execution),
+            "days": days,
+            "badge_days": len(self.sensing.summaries),
+            "sdcard_gib": self.sdcard.total_gib(),
+            "cache": self.cache_stats,
+            "telemetry": self.telemetry.to_dict() if self.telemetry is not None else None,
+            "reliability": self.reliability.to_dict() if self.reliability is not None else None,
+        }
+
+    def to_text(self) -> str:
+        """Human-readable run summary with reliability and telemetry."""
+        cfg = self.cfg
+        lines = [
+            f"mission: {cfg.days} days, seed {cfg.seed}, "
+            f"{len(self.sensing.summaries)} badge-days, "
+            f"{self.sdcard.total_gib():.1f} GiB recorded",
+        ]
+        if self.execution.parallel or self.execution.cache_active:
+            cache = "off" if self.cache_stats is None else (
+                f"{self.cache_stats['hits']['day']} day hits, "
+                f"{self.cache_stats['misses']['day']} misses"
+            )
+            lines.append(
+                f"execution: {self.execution.worker_count} worker(s), cache {cache}"
+            )
+        if self.reliability is not None:
+            lines.append("")
+            lines.append(self.reliability.to_text())
+        if self.telemetry is not None:
+            lines.append("")
+            lines.append(self.telemetry.to_text())
+        return "\n".join(lines)
+
+    # -- deprecated aliases (one release) ------------------------------
+
     def telemetry_report(self) -> str:
-        """Human-readable per-stage breakdown of this run's telemetry."""
+        """Deprecated: use ``result.telemetry.to_text()`` (via :meth:`to_text`)."""
+        warnings.warn(
+            "MissionResult.telemetry_report() is deprecated; "
+            "use result.telemetry.to_text()",
+            DeprecationWarning, stacklevel=2,
+        )
         if self.telemetry is None:
             return "(telemetry was disabled for this run)"
-        return obs_export.to_text_report(self.telemetry)
+        return self.telemetry.to_text()
 
     def reliability_report(self) -> str:
-        """Human-readable reliability summary of the faulted run."""
+        """Deprecated: use ``result.reliability.to_text()`` (via :meth:`to_text`)."""
+        warnings.warn(
+            "MissionResult.reliability_report() is deprecated; "
+            "use result.reliability.to_text()",
+            DeprecationWarning, stacklevel=2,
+        )
         if self.reliability is None:
             return "(no fault plan was configured for this run)"
         return self.reliability.to_text()
@@ -64,26 +142,40 @@ class MissionResult:
 
 def run_mission(
     cfg: MissionConfig | None = None,
+    *,
     truth: MissionTruth | None = None,
     localizer: Localizer | None = None,
     models: SensingModels | None = None,
+    execution: ExecutionConfig | None = None,
 ) -> MissionResult:
     """Simulate, sense, and localize a full mission.
 
+    All overrides are keyword-only: the signature grows by adding
+    keywords, never by position.
+
     Args:
         cfg: mission configuration (defaults to the paper's mission).
-        truth: reuse a pre-simulated ground truth (must match ``cfg``).
+        truth: reuse a pre-simulated ground truth (must agree with
+            ``cfg`` on the truth-stage fields).
         localizer: override the localization pipeline (ablations).
         models: override the sensing models (ablations).
+        execution: how to run — worker count and cache
+            (:class:`~repro.core.config.ExecutionConfig`; defaults to
+            serial, uncached).  Never affects results, only speed.
 
     Returns:
         A :class:`MissionResult` whose ``sensing`` feeds every analysis.
     """
     cfg = cfg if cfg is not None else MissionConfig()
-    with span("mission", days=cfg.days, seed=cfg.seed):
-        truth = truth if truth is not None else simulate_mission(cfg)
-        rngs = RngRegistry(cfg.seed).spawn("sensing")
+    execution = execution if execution is not None else ExecutionConfig()
+    cache = MissionCache(execution.cache_dir) if execution.cache_active else None
+
+    with span("mission", days=cfg.days, seed=cfg.seed,
+              workers=execution.worker_count):
+        truth = _resolve_truth(cfg, truth, cache)
+        rngs = mission_sensing_registry(cfg.seed)
         assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
+        default_stack = models is None and localizer is None
         models = models if models is not None else SensingModels.default(cfg, truth.plan)
         localizer = (
             localizer if localizer is not None else Localizer(truth.plan, models.beacons)
@@ -96,60 +188,125 @@ def run_mission(
             for badge_id, cap in plan.sdcard_caps().items():
                 sdcard.set_capacity(badge_id, cap)
 
+        # Day summaries are cacheable only for the default sensing stack:
+        # custom models/localizers are not part of the cache key.
+        day_cache = cache if cache is not None and default_stack else None
+        outcomes: dict[int, DayOutcome] = {}
+        if day_cache is not None:
+            for day in cfg.instrumented_days:
+                hit = day_cache.load_day(cfg, day)
+                if hit is not None:
+                    outcomes[day] = hit
+        missing = [d for d in cfg.instrumented_days if d not in outcomes]
+
+        computed = _compute_missing_days(
+            cfg, truth, assignment, models, localizer, fleet, rngs, sdcard,
+            plan, missing, outcomes, execution,
+        )
+        if day_cache is not None:
+            for day in computed:
+                day_cache.store_day(cfg, outcomes[day])
+
         for day in cfg.instrumented_days:
-            observations, pairwise = sense_day(
-                truth, day, assignment, models, fleet, rngs, sdcard
-            )
-            dead = (
-                plan.dead_beacons_on_day(day, cfg.daytime_start_s, cfg.daytime_s)
-                if plan is not None else frozenset()
-            )
-            for badge_id, obs in observations.items():
-                if plan is not None:
-                    _degrade_day(cfg, plan, obs, sdcard)
-                loc = localizer.localize_day(obs.ble_rssi, obs.active, dead_beacons=dead)
-                obs.drop_ble()
-                sensing.summaries[(badge_id, day)] = BadgeDaySummary.from_observations(obs, loc)
-            sensing.pairwise[day] = pairwise
+            outcome = outcomes[day]
+            for badge_id, summary in outcome.summaries.items():
+                sensing.summaries[(badge_id, day)] = summary
+            sensing.pairwise[day] = outcome.pairwise
+            outcome.telemetry = None  # merged already; don't retain snapshots
 
         reliability = run_support_scenario(cfg, plan) if plan is not None else None
 
     telemetry = obs_export.to_dict() if obs_enabled() else None
-    return MissionResult(cfg=cfg, truth=truth, sensing=sensing, models=models,
-                         sdcard=sdcard, telemetry=telemetry, reliability=reliability)
-
-
-def _degrade_day(
-    cfg: MissionConfig,
-    plan: FaultPlan,
-    obs: BadgeDayObservations,
-    sdcard: SdCardAccountant,
-) -> None:
-    """Apply sensing-level faults to one badge-day, in place.
-
-    A battery depletion stops recording from its in-day frame onward; an
-    exhausted SD card stops recording once the cumulative write budget is
-    spent.  The accountant entry for the day is re-recorded so storage
-    totals reflect the truncated recording.
-    """
-    cut = plan.battery_cut_frame(
-        obs.badge_id, obs.day, cfg.daytime_start_s, len(obs.active), cfg.frame_dt
+    return MissionResult(
+        cfg=cfg, truth=truth, sensing=sensing, models=models,
+        sdcard=sdcard, telemetry=telemetry, reliability=reliability,
+        execution=execution,
+        cache_stats=cache.stats() if cache is not None else None,
     )
-    changed = False
-    if cut is not None:
-        obs.active[cut:] = False
-        obs.worn[cut:] = False
-        changed = True
-    # Card budget available for *this* day: capacity minus what the badge
-    # had written on the preceding days.
-    written_before = sdcard.badge_total(obs.badge_id) - obs.bytes_recorded
-    budget = sdcard.capacity_for(obs.badge_id) - written_before
-    budget_frames = int(max(0.0, budget) / (sdcard.total_rate_bps * cfg.frame_dt))
-    active_idx = np.flatnonzero(obs.active)
-    if len(active_idx) > budget_frames:
-        obs.active[active_idx[budget_frames:]] = False
-        changed = True
-    if changed:
-        obs.bytes_recorded = sdcard.record_day(
-            obs.badge_id, obs.day, float(obs.active.sum()) * cfg.frame_dt
+
+
+def _resolve_truth(
+    cfg: MissionConfig,
+    truth: MissionTruth | None,
+    cache: MissionCache | None,
+) -> MissionTruth:
+    """Supplied truth, cached truth, or a fresh simulation (then cached)."""
+    if truth is not None:
+        return truth
+    if cache is not None:
+        cached = cache.load_truth(cfg)
+        if cached is not None:
+            return cached
+    truth = simulate_mission(cfg)
+    if cache is not None:
+        cache.store_truth(cfg, truth)
+    return truth
+
+
+def _compute_missing_days(
+    cfg: MissionConfig,
+    truth: MissionTruth,
+    assignment: BadgeAssignment,
+    models: SensingModels,
+    localizer: Localizer,
+    fleet,
+    rngs,
+    sdcard: SdCardAccountant,
+    plan,
+    missing: list[int],
+    outcomes: dict[int, DayOutcome],
+    execution: ExecutionConfig,
+) -> list[int]:
+    """Fill ``outcomes`` for ``missing`` days; returns the days computed.
+
+    Chooses the parallel path when the execution config asks for it and
+    the mission qualifies (no fault plan — SD-card budgets couple days —
+    and a picklable stack); otherwise walks days serially.  Either way
+    the mission-level ``sdcard`` accountant ends up in the exact state a
+    purely serial run would produce.
+    """
+    # A supplied truth whose truth-stage fields disagree with cfg would
+    # make workers (which re-derive everything from cfg + truth) and the
+    # cache key inconsistent; such truths only ever take the serial path.
+    exotic_truth = not truth_compatible(cfg, truth.cfg)
+
+    if execution.parallel and missing and plan is None and not exotic_truth:
+        try:
+            computed = run_days_parallel(
+                cfg, truth, models, localizer, missing, execution.worker_count
+            )
+        except ExecutorUnavailable as exc:
+            log.warning("parallel-unavailable", reason=str(exc),
+                        workers=execution.worker_count)
+        else:
+            mission_span = tracing.current_span()
+            parent_id = mission_span.span_id if mission_span is not None else None
+            for day in missing:
+                outcome = computed[day]
+                if outcome.telemetry is not None:
+                    obs_export.merge_snapshot(outcome.telemetry,
+                                              parent_span_id=parent_id)
+                    outcome.telemetry = None
+                outcomes[day] = outcome
+            # Rebuild the mission-level accountant exactly as a serial
+            # run would: every day replayed in order.
+            for day in cfg.instrumented_days:
+                replay_accounting(outcomes[day], sdcard)
+            return missing
+    elif execution.parallel and missing:
+        reason = "fault plan requires serial execution" if plan is not None \
+            else "supplied truth does not match cfg's truth fields"
+        log.warning("parallel-unavailable", reason=reason,
+                    workers=execution.worker_count)
+
+    # Serial path: cached days replay their accounting in day order so a
+    # later (possibly faulted) day sees the exact cumulative totals.
+    for day in cfg.instrumented_days:
+        if day in outcomes:
+            replay_accounting(outcomes[day], sdcard)
+            continue
+        outcomes[day] = compute_day(
+            cfg, truth, day, assignment, models, localizer, fleet, rngs,
+            sdcard, plan,
         )
+    return missing

@@ -22,7 +22,7 @@ Usage::
 
     obs.enable()
     result = run_mission(MissionConfig(days=2))
-    print(obs.export.to_text_report(result.telemetry))
+    print(result.telemetry.to_text())
     obs.reset()
 
 Convention: every new subsystem registers its metrics under a dotted

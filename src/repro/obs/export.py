@@ -1,8 +1,16 @@
 """Export telemetry — metrics, spans, logs — as dict, JSON, or a report.
 
-``to_dict()`` snapshots all three stores; ``to_json()`` serializes that
-snapshot; ``to_text_report()`` renders the mission-control view: a span
-tree with per-stage wall/sim time, the metric tables, and recent logs.
+``to_dict()`` snapshots all three stores into a
+:class:`TelemetrySnapshot`; ``to_json()`` serializes that snapshot;
+``to_text()`` renders the mission-control view: a span tree with
+per-stage wall/sim time, the metric tables, and recent logs.
+``merge_snapshot()`` folds a snapshot taken in another process (a
+parallel mission worker) into this process's live stores.
+
+Naming note: ``to_dict()`` / ``to_text()`` are the uniform report
+surface shared with :class:`~repro.experiments.mission.MissionResult`
+and :class:`~repro.faults.report.ReliabilityReport`;
+``to_text_report()`` survives as a deprecated alias of ``to_text()``.
 """
 
 from __future__ import annotations
@@ -11,17 +19,56 @@ import json
 from typing import Optional
 
 from repro.obs import logging as obs_logging
-from repro.obs import metrics, tracing
+from repro.obs import _state, metrics, tracing
 
 
-def to_dict() -> dict:
-    """Snapshot every telemetry store into plain data."""
-    return {
-        "metrics": metrics.registry.snapshot(),
+class TelemetrySnapshot(dict):
+    """A telemetry snapshot with the uniform report surface.
+
+    A plain ``dict`` subclass — existing code that indexes snapshots
+    (``snap["spans"]``) or JSON-serializes them keeps working — that
+    additionally exposes the ``to_dict()`` / ``to_text()`` pair every
+    report-like object in the codebase shares.
+    """
+
+    def to_dict(self) -> dict:
+        """Plain-dict copy of the snapshot."""
+        return dict(self)
+
+    def to_text(self, max_logs: int = 30) -> str:
+        """Human-readable telemetry report for this snapshot."""
+        return to_text(self, max_logs=max_logs)
+
+
+def to_dict(include_histogram_values: bool = False) -> TelemetrySnapshot:
+    """Snapshot every telemetry store into plain data.
+
+    ``include_histogram_values=True`` embeds raw histogram observations
+    so the snapshot can be merged into another process's registry with
+    exact percentiles (see :func:`merge_snapshot`); leave it off for
+    human-facing exports.
+    """
+    return TelemetrySnapshot({
+        "metrics": metrics.registry.snapshot(include_values=include_histogram_values),
         "spans": [s.to_dict() for s in tracing.collector.spans],
         "span_breakdown": tracing.collector.breakdown(),
         "logs": [r.to_dict() for r in obs_logging.buffer.records],
-    }
+    })
+
+
+def merge_snapshot(snapshot: dict, parent_span_id: Optional[int] = None) -> None:
+    """Fold a worker's :func:`to_dict` snapshot into the live stores.
+
+    Counters add, gauges take the incoming value, histograms merge
+    (exactly, when the snapshot carried raw values), spans are re-id'd
+    and re-parented under ``parent_span_id``, and log records append
+    with their original timestamps.  No-op while telemetry is disabled.
+    """
+    if not _state.enabled:
+        return
+    metrics.registry.merge_snapshot(snapshot.get("metrics", {}))
+    tracing.collector.merge_spans(snapshot.get("spans", []), parent_id=parent_span_id)
+    obs_logging.buffer.merge(snapshot.get("logs", []))
 
 
 def to_json(indent: Optional[int] = None) -> str:
@@ -72,7 +119,7 @@ def _span_tree_lines(snapshot: dict, max_children: int = 8) -> list[str]:
     return lines
 
 
-def to_text_report(snapshot: Optional[dict] = None, max_logs: int = 30) -> str:
+def to_text(snapshot: Optional[dict] = None, max_logs: int = 30) -> str:
     """Human-readable telemetry report (the ``repro telemetry`` output)."""
     snap = snapshot if snapshot is not None else to_dict()
     lines: list[str] = ["== Telemetry report =="]
@@ -130,3 +177,8 @@ def to_text_report(snapshot: Optional[dict] = None, max_logs: int = 30) -> str:
         lines.append(f"[{sim}] {record['level'].upper():7s} {record['logger']}: {body}")
 
     return "\n".join(lines)
+
+
+def to_text_report(snapshot: Optional[dict] = None, max_logs: int = 30) -> str:
+    """Deprecated alias of :func:`to_text` (kept for one release)."""
+    return to_text(snapshot, max_logs=max_logs)

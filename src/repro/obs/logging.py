@@ -89,6 +89,21 @@ class LogBuffer:
         if self.echo:
             print(record.format(), file=sys.stderr)
 
+    def merge(self, record_dicts: list) -> None:
+        """Adopt exported records from another process's buffer.
+
+        Incoming records were already level-filtered (and echoed, if
+        requested) at the source, so they are appended verbatim with
+        their original wall/sim timestamps.
+        """
+        for raw in record_dicts:
+            record = LogRecord(
+                raw["logger"], raw["level"], raw["event"],
+                dict(raw.get("fields", {})), raw.get("sim_time"),
+            )
+            record.wall_time = raw.get("wall_time", record.wall_time)
+            self.records.append(record)
+
     def matching(self, event_substring: str) -> list[LogRecord]:
         return [r for r in self.records if event_substring in r.event]
 

@@ -171,7 +171,38 @@ class Histogram:
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
-    def snapshot(self) -> dict:
+    def merge_series(
+        self,
+        labels: dict,
+        count: int,
+        sum_: float,
+        min_: Optional[float],
+        max_: Optional[float],
+        values: Optional[list] = None,
+    ) -> None:
+        """Fold another process's series into this one.
+
+        ``count``/``sum``/``min``/``max`` stay exact; raw values (used
+        for percentiles) are taken up to the reservoir cap.
+        """
+        if not _state.enabled or count <= 0:
+            return
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries()
+        series.count += int(count)
+        series.sum += float(sum_)
+        if min_ is not None and min_ < series.min:
+            series.min = float(min_)
+        if max_ is not None and max_ > series.max:
+            series.max = float(max_)
+        if values:
+            room = _HistogramSeries.CAP - len(series.values)
+            if room > 0:
+                series.values.extend(float(v) for v in values[:room])
+
+    def snapshot(self, include_values: bool = False) -> dict:
         out = []
         for key, series in sorted(self._series.items()):
             entry = {
@@ -185,6 +216,8 @@ class Histogram:
                 entry["p50"] = self._pct(series.values, 50.0)
                 entry["p95"] = self._pct(series.values, 95.0)
                 entry["p99"] = self._pct(series.values, 99.0)
+            if include_values:
+                entry["values"] = list(series.values)
             out.append(entry)
         return {"type": "histogram", "help": self.help, "series": out}
 
@@ -234,9 +267,55 @@ class MetricsRegistry:
     def get(self, name: str):
         return self._metrics.get(name)
 
-    def snapshot(self) -> dict:
-        """Serializable view of every metric, sorted by name."""
-        return {name: self._metrics[name].snapshot() for name in self.names()}
+    def snapshot(self, include_values: bool = False) -> dict:
+        """Serializable view of every metric, sorted by name.
+
+        ``include_values=True`` additionally embeds each histogram's
+        retained raw observations, making the snapshot *mergeable* into
+        another process's registry with exact percentiles — the format
+        parallel mission workers ship back to the driver.
+        """
+        out: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot(include_values=include_values)
+            else:
+                out[name] = metric.snapshot()
+        return out
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another process into this registry.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms merge exactly where the snapshot carried raw values
+        (``include_values=True`` at the source) and approximately
+        (count/sum/min/max only) where it did not.  No-op while
+        telemetry is disabled.
+        """
+        if not _state.enabled:
+            return
+        for name, data in snapshot.items():
+            mtype = data.get("type")
+            if mtype == "counter":
+                counter = self.counter(name, data.get("help", ""))
+                for series in data.get("series", []):
+                    counter.inc(series["value"], **series["labels"])
+            elif mtype == "gauge":
+                gauge = self.gauge(name, data.get("help", ""))
+                for series in data.get("series", []):
+                    gauge.set(series["value"], **series["labels"])
+            elif mtype == "histogram":
+                hist = self.histogram(name, data.get("help", ""))
+                for series in data.get("series", []):
+                    hist.merge_series(
+                        series["labels"],
+                        series.get("count", 0),
+                        series.get("sum", 0.0),
+                        series.get("min"),
+                        series.get("max"),
+                        series.get("values"),
+                    )
 
     def reset(self) -> None:
         """Drop every metric (tests call this between cases)."""

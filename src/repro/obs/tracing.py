@@ -82,6 +82,27 @@ class Span:
             "sim_s": self.sim_s,
         }
 
+    @classmethod
+    def restore(cls, name: str, attrs: dict,
+                wall_s: Optional[float], sim_s: Optional[float]) -> "Span":
+        """Rebuild a *finished* span from exported durations.
+
+        Used when merging another process's spans: absolute start times
+        are meaningless across processes, so the restored span anchors
+        at zero and only its durations survive.  Never touches the
+        active-span stack.
+        """
+        span = cls.__new__(cls)
+        span.span_id = next(_ids)
+        span.parent_id = None
+        span.name = name
+        span.attrs = attrs
+        span.wall_start = 0.0
+        span.wall_end = wall_s
+        span.sim_start = 0.0 if sim_s is not None else None
+        span.sim_end = sim_s
+        return span
+
     def __repr__(self) -> str:
         dur = f"{self.wall_s * 1e3:.2f}ms" if self.wall_end is not None else "open"
         return f"<Span {self.name} {dur}>"
@@ -138,6 +159,24 @@ class SpanCollector:
             if s.sim_s is not None:
                 entry["sim_s"] += s.sim_s
         return agg
+
+    def merge_spans(self, span_dicts: list[dict],
+                    parent_id: Optional[int] = None) -> None:
+        """Adopt exported spans from another process into this collector.
+
+        Every span gets a fresh id from this process's counter (worker
+        ids collide across processes) with parent links remapped; spans
+        that were roots in the worker are re-parented under
+        ``parent_id`` — typically the driver's open ``mission`` span —
+        so the report shows worker stages inside the mission tree.
+        """
+        id_map: dict[int, int] = {}
+        for d in sorted(span_dicts, key=lambda s: s["span_id"]):
+            span = Span.restore(d["name"], dict(d.get("attrs", {})),
+                                d.get("wall_s"), d.get("sim_s"))
+            span.parent_id = id_map.get(d.get("parent_id"), parent_id)
+            id_map[d["span_id"]] = span.span_id
+            self.spans.append(span)
 
     def reset(self) -> None:
         self.spans.clear()

@@ -1,0 +1,124 @@
+"""MissionCache behaviour: hits, misses, invalidation, robustness."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.config import ExecutionConfig, MissionConfig
+from repro.exec.cache import MissionCache
+from repro.exec.hashing import SCHEMA_VERSION
+from repro.experiments.mission import run_mission
+
+
+@pytest.fixture(scope="module")
+def small_cfg():
+    # days=2 -> a single instrumented day; frame_dt=5 keeps it quick.
+    return MissionConfig(days=2, seed=9, frame_dt=5.0, events=None)
+
+
+def _summaries_bytes(result):
+    out = {}
+    for key, s in sorted(result.sensing.summaries.items()):
+        out[key] = (s.active.tobytes(), s.room.tobytes(), s.x.tobytes(),
+                    s.voice_db.tobytes(), s.bytes_recorded, s.n_sync_events)
+    return out
+
+
+class TestRunMissionCaching:
+    def test_cold_then_warm(self, small_cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        cold = run_mission(small_cfg, execution=execution)
+        assert cold.cache_stats == {
+            "hits": {"truth": 0, "day": 0},
+            "misses": {"truth": 1, "day": 1},
+        }
+        warm = run_mission(small_cfg, execution=execution)
+        assert warm.cache_stats == {
+            "hits": {"truth": 1, "day": 1},
+            "misses": {"truth": 0, "day": 0},
+        }
+        assert _summaries_bytes(cold) == _summaries_bytes(warm)
+        assert cold.sdcard.total_gib() == warm.sdcard.total_gib()
+
+    def test_disabled_cache_never_touches_disk(self, small_cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path), cache_enabled=False)
+        result = run_mission(small_cfg, execution=execution)
+        assert result.cache_stats is None
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 10},
+        {"frame_dt": 7.0},
+    ])
+    def test_truth_field_change_invalidates_everything(
+        self, small_cfg, tmp_path, change
+    ):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        run_mission(small_cfg, execution=execution)
+        varied = run_mission(
+            dataclasses.replace(small_cfg, **change), execution=execution
+        )
+        assert varied.cache_stats["hits"] == {"truth": 0, "day": 0}
+
+    def test_sensing_change_reuses_truth(self, small_cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        base = run_mission(small_cfg, execution=execution)
+        varied_cfg = dataclasses.replace(
+            small_cfg, wear_compliance_start=0.4, wear_compliance_end=0.4
+        )
+        varied = run_mission(varied_cfg, execution=execution)
+        assert varied.cache_stats["hits"] == {"truth": 1, "day": 0}
+        assert varied.cache_stats["misses"]["day"] == 1
+        # The rebound truth carries the *current* config.
+        assert varied.truth.cfg == varied_cfg
+        # And the sensing actually changed (different wear compliance).
+        assert _summaries_bytes(base) != _summaries_bytes(varied)
+
+    def test_custom_stack_bypasses_day_cache(self, small_cfg, tmp_path):
+        from repro.badges.pipeline import SensingModels
+        from repro.crew.behavior import simulate_mission
+
+        truth = simulate_mission(small_cfg)
+        models = SensingModels.default(small_cfg, truth.plan)
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        result = run_mission(small_cfg, models=models, execution=execution)
+        # Truth stage still caches; day summaries must not, because the
+        # override is not part of the cache key.
+        assert result.cache_stats["hits"]["day"] == 0
+        assert result.cache_stats["misses"]["day"] == 0
+        again = run_mission(small_cfg, models=models, execution=execution)
+        assert again.cache_stats["hits"]["day"] == 0
+
+
+class TestCacheRobustness:
+    def test_corrupt_artifact_is_a_miss_and_removed(self, small_cfg, tmp_path):
+        cache = MissionCache(tmp_path)
+        path = cache.truth_path(small_cfg)
+        path.write_bytes(b"not a pickle")
+        assert cache.load_truth(small_cfg) is None
+        assert cache.misses["truth"] == 1
+        assert not path.exists()
+
+    def test_schema_mismatch_is_a_miss(self, small_cfg, tmp_path):
+        cache = MissionCache(tmp_path)
+        path = cache.truth_path(small_cfg)
+        path.write_bytes(
+            pickle.dumps(("repro.exec.cache", SCHEMA_VERSION + 1, {"stale": True}))
+        )
+        assert cache.load_truth(small_cfg) is None
+        assert not path.exists()
+
+    def test_store_load_round_trip(self, small_cfg, tmp_path):
+        from repro.crew.behavior import simulate_mission
+
+        cache = MissionCache(tmp_path)
+        truth = simulate_mission(small_cfg)
+        cache.store_truth(small_cfg, truth)
+        loaded = cache.load_truth(small_cfg)
+        assert loaded is not None
+        assert loaded.roster.ids == truth.roster.ids
+        assert cache.stats() == {
+            "hits": {"truth": 1, "day": 0},
+            "misses": {"truth": 0, "day": 0},
+        }

@@ -1,0 +1,86 @@
+"""Content fingerprints: stability, sensitivity, and stage separation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExecutionConfig, MissionConfig, ScriptedEventsConfig
+from repro.core.errors import ConfigError
+from repro.exec.hashing import (
+    canonical,
+    fingerprint,
+    sensing_fingerprint,
+    truth_compatible,
+    truth_fingerprint,
+)
+from repro.faults import FaultCampaign
+
+
+class TestCanonical:
+    def test_dataclass_becomes_tagged_dict(self):
+        out = canonical(ExecutionConfig(n_workers=3))
+        assert out["__type__"] == "ExecutionConfig"
+        assert out["n_workers"] == 3
+
+    def test_plain_data_passes_through(self):
+        assert canonical({"b": (1, 2), "a": None}) == {"a": None, "b": [1, 2]}
+
+    def test_sets_are_order_stable(self):
+        assert canonical({3, 1, 2}) == canonical({2, 3, 1}) == [1, 2, 3]
+
+    def test_numpy_scalars_unwrap(self):
+        assert canonical(np.float64(1.5)) == 1.5
+        assert canonical(np.int32(7)) == 7
+
+    def test_unhashable_object_rejected(self):
+        with pytest.raises(ConfigError):
+            canonical(object())
+
+    def test_mission_config_canonicalizes(self):
+        # The whole default config — every field must reduce cleanly.
+        out = canonical(MissionConfig())
+        assert out["__type__"] == "MissionConfig"
+        assert out["events"]["__type__"] == "ScriptedEventsConfig"
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        cfg = MissionConfig(days=3, seed=5)
+        assert sensing_fingerprint(cfg) == sensing_fingerprint(MissionConfig(days=3, seed=5))
+        assert truth_fingerprint(cfg) == truth_fingerprint(MissionConfig(days=3, seed=5))
+
+    def test_stage_separates_keys(self):
+        assert fingerprint({"a": 1}, stage="truth") != fingerprint({"a": 1}, stage="sensing")
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 6},
+        {"days": 4},
+        {"frame_dt": 2.0},
+        {"events": None},
+        {"events": ScriptedEventsConfig(death_day=2)},
+    ])
+    def test_truth_fields_invalidate_both_stages(self, change):
+        base = MissionConfig(days=3, seed=5)
+        varied = dataclasses.replace(base, **change)
+        assert truth_fingerprint(base) != truth_fingerprint(varied)
+        assert sensing_fingerprint(base) != sensing_fingerprint(varied)
+
+    @pytest.mark.parametrize("change", [
+        {"n_beacons": 9},
+        {"wear_compliance_start": 0.5},
+        {"fault_plan": None},  # replaced below with a real plan
+    ])
+    def test_sensing_knobs_keep_truth_key(self, change):
+        if change == {"fault_plan": None}:
+            plan = FaultCampaign.reference(days=3, seed=0).generate()
+            change = {"fault_plan": plan}
+        base = MissionConfig(days=3, seed=5)
+        varied = dataclasses.replace(base, **change)
+        assert truth_fingerprint(base) == truth_fingerprint(varied)
+        assert sensing_fingerprint(base) != sensing_fingerprint(varied)
+
+    def test_truth_compatible(self):
+        base = MissionConfig(days=3, seed=5)
+        assert truth_compatible(base, dataclasses.replace(base, n_beacons=9))
+        assert not truth_compatible(base, dataclasses.replace(base, seed=6))

@@ -73,7 +73,7 @@ class TestInstrumentedMission:
         assert 0.0 <= loc["p50"] <= 1.0
 
     def test_telemetry_report_renders(self, instrumented):
-        report = instrumented.telemetry_report()
+        report = instrumented.to_text()
         assert "mission" in report
         assert "Stage breakdown" in report
 
@@ -87,7 +87,7 @@ class TestInstrumentedMission:
         obs.reset()  # telemetry off
         result = run_mission(telemetry_cfg)
         assert result.telemetry is None
-        assert result.telemetry_report() == "(telemetry was disabled for this run)"
+        assert result.to_dict()["telemetry"] is None
         assert obs.tracing.collector.spans == []
         assert obs.metrics.registry.names() == []
         assert obs.logging.buffer.records == []

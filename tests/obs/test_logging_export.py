@@ -96,13 +96,13 @@ class TestExport:
         with obs.span("mission"):
             pass
         obs.get_logger("bus").warning("node-crashed", node="earth")
-        report = export.to_text_report()
+        report = export.to_text()
         assert "Stage breakdown" in report
         assert "mission" in report
         assert "bus.sent" in report
         assert "node-crashed" in report
 
     def test_empty_report_renders(self, on):
-        report = export.to_text_report()
+        report = export.to_text()
         assert "(no spans recorded)" in report
         assert "(no metrics recorded)" in report

@@ -1,0 +1,113 @@
+"""Cross-process telemetry merge: metrics, spans, logs, snapshots."""
+
+import pytest
+
+from repro import obs
+from repro.obs import export, metrics, tracing
+
+
+@pytest.fixture
+def on():
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+
+
+def _worker_style_snapshot():
+    """Build a snapshot the way a pool worker would, then clear stores."""
+    metrics.counter("w.count").inc(3.0, kind="a")
+    metrics.gauge("w.gauge").set(7.0)
+    hist = metrics.histogram("w.hist")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        hist.observe(v)
+    with obs.span("w.day", day=2):
+        with obs.span("w.inner"):
+            pass
+    obs.get_logger("w").info("worker-event", day=2)
+    snap = export.to_dict(include_histogram_values=True)
+    metrics.registry.reset()
+    tracing.collector.reset()
+    obs.logging.buffer.reset()
+    return snap
+
+
+class TestMetricsMerge:
+    def test_counters_add(self, on):
+        metrics.counter("w.count").inc(2.0, kind="a")
+        snap = export.to_dict(include_histogram_values=True)
+        metrics.registry.merge_snapshot(snap["metrics"])
+        assert metrics.counter("w.count").value(kind="a") == 4.0
+
+    def test_histograms_merge_exactly_with_values(self, on):
+        hist = metrics.histogram("w.hist")
+        hist.observe(10.0)
+        snap = metrics.registry.snapshot(include_values=True)
+        metrics.registry.reset()
+        metrics.registry.merge_snapshot(snap)
+        merged = metrics.histogram("w.hist")
+        assert merged.count() == 1
+        assert merged.sum() == 10.0
+        assert merged.percentile(50.0) == 10.0
+
+    def test_merge_without_values_keeps_counts(self, on):
+        hist = metrics.histogram("w.hist")
+        hist.observe(5.0)
+        snap = metrics.registry.snapshot()  # no raw values
+        metrics.registry.reset()
+        metrics.registry.merge_snapshot(snap)
+        assert metrics.histogram("w.hist").count() == 1
+        assert metrics.histogram("w.hist").sum() == 5.0
+
+
+class TestSpanMerge:
+    def test_worker_spans_reparent_under_driver_span(self, on):
+        snap = _worker_style_snapshot()
+        with obs.span("mission") as mission:
+            export.merge_snapshot(snap, parent_span_id=mission.span_id)
+        spans = {s.name: s for s in tracing.collector.spans}
+        assert spans["w.day"].parent_id == spans["mission"].span_id
+        assert spans["w.inner"].parent_id == spans["w.day"].span_id
+        # Fresh ids from this process's counter: all distinct.
+        ids = [s.span_id for s in tracing.collector.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_merged_spans_keep_durations(self, on):
+        snap = _worker_style_snapshot()
+        export.merge_snapshot(snap)
+        breakdown = tracing.collector.breakdown()
+        assert breakdown["w.day"]["count"] == 1
+        assert breakdown["w.day"]["wall_s"] >= 0.0
+
+    def test_merge_does_not_disturb_open_span_stack(self, on):
+        snap = _worker_style_snapshot()
+        with obs.span("mission"):
+            export.merge_snapshot(snap)
+            assert tracing.current_span().name == "mission"
+
+
+class TestLogAndSnapshotMerge:
+    def test_log_records_survive_with_fields(self, on):
+        snap = _worker_style_snapshot()
+        export.merge_snapshot(snap)
+        records = obs.logging.buffer.matching("worker-event")
+        assert len(records) == 1
+        assert records[0].fields == {"day": 2}
+
+    def test_merge_noop_when_disabled(self, on):
+        snap = _worker_style_snapshot()
+        obs.reset()  # disables telemetry
+        export.merge_snapshot(snap)
+        assert tracing.collector.spans == []
+        assert metrics.registry.names() == []
+
+    def test_snapshot_has_uniform_report_surface(self, on):
+        snap = _worker_style_snapshot()
+        assert isinstance(snap, export.TelemetrySnapshot)
+        assert isinstance(snap.to_dict(), dict)
+        assert "Stage breakdown" in snap.to_text()
+        assert snap["span_breakdown"]["w.day"]["count"] == 1
+
+    def test_to_text_report_alias_still_works(self, on):
+        report = export.to_text_report()
+        assert "Telemetry report" in report
