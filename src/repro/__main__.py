@@ -36,6 +36,14 @@ def _add_mission_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", default=None, metavar="DIR",
                         help="content-addressed result cache directory "
                              "(reruns with an unchanged config load from it)")
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="crash-recovery checkpoint journal directory: "
+                             "each completed day is persisted as it finishes")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore completed days from the checkpoint "
+                             "journal and execute only the remainder "
+                             "(requires --checkpoint; bit-identical to an "
+                             "uninterrupted run)")
 
 
 def _config(args: argparse.Namespace) -> MissionConfig:
@@ -47,11 +55,18 @@ def _config(args: argparse.Namespace) -> MissionConfig:
 
 def _execution(args: argparse.Namespace) -> ExecutionConfig:
     workers = args.workers if args.workers == "serial" else int(args.workers)
-    return ExecutionConfig(n_workers=workers, cache_dir=args.cache)
+    return ExecutionConfig(n_workers=workers, cache_dir=args.cache,
+                           checkpoint_dir=args.checkpoint, resume=args.resume)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     result = run_mission(_config(args), execution=_execution(args))
+    checkpoint = (result.cache_stats or {}).get("checkpoint")
+    if checkpoint is not None and checkpoint["resumed_days"]:
+        days = ", ".join(str(d) for d in checkpoint["resumed_days"])
+        print(f"resumed {len(checkpoint['resumed_days'])} day(s) from "
+              f"checkpoint: {days}")
+        print()
     print(build_table1(result))
     print()
     print(build_deployment_stats(result))

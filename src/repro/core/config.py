@@ -74,16 +74,43 @@ class ExecutionConfig:
         n_workers: process-pool size for badge-day work; ``"serial"``
             (or ``1``) runs everything in-process, the historical
             behaviour and the fallback whenever parallel execution is
-            not applicable (fault plans, unpicklable overrides).
+            not applicable (sensing-fault plans, unpicklable overrides).
         cache_dir: directory of the content-addressed mission cache, or
             ``None`` for no caching.
         cache_enabled: master switch; with ``False`` the cache directory
             is neither read nor written even if configured.
+        checkpoint_dir: directory of the crash-recovery checkpoint
+            journal, or ``None`` for no checkpointing.  With a journal,
+            every completed day is persisted as it finishes, so a killed
+            run can be resumed.
+        resume: restore completed days from the checkpoint journal
+            before executing the remainder (requires ``checkpoint_dir``).
+            Resumed runs are bit-identical to uninterrupted ones.
+        day_deadline_s: supervisor deadline for one day's worth of work
+            in a pool worker; a day that runs longer is treated as hung,
+            its worker killed, and the day retried.  ``None`` disables
+            hung-worker detection.
+        max_day_retries: times the supervisor re-runs one day after a
+            timeout or pool breakage before degrading to serial.
+        retry_backoff_s: base of the supervisor's exponential retry
+            backoff (scaled by seeded jitter).
+        pool_failure_limit: consecutive pool failures without progress
+            before the supervisor gives up and the remaining days run
+            serially.
+        supervisor_seed: seed of the supervisor's jitter RNG, so retry
+            schedules are reproducible.
     """
 
     n_workers: int | str = "serial"
     cache_dir: Optional[str] = None
     cache_enabled: bool = True
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    day_deadline_s: Optional[float] = None
+    max_day_retries: int = 2
+    retry_backoff_s: float = 0.05
+    pool_failure_limit: int = 3
+    supervisor_seed: int = 0
 
     def __post_init__(self) -> None:
         if isinstance(self.n_workers, str):
@@ -97,6 +124,18 @@ class ExecutionConfig:
             )
         if self.cache_dir is not None and not str(self.cache_dir):
             raise ConfigError("cache_dir must be a non-empty path or None")
+        if self.checkpoint_dir is not None and not str(self.checkpoint_dir):
+            raise ConfigError("checkpoint_dir must be a non-empty path or None")
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigError("resume=True requires a checkpoint_dir")
+        if self.day_deadline_s is not None and self.day_deadline_s <= 0:
+            raise ConfigError("day_deadline_s must be positive or None")
+        if self.max_day_retries < 0:
+            raise ConfigError("max_day_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ConfigError("retry_backoff_s must be >= 0")
+        if self.pool_failure_limit < 1:
+            raise ConfigError("pool_failure_limit must be >= 1")
 
     @property
     def worker_count(self) -> int:
@@ -112,6 +151,11 @@ class ExecutionConfig:
     def cache_active(self) -> bool:
         """Whether a cache should actually be consulted."""
         return self.cache_enabled and self.cache_dir is not None
+
+    @property
+    def checkpoint_active(self) -> bool:
+        """Whether a checkpoint journal should be written (and read on resume)."""
+        return self.checkpoint_dir is not None
 
 
 @dataclass(frozen=True)

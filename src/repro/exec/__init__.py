@@ -6,8 +6,15 @@ computes — lives here:
 - :mod:`repro.exec.executor` — per-day work unit (:func:`compute_day` /
   :class:`DayOutcome`) and the process-pool fan-out that is bit-identical
   to serial execution;
+- :mod:`repro.exec.supervisor` — the production fan-out: per-day
+  deadlines, seeded-jitter retries, broken-pool recovery with salvage,
+  bounded degradation to serial;
+- :mod:`repro.exec.checkpoint` — crash-recovery journal of completed
+  days; ``ExecutionConfig(resume=True)`` restores them bit-identically;
 - :mod:`repro.exec.cache` — content-addressed on-disk cache of ground
   truth and badge-day summaries;
+- :mod:`repro.exec.integrity` — checksummed atomic artifacts and the
+  quarantine policy shared by the cache and the journal;
 - :mod:`repro.exec.hashing` — the stable config fingerprints the cache
   keys on.
 
@@ -18,12 +25,18 @@ Callers select execution behaviour with a frozen
 
     result = run_mission(
         MissionConfig(days=14),
-        execution=ExecutionConfig(n_workers=4, cache_dir=".mission-cache"),
+        execution=ExecutionConfig(
+            n_workers=4,
+            cache_dir=".mission-cache",
+            checkpoint_dir=".mission-checkpoint",
+            resume=True,
+        ),
     )
 """
 
 from repro.core.config import ExecutionConfig
 from repro.exec.cache import MissionCache
+from repro.exec.checkpoint import CheckpointJournal
 from repro.exec.executor import (
     DayOutcome,
     ExecutorUnavailable,
@@ -36,8 +49,18 @@ from repro.exec.hashing import (
     truth_compatible,
     truth_fingerprint,
 )
+from repro.exec.integrity import (
+    ArtifactCorrupt,
+    ArtifactError,
+    ArtifactUnreadable,
+)
+from repro.exec.supervisor import run_days_supervised
 
 __all__ = [
+    "ArtifactCorrupt",
+    "ArtifactError",
+    "ArtifactUnreadable",
+    "CheckpointJournal",
     "DayOutcome",
     "ExecutionConfig",
     "ExecutorUnavailable",
@@ -45,6 +68,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "compute_day",
     "run_days_parallel",
+    "run_days_supervised",
     "sensing_fingerprint",
     "truth_compatible",
     "truth_fingerprint",

@@ -14,10 +14,13 @@ invalidate:
   unchanged config loads summaries instead of re-simulating.
 
 Keys embed a schema version (see :mod:`repro.exec.hashing`), so
-artifacts written by an older pipeline are simply never matched; corrupt
-or truncated files are treated as misses and removed.  Writes go through
-a temp file and :func:`os.replace`, so concurrent runs sharing one cache
-directory never observe partial artifacts.
+artifacts written by an older pipeline are simply never matched.  Every
+artifact goes through :mod:`repro.exec.integrity`: writes are atomic
+(temp file + ``os.replace``) and carry an embedded BLAKE2b payload
+checksum; loads verify it, and a file that fails verification is a
+**miss** whose bytes are preserved under ``<root>/quarantine/`` — never
+silently deleted, never served.  Temp files stranded by a killed writer
+are swept on cache startup.
 
 The cache stores only *derived* simulation outputs addressed by the
 config that produced them — it is safe to delete the directory at any
@@ -26,15 +29,12 @@ time.
 
 from __future__ import annotations
 
-import os
-import pickle
-import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.config import MissionConfig
 from repro.crew.trace import MissionTruth
-from repro.exec import hashing
+from repro.exec import hashing, integrity
 from repro.obs import _state as _obs
 from repro.obs import get_logger
 from repro.obs import metrics as _metrics
@@ -42,20 +42,17 @@ from repro.obs import metrics as _metrics
 if TYPE_CHECKING:
     from repro.exec.executor import DayOutcome
 
-#: Magic header pickled alongside every artifact; loads with a different
-#: header (foreign file, older incompatible format) count as misses.
-_MAGIC = "repro.exec.cache"
-
 log = get_logger("repro.exec.cache")
 
 
 class MissionCache:
     """Directory-backed store of truth and badge-day artifacts.
 
-    Hit/miss counts are kept per stage on the instance (surfaced through
+    Hit/miss/quarantine counts are kept per stage on the instance
+    (surfaced through
     :attr:`repro.experiments.mission.MissionResult.cache_stats`) and
-    mirrored into ``exec.cache_*`` telemetry counters when
-    :mod:`repro.obs` is enabled.
+    mirrored into ``exec.cache_*`` / ``exec.quarantined`` telemetry
+    counters when :mod:`repro.obs` is enabled.
     """
 
     def __init__(self, root: str | Path):
@@ -63,6 +60,11 @@ class MissionCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits: dict[str, int] = {"truth": 0, "day": 0}
         self.misses: dict[str, int] = {"truth": 0, "day": 0}
+        self.quarantined: dict[str, int] = {"truth": 0, "day": 0}
+        # A process killed between mkstemp and os.replace strands its
+        # temp file; final names only ever appear via os.replace, so the
+        # sweep can never race a concurrent writer's live artifact.
+        integrity.sweep_stale_tmp(self.root)
 
     # -- paths ---------------------------------------------------------
 
@@ -103,8 +105,12 @@ class MissionCache:
     # -- bookkeeping ---------------------------------------------------
 
     def stats(self) -> dict:
-        """Plain-data hit/miss counts (``{"hits": {...}, "misses": {...}}``)."""
-        return {"hits": dict(self.hits), "misses": dict(self.misses)}
+        """Plain-data counters: hits, misses, and quarantined files by stage."""
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "quarantined": dict(self.quarantined),
+        }
 
     def _count(self, stage: str, hit: bool) -> None:
         (self.hits if hit else self.misses)[stage] += 1
@@ -117,41 +123,24 @@ class MissionCache:
 
     def _load(self, stage: str, path: Path) -> Any:
         try:
-            with open(path, "rb") as fh:
-                magic, schema, payload = pickle.load(fh)
-            if magic != _MAGIC or schema != hashing.SCHEMA_VERSION:
-                raise ValueError(f"unexpected header ({magic!r}, {schema!r})")
+            payload = integrity.read_artifact(path, schema=hashing.SCHEMA_VERSION)
         except FileNotFoundError:
             self._count(stage, hit=False)
             return None
-        except Exception as exc:  # corrupt/foreign artifact: a miss, not an error
-            log.warning("cache-artifact-unreadable", path=str(path), error=repr(exc))
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except integrity.ArtifactError as exc:
+            # Corrupt or foreign artifact: a miss, never served.  The file
+            # is moved to quarantine so the evidence survives post-mortem.
+            log.warning("cache-artifact-rejected", path=str(path),
+                        stage=stage, error=repr(exc))
+            if integrity.quarantine(path, self.root, store="cache") is not None:
+                self.quarantined[stage] += 1
             self._count(stage, hit=False)
             return None
         self._count(stage, hit=True)
         return payload
 
     def _store(self, stage: str, path: Path, payload: Any) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(
-                    (_MAGIC, hashing.SCHEMA_VERSION, payload),
-                    fh,
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        integrity.write_artifact(path, payload, schema=hashing.SCHEMA_VERSION)
         if _obs.enabled:
             _metrics.counter(
                 "exec.cache_stores", "mission-cache artifacts written"

@@ -1,0 +1,138 @@
+"""Crash-recovery checkpoint journal for mission runs.
+
+A multi-day mission sweep on Mars-analog infrastructure has no operator
+to restart it: a killed process must not cost the whole run (the ICAres-1
+deployment itself lost days of data to dead batteries and full SD cards).
+The :class:`CheckpointJournal` makes the execution engine crash-safe:
+
+* as each :class:`~repro.exec.executor.DayOutcome` completes — serially,
+  from a pool worker, or salvaged out of a broken pool — it is written as
+  one atomic, checksummed artifact (:mod:`repro.exec.integrity`) under
+  ``<root>/journal-<sensing-key>/dayNN.ckpt``;
+* a resumed run (``ExecutionConfig(resume=True)`` / ``repro run
+  --resume``) restores every journaled day that passes checksum
+  verification and re-executes only the remainder, **bit-identical** to
+  an uninterrupted run (day outcomes are self-contained and the SD-card
+  accountant is rebuilt by replaying outcomes in day order);
+* journals are keyed by the config's sensing fingerprint, so a resume
+  against a changed config simply finds an empty journal — stale
+  checkpoints can never leak into the wrong mission;
+* a corrupt or truncated day record (the crash may have been mid-write,
+  the disk may be failing) is quarantined and recomputed, never served.
+
+The journal is append-only per day and idempotent: re-recording a day a
+previous run already journaled atomically replaces an identical artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.config import MissionConfig
+from repro.exec import hashing, integrity
+from repro.obs import _state as _obs
+from repro.obs import get_logger
+from repro.obs import metrics as _metrics
+
+if TYPE_CHECKING:
+    from repro.exec.executor import DayOutcome
+
+log = get_logger("repro.exec.checkpoint")
+
+
+class CheckpointJournal:
+    """Per-day checkpoint store for one mission config.
+
+    All records live under ``<root>/journal-<sensing-fingerprint>/``;
+    two configs never share a journal, and a schema bump (see
+    :mod:`repro.exec.hashing`) orphans old journals instead of
+    resuming from incompatible artifacts.
+    """
+
+    def __init__(self, root: str | Path, cfg: MissionConfig):
+        self.root = Path(root)
+        self.cfg = cfg
+        self.dir = self.root / f"journal-{hashing.sensing_fingerprint(cfg)}"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.recorded = 0
+        self.quarantined = 0
+        #: Days restored by the last :meth:`load_completed` call.
+        self.resumed_days: list[int] = []
+        integrity.sweep_stale_tmp(self.root)
+
+    def day_path(self, day: int) -> Path:
+        return self.dir / f"day{day:02d}.ckpt"
+
+    def record(self, outcome: "DayOutcome") -> None:
+        """Journal one completed day (atomic, checksummed, idempotent).
+
+        Worker telemetry snapshots are transient driver-merge payloads
+        and are stripped before persisting, exactly as the cache does.
+        """
+        if outcome.telemetry is not None:
+            outcome = dataclasses.replace(outcome, telemetry=None)
+        integrity.write_artifact(
+            self.day_path(outcome.day), outcome, schema=hashing.SCHEMA_VERSION
+        )
+        self.recorded += 1
+        if _obs.enabled:
+            _metrics.counter(
+                "exec.checkpointed_days", "day outcomes journaled for crash recovery"
+            ).inc()
+
+    def load_day(self, day: int) -> Optional["DayOutcome"]:
+        """One verified journaled day, or ``None`` (missing or quarantined)."""
+        path = self.day_path(day)
+        try:
+            return integrity.read_artifact(path, schema=hashing.SCHEMA_VERSION)
+        except FileNotFoundError:
+            return None
+        except integrity.ArtifactError as exc:
+            log.warning("checkpoint-rejected", path=str(path), day=day,
+                        error=repr(exc))
+            if integrity.quarantine(path, self.root, store="checkpoint") is not None:
+                self.quarantined += 1
+            return None
+
+    def load_completed(self, days: list[int]) -> dict[int, "DayOutcome"]:
+        """Verified outcomes for every journaled day in ``days``.
+
+        Populates :attr:`resumed_days` and the ``exec.resumed_days``
+        telemetry counter; corrupt records are quarantined (and will be
+        recomputed by the caller), so a resume never trades integrity
+        for speed.
+        """
+        restored: dict[int, "DayOutcome"] = {}
+        for day in days:
+            outcome = self.load_day(day)
+            if outcome is not None:
+                restored[day] = outcome
+        self.resumed_days = sorted(restored)
+        if restored:
+            log.info("checkpoint-resumed", days=self.resumed_days,
+                     journal=str(self.dir))
+            if _obs.enabled:
+                _metrics.counter(
+                    "exec.resumed_days", "day outcomes restored from a checkpoint journal"
+                ).inc(len(restored))
+        return restored
+
+    def journaled_days(self) -> list[int]:
+        """Days with a journal record on disk (unverified)."""
+        days = []
+        for path in self.dir.glob("day*.ckpt"):
+            try:
+                days.append(int(path.stem[3:]))
+            except ValueError:
+                continue
+        return sorted(days)
+
+    def stats(self) -> dict:
+        """Plain-data journal counters for ``MissionResult.cache_stats``."""
+        return {
+            "recorded": self.recorded,
+            "resumed_days": list(self.resumed_days),
+            "quarantined": self.quarantined,
+        }

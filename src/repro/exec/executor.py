@@ -183,10 +183,37 @@ def degrade_day(
 # module docstring).
 
 _CTX: Optional[tuple] = None
+#: Fault injection (worker-crash chaos / hung-worker tests): days whose
+#: worker SIGKILLs itself or stalls before computing.  Set per pool by
+#: the supervisor via ``_worker_init``; empty in normal operation.
+_CRASH_DAYS: frozenset[int] = frozenset()
+_HANG_DAYS: frozenset[int] = frozenset()
+_HANG_S: float = 0.0
 
 
-def _worker_init(payload: bytes, telemetry_enabled: bool) -> None:
-    global _CTX
+def pickle_context(
+    cfg: MissionConfig,
+    truth: MissionTruth,
+    models: SensingModels,
+    localizer: Localizer,
+) -> bytes:
+    """Pickle the worker-side mission context, or raise :class:`ExecutorUnavailable`."""
+    try:
+        return pickle.dumps(
+            (cfg, truth, models, localizer), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception as exc:
+        raise ExecutorUnavailable(f"mission context is not picklable: {exc!r}") from exc
+
+
+def _worker_init(
+    payload: bytes,
+    telemetry_enabled: bool,
+    crash_days: tuple[int, ...] = (),
+    hang_days: tuple[int, ...] = (),
+    hang_s: float = 0.0,
+) -> None:
+    global _CTX, _CRASH_DAYS, _HANG_DAYS, _HANG_S
     from repro import obs
 
     obs.reset()  # a forked worker inherits the driver's telemetry stores
@@ -197,6 +224,9 @@ def _worker_init(payload: bytes, telemetry_enabled: bool) -> None:
     rngs = mission_sensing_registry(cfg.seed)
     fleet = make_fleet(assignment, rngs)
     _CTX = (cfg, truth, assignment, models, localizer, fleet, rngs)
+    _CRASH_DAYS = frozenset(crash_days)
+    _HANG_DAYS = frozenset(hang_days)
+    _HANG_S = hang_s
 
 
 def _worker_day(day: int) -> DayOutcome:
@@ -206,6 +236,18 @@ def _worker_day(day: int) -> DayOutcome:
     from repro.obs import tracing as obs_tracing
 
     assert _CTX is not None, "worker used before initialization"
+    if day in _CRASH_DAYS:
+        # Injected worker-crash fault: die the way a real crash does —
+        # no exception, no cleanup, the pool just loses the process.
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    if day in _HANG_DAYS:
+        # Injected straggler: stall past any reasonable day deadline.
+        import time
+
+        time.sleep(_HANG_S)
     cfg, truth, assignment, models, localizer, fleet, rngs = _CTX
     if _obs.enabled:
         # Per-day snapshots: clear the stores so each outcome carries
@@ -240,16 +282,11 @@ def run_days_parallel(
     """
     if n_workers < 2:
         raise ConfigError("run_days_parallel needs n_workers >= 2")
-    if cfg.fault_plan is not None:
+    if cfg.fault_plan is not None and cfg.fault_plan.sensing_events():
         raise ExecutorUnavailable(
-            "fault plans couple days through the SD-card budget; run serially"
+            "sensing-fault plans couple days through the SD-card budget; run serially"
         )
-    try:
-        payload = pickle.dumps(
-            (cfg, truth, models, localizer), protocol=pickle.HIGHEST_PROTOCOL
-        )
-    except Exception as exc:
-        raise ExecutorUnavailable(f"mission context is not picklable: {exc!r}") from exc
+    payload = pickle_context(cfg, truth, models, localizer)
 
     import concurrent.futures as cf
 

@@ -6,16 +6,23 @@ scan matrices are consumed and dropped per badge-day, so a full 14-day
 mission stays comfortably in memory.
 
 Execution is delegated to :mod:`repro.exec`: an
-:class:`~repro.core.config.ExecutionConfig` selects serial or
-process-pool execution of the per-day work (bit-identical either way)
-and an optional content-addressed cache that persists ground truth and
-badge-day summaries between runs.  Missions with a fault plan always run
-serially — SD-card capacity faults couple days through the cumulative
-write budget (see :mod:`repro.exec.executor`).
+:class:`~repro.core.config.ExecutionConfig` selects serial or supervised
+process-pool execution of the per-day work (bit-identical either way),
+an optional content-addressed cache that persists ground truth and
+badge-day summaries between runs, and an optional crash-recovery
+checkpoint journal (``checkpoint_dir`` / ``resume=True``) that makes a
+killed run resumable without recomputing completed days.  Missions with
+*sensing*-level faults always run serially — SD-card capacity faults
+couple days through the cumulative write budget (see
+:mod:`repro.exec.executor`); bus-level and executor-level faults do not
+couple days and keep the parallel path.  Every fall-back to serial
+execution is signalled (structured log + ``exec.fallback`` counter),
+never silent.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass, field
 from typing import Optional
@@ -29,22 +36,40 @@ from repro.core.rng import mission_sensing_registry
 from repro.crew.behavior import simulate_mission
 from repro.crew.trace import MissionTruth
 from repro.exec.cache import MissionCache
+from repro.exec.checkpoint import CheckpointJournal
 from repro.exec.executor import (
     DayOutcome,
     ExecutorUnavailable,
     compute_day,
     replay_accounting,
-    run_days_parallel,
 )
 from repro.exec.hashing import canonical, truth_compatible
+from repro.exec.supervisor import run_days_supervised
 from repro.faults.report import ReliabilityReport
 from repro.faults.scenario import run_support_scenario
 from repro.localization.pipeline import Localizer
+from repro.obs import _state as _obs
 from repro.obs import enabled as obs_enabled
 from repro.obs import export as obs_export
-from repro.obs import get_logger, span, tracing
+from repro.obs import get_logger
+from repro.obs import metrics as _metrics
+from repro.obs import span, tracing
 
 log = get_logger("repro.experiments.mission")
+
+
+def _signal_fallback(reason: str, **fields) -> None:
+    """Make a serial fallback visible: structured log + labelled counter.
+
+    Parallelism silently disabling itself looks exactly like a hung
+    sweep from the outside; every downgrade is therefore both logged and
+    counted (``exec.fallback``, by reason).
+    """
+    log.warning("parallel-fallback", reason=reason, **fields)
+    if _obs.enabled:
+        _metrics.counter(
+            "exec.fallback", "parallel execution downgraded to serial, by reason"
+        ).inc(reason=reason)
 
 
 @dataclass
@@ -99,14 +124,26 @@ class MissionResult:
             f"{len(self.sensing.summaries)} badge-days, "
             f"{self.sdcard.total_gib():.1f} GiB recorded",
         ]
-        if self.execution.parallel or self.execution.cache_active:
-            cache = "off" if self.cache_stats is None else (
-                f"{self.cache_stats['hits']['day']} day hits, "
-                f"{self.cache_stats['misses']['day']} misses"
+        if (self.execution.parallel or self.execution.cache_active
+                or self.execution.checkpoint_active):
+            stats = self.cache_stats or {}
+            cache = "off" if "hits" not in stats else (
+                f"{stats['hits']['day']} day hits, "
+                f"{stats['misses']['day']} misses"
             )
             lines.append(
                 f"execution: {self.execution.worker_count} worker(s), cache {cache}"
             )
+            checkpoint = stats.get("checkpoint")
+            if checkpoint is not None:
+                resumed = checkpoint["resumed_days"]
+                lines.append(
+                    f"checkpoint: {checkpoint['recorded']} day(s) journaled, "
+                    f"{len(resumed)} resumed"
+                    + (f" ({', '.join(map(str, resumed))})" if resumed else "")
+                    + (f", {checkpoint['quarantined']} quarantined"
+                       if checkpoint["quarantined"] else "")
+                )
         if self.reliability is not None:
             lines.append("")
             lines.append(self.reliability.to_text())
@@ -159,9 +196,10 @@ def run_mission(
             ``cfg`` on the truth-stage fields).
         localizer: override the localization pipeline (ablations).
         models: override the sensing models (ablations).
-        execution: how to run — worker count and cache
+        execution: how to run — worker count, cache, checkpoint journal
             (:class:`~repro.core.config.ExecutionConfig`; defaults to
-            serial, uncached).  Never affects results, only speed.
+            serial, uncached, unjournaled).  Never affects results, only
+            speed and crash-safety.
 
     Returns:
         A :class:`MissionResult` whose ``sensing`` feeds every analysis.
@@ -188,24 +226,49 @@ def run_mission(
             for badge_id, cap in plan.sdcard_caps().items():
                 sdcard.set_capacity(badge_id, cap)
 
-        # Day summaries are cacheable only for the default sensing stack:
-        # custom models/localizers are not part of the cache key.
+        # Day summaries are cacheable/journalable only for the default
+        # sensing stack: custom models/localizers are not part of the
+        # artifact keys, so persisting their outcomes would poison later
+        # default-stack runs of the same config.
         day_cache = cache if cache is not None and default_stack else None
+        journal = (
+            CheckpointJournal(execution.checkpoint_dir, cfg)
+            if execution.checkpoint_active and default_stack else None
+        )
+        if execution.checkpoint_active and not default_stack:
+            log.warning("checkpoint-disabled",
+                        reason="custom models/localizer are not part of the journal key")
+
         outcomes: dict[int, DayOutcome] = {}
+        if journal is not None and execution.resume:
+            outcomes.update(journal.load_completed(cfg.instrumented_days))
         if day_cache is not None:
             for day in cfg.instrumented_days:
+                if day in outcomes:
+                    continue
                 hit = day_cache.load_day(cfg, day)
                 if hit is not None:
                     outcomes[day] = hit
         missing = [d for d in cfg.instrumented_days if d not in outcomes]
 
-        computed = _compute_missing_days(
+        def persist(outcome: DayOutcome) -> None:
+            # Called the moment a day completes — serially, from the
+            # supervisor's harvest, or salvaged out of a broken pool —
+            # so a later crash can resume past it.  Worker telemetry is
+            # transient and never persisted.
+            stored = (
+                dataclasses.replace(outcome, telemetry=None)
+                if outcome.telemetry is not None else outcome
+            )
+            if journal is not None:
+                journal.record(stored)
+            if day_cache is not None:
+                day_cache.store_day(cfg, stored)
+
+        _compute_missing_days(
             cfg, truth, assignment, models, localizer, fleet, rngs, sdcard,
-            plan, missing, outcomes, execution,
+            plan, missing, outcomes, execution, persist,
         )
-        if day_cache is not None:
-            for day in computed:
-                day_cache.store_day(cfg, outcomes[day])
 
         for day in cfg.instrumented_days:
             outcome = outcomes[day]
@@ -217,11 +280,14 @@ def run_mission(
         reliability = run_support_scenario(cfg, plan) if plan is not None else None
 
     telemetry = obs_export.to_dict() if obs_enabled() else None
+    cache_stats = cache.stats() if cache is not None else None
+    if journal is not None:
+        cache_stats = dict(cache_stats) if cache_stats is not None else {}
+        cache_stats["checkpoint"] = journal.stats()
     return MissionResult(
         cfg=cfg, truth=truth, sensing=sensing, models=models,
         sdcard=sdcard, telemetry=telemetry, reliability=reliability,
-        execution=execution,
-        cache_stats=cache.stats() if cache is not None else None,
+        execution=execution, cache_stats=cache_stats,
     )
 
 
@@ -256,57 +322,74 @@ def _compute_missing_days(
     missing: list[int],
     outcomes: dict[int, DayOutcome],
     execution: ExecutionConfig,
-) -> list[int]:
-    """Fill ``outcomes`` for ``missing`` days; returns the days computed.
+    persist,
+) -> None:
+    """Fill ``outcomes`` for ``missing`` days, persisting each as it lands.
 
-    Chooses the parallel path when the execution config asks for it and
-    the mission qualifies (no fault plan — SD-card budgets couple days —
-    and a picklable stack); otherwise walks days serially.  Either way
-    the mission-level ``sdcard`` accountant ends up in the exact state a
-    purely serial run would produce.
+    Chooses the supervised parallel path when the execution config asks
+    for it and the mission qualifies (no *sensing* faults — SD-card
+    budgets couple days — and a picklable stack); otherwise walks days
+    serially.  A supervisor give-up (too many pool failures, a day past
+    its retry budget) degrades to serial for the *remaining* days only:
+    everything the pool completed was already harvested and persisted.
+    Either way the mission-level ``sdcard`` accountant ends up in the
+    exact state a purely serial run would produce.
     """
+    # Sensing-level faults (battery cuts, SD-card caps, beacon outages)
+    # are what couples days; bus- and executor-level faults never touch
+    # compute_day, so they keep the parallel path.
+    sensing_plan = plan if plan is not None and plan.sensing_events() else None
     # A supplied truth whose truth-stage fields disagree with cfg would
     # make workers (which re-derive everything from cfg + truth) and the
     # cache key inconsistent; such truths only ever take the serial path.
     exotic_truth = not truth_compatible(cfg, truth.cfg)
 
-    if execution.parallel and missing and plan is None and not exotic_truth:
+    if execution.parallel and missing and sensing_plan is None and not exotic_truth:
+        mission_span = tracing.current_span()
+        parent_id = mission_span.span_id if mission_span is not None else None
+
+        def harvest(outcome: DayOutcome) -> None:
+            if outcome.telemetry is not None:
+                obs_export.merge_snapshot(outcome.telemetry,
+                                          parent_span_id=parent_id)
+                outcome.telemetry = None
+            persist(outcome)
+            outcomes[outcome.day] = outcome
+
+        crash_days = plan.worker_crash_days() if plan is not None else frozenset()
         try:
-            computed = run_days_parallel(
-                cfg, truth, models, localizer, missing, execution.worker_count
+            run_days_supervised(
+                cfg, truth, models, localizer, missing, execution,
+                on_outcome=harvest, crash_days=crash_days,
             )
         except ExecutorUnavailable as exc:
-            log.warning("parallel-unavailable", reason=str(exc),
-                        workers=execution.worker_count)
+            # Salvaged days are already in ``outcomes``; only the rest
+            # falls back to serial below.
+            _signal_fallback("executor-unavailable", detail=str(exc),
+                            workers=execution.worker_count,
+                            salvaged=len([d for d in missing if d in outcomes]))
         else:
-            mission_span = tracing.current_span()
-            parent_id = mission_span.span_id if mission_span is not None else None
-            for day in missing:
-                outcome = computed[day]
-                if outcome.telemetry is not None:
-                    obs_export.merge_snapshot(outcome.telemetry,
-                                              parent_span_id=parent_id)
-                    outcome.telemetry = None
-                outcomes[day] = outcome
             # Rebuild the mission-level accountant exactly as a serial
             # run would: every day replayed in order.
             for day in cfg.instrumented_days:
                 replay_accounting(outcomes[day], sdcard)
-            return missing
+            return
     elif execution.parallel and missing:
-        reason = "fault plan requires serial execution" if plan is not None \
-            else "supplied truth does not match cfg's truth fields"
-        log.warning("parallel-unavailable", reason=reason,
-                    workers=execution.worker_count)
+        _signal_fallback(
+            "sensing-fault-plan" if sensing_plan is not None else "exotic-truth",
+            workers=execution.worker_count,
+        )
 
-    # Serial path: cached days replay their accounting in day order so a
-    # later (possibly faulted) day sees the exact cumulative totals.
+    # Serial path: restored/cached/salvaged days replay their accounting
+    # in day order so a later (possibly faulted) day sees the exact
+    # cumulative totals.
     for day in cfg.instrumented_days:
         if day in outcomes:
             replay_accounting(outcomes[day], sdcard)
             continue
-        outcomes[day] = compute_day(
+        outcome = compute_day(
             cfg, truth, day, assignment, models, localizer, fleet, rngs,
-            sdcard, plan,
+            sdcard, sensing_plan,
         )
-    return missing
+        persist(outcome)
+        outcomes[day] = outcome

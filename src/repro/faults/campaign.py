@@ -56,6 +56,11 @@ class FaultCampaign:
     sdcard_exhaustions: int = 0
     #: Capacity override applied by an SD-card exhaustion, bytes.
     sdcard_cap_bytes: float = 4e9
+    #: Whole-mission count of executor-level worker crashes (the pool
+    #: worker computing the struck day is SIGKILLed; the supervisor must
+    #: recover).  Drawn after every other fault class, so campaigns with
+    #: ``worker_crashes=0`` reproduce their historical plans exactly.
+    worker_crashes: int = 0
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -70,7 +75,8 @@ class FaultCampaign:
                      "mean_blackout_s", "mean_beacon_outage_s"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
-        if self.battery_depletions < 0 or self.sdcard_exhaustions < 0:
+        if self.battery_depletions < 0 or self.sdcard_exhaustions < 0 \
+                or self.worker_crashes < 0:
             raise ConfigError("fault counts must be non-negative")
 
     @property
@@ -132,6 +138,14 @@ class FaultCampaign:
                     time_s=0.0, action="sdcard-cap", target=str(badge),
                     value=self.sdcard_cap_bytes,
                 ))
+        # Executor-level crashes are drawn last: adding them to a
+        # campaign never perturbs the draw sequence of the classes above,
+        # so existing seeded plans stay byte-stable.
+        for _ in range(self.worker_crashes):
+            events.append(FaultEvent(
+                time_s=float(rng.uniform(0.0, self.horizon_s)),
+                action="worker-crash",
+            ))
         return FaultPlan.build(*events)
 
     @classmethod

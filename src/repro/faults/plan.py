@@ -35,7 +35,14 @@ SENSING_ACTIONS = frozenset({
     "sdcard-cap",     # target: badge id; value: capacity bytes override
 })
 
-ACTIONS = BUS_ACTIONS | SENSING_ACTIONS
+#: Faults applied to the execution engine itself (chaos-testing the
+#: supervisor): they never change mission *content*, only how the run
+#: has to fight to produce it.
+EXEC_ACTIONS = frozenset({
+    "worker-crash",   # the pool worker computing time_s's day is SIGKILLed
+})
+
+ACTIONS = BUS_ACTIONS | SENSING_ACTIONS | EXEC_ACTIONS
 
 
 @dataclass(frozen=True)
@@ -137,6 +144,21 @@ class FaultPlan:
 
     def sensing_events(self) -> list[FaultEvent]:
         return [e for e in self.events if e.action in SENSING_ACTIONS]
+
+    def exec_events(self) -> list[FaultEvent]:
+        """Events aimed at the execution engine (supervisor chaos)."""
+        return [e for e in self.events if e.action in EXEC_ACTIONS]
+
+    def worker_crash_days(self) -> frozenset[int]:
+        """Mission days whose pool worker an injected crash should kill.
+
+        Each event is consumed by the supervisor once: the first worker
+        to pick up that day dies, the retry computes it normally.
+        """
+        return frozenset(
+            int(e.time_s // DAY) + 1
+            for e in self.events if e.action == "worker-crash"
+        )
 
     def is_empty(self) -> bool:
         return not self.events

@@ -349,6 +349,67 @@ class Node:
         self._transmit(pending)
         return msg_id
 
+    def requeue_dead_letters(
+        self,
+        *,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> int:
+        """Re-send abandoned reliable messages, oldest first.
+
+        Drains the dead-letter queue in FIFO (dead-lettering) order and
+        re-enters each message into the reliable path **with its
+        original message id** — if the earlier failure lost only the
+        *ack* (the receiver did handle the message), the receiver dedups
+        the requeue instead of running the handler twice, preserving
+        exactly-once dispatch across the requeue.  Messages whose
+        destination breaker still refuses traffic (open and cooling
+        down) stay in the queue for a later drain; the standard drain
+        pattern is to call this after a blackout lifts and the breaker's
+        half-open probe can succeed.
+
+        Returns the number of messages re-entered into the reliable
+        path.  Each counts as a fresh reliable send, so per-kind
+        accounting keeps its invariant ``sent == acked + dead`` once the
+        bus drains.
+        """
+        if self.network is None:
+            raise ProtocolError(f"node {self.name!r} is not attached to a network")
+        if max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        now = self.sim.now
+        letters, self.dead_letters = self.dead_letters, []
+        requeued = 0
+        for letter in letters:
+            breaker = self._breakers.get(letter.dst)
+            if breaker is not None and not breaker.allow(now):
+                self.dead_letters.append(letter)
+                continue
+            rtt = (self.network.latency(self.name, letter.dst)
+                   + self.network.latency(letter.dst, self.name))
+            ack_timeout_s = rtt + 4 * self.network.default_latency_s + 0.1
+            pending = PendingReliable(
+                msg_id=letter.msg_id, dst=letter.dst, kind=letter.kind,
+                payload=letter.payload, max_attempts=max_attempts,
+                ack_timeout_s=ack_timeout_s, backoff_base_s=ack_timeout_s,
+                first_sent_s=now,
+            )
+            self._rel_pending[letter.msg_id] = pending
+            self.reliable.record_sent(letter.kind)
+            requeued += 1
+            if _obs.enabled:
+                _metrics.counter(
+                    "bus.reliable.requeued", "dead letters re-sent, by kind"
+                ).inc(kind=letter.kind)
+            self._transmit(pending)
+        if requeued:
+            log.info("dead-letters-requeued", node=self.name, requeued=requeued,
+                     remaining=len(self.dead_letters), sim_time=now)
+        if _obs.enabled:
+            _metrics.gauge(
+                "bus.reliable.dlq_depth", "dead-letter queue depth, by node"
+            ).set(len(self.dead_letters), node=self.name)
+        return requeued
+
     def configure_breaker(
         self,
         dst: str,

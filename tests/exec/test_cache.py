@@ -32,11 +32,13 @@ class TestRunMissionCaching:
         assert cold.cache_stats == {
             "hits": {"truth": 0, "day": 0},
             "misses": {"truth": 1, "day": 1},
+            "quarantined": {"truth": 0, "day": 0},
         }
         warm = run_mission(small_cfg, execution=execution)
         assert warm.cache_stats == {
             "hits": {"truth": 1, "day": 1},
             "misses": {"truth": 0, "day": 0},
+            "quarantined": {"truth": 0, "day": 0},
         }
         assert _summaries_bytes(cold) == _summaries_bytes(warm)
         assert cold.sdcard.total_gib() == warm.sdcard.total_gib()
@@ -92,22 +94,64 @@ class TestRunMissionCaching:
 
 
 class TestCacheRobustness:
-    def test_corrupt_artifact_is_a_miss_and_removed(self, small_cfg, tmp_path):
+    def test_corrupt_artifact_is_a_miss_and_quarantined(self, small_cfg, tmp_path):
         cache = MissionCache(tmp_path)
         path = cache.truth_path(small_cfg)
         path.write_bytes(b"not a pickle")
         assert cache.load_truth(small_cfg) is None
         assert cache.misses["truth"] == 1
+        assert cache.quarantined["truth"] == 1
+        # Never deleted: the evidence moves to quarantine/.
         assert not path.exists()
+        assert (tmp_path / "quarantine" / path.name).exists()
 
     def test_schema_mismatch_is_a_miss(self, small_cfg, tmp_path):
         cache = MissionCache(tmp_path)
         path = cache.truth_path(small_cfg)
         path.write_bytes(
-            pickle.dumps(("repro.exec.cache", SCHEMA_VERSION + 1, {"stale": True}))
+            pickle.dumps(("repro.exec.artifact", SCHEMA_VERSION + 1, "0" * 32, b""))
         )
         assert cache.load_truth(small_cfg) is None
         assert not path.exists()
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_bit_flip_detected_quarantined_and_recomputed(self, small_cfg, tmp_path):
+        """The acceptance scenario: a flipped bit is never served."""
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        cold = run_mission(small_cfg, execution=execution)
+        day_path = MissionCache(tmp_path).day_path(small_cfg, 2)
+        blob = bytearray(day_path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        day_path.write_bytes(bytes(blob))
+        rerun = run_mission(small_cfg, execution=execution)
+        assert rerun.cache_stats["quarantined"]["day"] == 1
+        assert rerun.cache_stats["misses"]["day"] == 1
+        assert rerun.cache_stats["hits"]["day"] == 0
+        assert (tmp_path / "quarantine" / day_path.name).exists()
+        # The day was recomputed, not served corrupt: results match.
+        assert _summaries_bytes(cold) == _summaries_bytes(rerun)
+        # And the recomputed artifact is valid again on the next run.
+        warm = run_mission(small_cfg, execution=execution)
+        assert warm.cache_stats["hits"]["day"] == 1
+
+    def test_stale_tmp_files_swept_on_init(self, small_cfg, tmp_path):
+        """A writer killed between mkstemp and os.replace strands *.tmp
+        files; cache startup sweeps them (satellite fix)."""
+        subdir = tmp_path / "sensing-deadbeef"
+        subdir.mkdir()
+        stale = [tmp_path / "truth-x.pkl.abctmp.tmp", subdir / "day02.pkl.xyz.tmp"]
+        for path in stale:
+            path.write_bytes(b"partial write")
+        cache = MissionCache(tmp_path)
+        for path in stale:
+            assert not path.exists()
+        # Real artifacts survive the sweep.
+        from repro.crew.behavior import simulate_mission
+
+        truth = simulate_mission(small_cfg)
+        cache.store_truth(small_cfg, truth)
+        again = MissionCache(tmp_path)
+        assert again.load_truth(small_cfg) is not None
 
     def test_store_load_round_trip(self, small_cfg, tmp_path):
         from repro.crew.behavior import simulate_mission
@@ -121,4 +165,5 @@ class TestCacheRobustness:
         assert cache.stats() == {
             "hits": {"truth": 1, "day": 0},
             "misses": {"truth": 0, "day": 0},
+            "quarantined": {"truth": 0, "day": 0},
         }

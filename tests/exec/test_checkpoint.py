@@ -1,0 +1,177 @@
+"""Checkpoint journal + resume: crash recovery must be bit-identical."""
+
+import pytest
+
+from repro.core.config import ExecutionConfig, MissionConfig
+from repro.core.errors import ConfigError
+from repro.exec.checkpoint import CheckpointJournal
+from repro.experiments.mission import run_mission
+
+from tests.exec.test_executor import assert_bit_identical
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MissionConfig(days=3, seed=5, frame_dt=5.0, events=None)
+
+
+@pytest.fixture(scope="module")
+def baseline(cfg):
+    """Uninterrupted serial run — the bit-identity reference."""
+    return run_mission(cfg)
+
+
+class TestJournalUnit:
+    def test_record_load_round_trip(self, cfg, tmp_path, baseline):
+        journal = CheckpointJournal(tmp_path, cfg)
+        journaled = run_mission(
+            cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path))
+        )
+        assert journal.journaled_days() == [2, 3]
+        outcome = journal.load_day(2)
+        assert outcome is not None
+        assert outcome.day == 2
+        assert outcome.telemetry is None
+        assert set(outcome.summaries) == {
+            b for (b, d) in baseline.sensing.summaries if d == 2
+        }
+        assert journaled.cache_stats["checkpoint"]["recorded"] == 2
+
+    def test_journal_keyed_by_sensing_fingerprint(self, cfg, tmp_path):
+        import dataclasses
+
+        run_mission(cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path)))
+        other_cfg = dataclasses.replace(
+            cfg, wear_compliance_start=0.4, wear_compliance_end=0.4
+        )
+        other = CheckpointJournal(tmp_path, other_cfg)
+        # A changed config finds an empty journal — stale checkpoints
+        # can never leak into the wrong mission.
+        assert other.journaled_days() == []
+        assert other.dir != CheckpointJournal(tmp_path, cfg).dir
+
+    def test_missing_day_is_none(self, cfg, tmp_path):
+        journal = CheckpointJournal(tmp_path, cfg)
+        assert journal.load_day(2) is None
+        assert journal.load_completed([2, 3]) == {}
+        assert journal.stats() == {
+            "recorded": 0, "resumed_days": [], "quarantined": 0,
+        }
+
+    def test_corrupt_record_quarantined_not_served(self, cfg, tmp_path):
+        run_mission(cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path)))
+        journal = CheckpointJournal(tmp_path, cfg)
+        path = journal.day_path(2)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 3] ^= 0x10
+        path.write_bytes(bytes(blob))
+        assert journal.load_day(2) is None
+        assert journal.quarantined == 1
+        assert (tmp_path / "quarantine" / path.name).exists()
+        # Day 3 is untouched and still loads.
+        restored = journal.load_completed([2, 3])
+        assert sorted(restored) == [3]
+
+
+class TestResume:
+    def test_full_resume_is_bit_identical(self, cfg, tmp_path, baseline):
+        execution = ExecutionConfig(checkpoint_dir=str(tmp_path))
+        run_mission(cfg, execution=execution)
+        resumed = run_mission(
+            cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path),
+                                           resume=True)
+        )
+        assert_bit_identical(baseline, resumed)
+        checkpoint = resumed.cache_stats["checkpoint"]
+        assert checkpoint["resumed_days"] == [2, 3]
+        # Nothing recomputed, so nothing re-journaled.
+        assert checkpoint["recorded"] == 0
+
+    def test_partial_resume_recomputes_the_rest(self, cfg, tmp_path, baseline):
+        """The crash scenario: only day 2 made it to the journal."""
+        run_mission(cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path)))
+        journal = CheckpointJournal(tmp_path, cfg)
+        journal.day_path(3).unlink()
+        resumed = run_mission(
+            cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path),
+                                           resume=True)
+        )
+        assert_bit_identical(baseline, resumed)
+        checkpoint = resumed.cache_stats["checkpoint"]
+        assert checkpoint["resumed_days"] == [2]
+        assert checkpoint["recorded"] == 1  # day 3 recomputed and journaled
+        assert CheckpointJournal(tmp_path, cfg).journaled_days() == [2, 3]
+
+    def test_corrupt_checkpoint_recomputed_bit_identical(self, cfg, tmp_path,
+                                                         baseline):
+        """A crash mid-write leaves a bad record: quarantine + recompute."""
+        run_mission(cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path)))
+        path = CheckpointJournal(tmp_path, cfg).day_path(2)
+        path.write_bytes(path.read_bytes()[:-7])
+        resumed = run_mission(
+            cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path),
+                                           resume=True)
+        )
+        assert_bit_identical(baseline, resumed)
+        checkpoint = resumed.cache_stats["checkpoint"]
+        assert checkpoint["resumed_days"] == [3]
+        assert checkpoint["quarantined"] == 1
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_resume_with_parallel_workers(self, cfg, tmp_path, baseline):
+        run_mission(cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path)))
+        CheckpointJournal(tmp_path, cfg).day_path(3).unlink()
+        resumed = run_mission(
+            cfg, execution=ExecutionConfig(n_workers=2, resume=True,
+                                           checkpoint_dir=str(tmp_path)),
+        )
+        assert_bit_identical(baseline, resumed)
+
+    def test_resume_without_resume_flag_recomputes(self, cfg, tmp_path):
+        """checkpoint_dir alone journals but never reads old state."""
+        run_mission(cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path)))
+        again = run_mission(
+            cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path))
+        )
+        checkpoint = again.cache_stats["checkpoint"]
+        assert checkpoint["resumed_days"] == []
+        assert checkpoint["recorded"] == 2
+
+    def test_custom_stack_disables_journal(self, cfg, tmp_path, baseline):
+        from repro.badges.pipeline import SensingModels
+
+        models = SensingModels.default(cfg, baseline.truth.plan)
+        result = run_mission(
+            cfg, models=models,
+            execution=ExecutionConfig(checkpoint_dir=str(tmp_path)),
+        )
+        assert result.cache_stats is None
+        assert CheckpointJournal(tmp_path, cfg).journaled_days() == []
+
+
+class TestConfig:
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ConfigError):
+            ExecutionConfig(resume=True)
+
+    def test_empty_checkpoint_dir_rejected(self):
+        with pytest.raises(ConfigError):
+            ExecutionConfig(checkpoint_dir="")
+
+    def test_checkpoint_active(self, tmp_path):
+        assert ExecutionConfig(checkpoint_dir=str(tmp_path)).checkpoint_active
+        assert not ExecutionConfig().checkpoint_active
+
+
+class TestCli:
+    def test_run_resume_mentions_restored_days(self, cfg, tmp_path, capsys):
+        from repro.__main__ import main
+
+        ckpt = str(tmp_path / "ckpt")
+        base = ["run", "--days", "3", "--seed", "5", "--no-events",
+                "--checkpoint", ckpt]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed 2 day(s) from checkpoint: 2, 3" in out

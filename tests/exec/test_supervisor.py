@@ -1,0 +1,251 @@
+"""Worker supervision: crash recovery, deadlines, bounded degradation.
+
+These tests inject real executor-level faults — workers that SIGKILL
+themselves or stall — and assert the supervisor's contract: no completed
+work is ever lost, results stay bit-identical to serial, and every
+give-up degrades to serial instead of aborting the mission.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.badges.pipeline import SensingModels
+from repro.core.config import ExecutionConfig, MissionConfig
+from repro.core.errors import ConfigError
+from repro.core.units import DAY
+from repro.crew.behavior import simulate_mission
+from repro.exec.executor import ExecutorUnavailable
+from repro.exec.supervisor import run_days_supervised
+from repro.experiments.mission import run_mission
+from repro.faults import FaultCampaign
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.localization.pipeline import Localizer
+
+from tests.exec.test_executor import assert_bit_identical
+
+FAST = ExecutionConfig(n_workers=2, retry_backoff_s=0.01)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MissionConfig(days=3, seed=5, frame_dt=5.0, events=None)
+
+
+@pytest.fixture(scope="module")
+def stack(cfg):
+    truth = simulate_mission(cfg)
+    models = SensingModels.default(cfg, truth.plan)
+    localizer = Localizer(truth.plan, models.beacons)
+    return truth, models, localizer
+
+
+@pytest.fixture(scope="module")
+def serial_result(cfg):
+    return run_mission(cfg)
+
+
+def _supervise(cfg, stack, days, execution=FAST, **kwargs):
+    truth, models, localizer = stack
+    return run_days_supervised(cfg, truth, models, localizer, days,
+                               execution, **kwargs)
+
+
+class TestHappyPath:
+    def test_no_faults_completes_all_days(self, cfg, stack):
+        outcomes = _supervise(cfg, stack, [2, 3])
+        assert sorted(outcomes) == [2, 3]
+        assert all(outcomes[d].day == d for d in outcomes)
+
+    def test_on_outcome_sees_every_day(self, cfg, stack):
+        seen = []
+        _supervise(cfg, stack, [2, 3],
+                   on_outcome=lambda o: seen.append(o.day))
+        assert sorted(seen) == [2, 3]
+
+    def test_refuses_serial_worker_count(self, cfg, stack):
+        with pytest.raises(ConfigError):
+            _supervise(cfg, stack, [2], ExecutionConfig())
+
+    def test_refuses_sensing_fault_plans(self, cfg, stack):
+        plan = FaultPlan.build(
+            FaultEvent(time_s=1.5 * DAY, action="badge-battery", target="1")
+        )
+        faulted = dataclasses.replace(cfg, fault_plan=plan)
+        with pytest.raises(ExecutorUnavailable, match="sensing-fault"):
+            _supervise(faulted, stack, [2, 3])
+
+
+class TestCrashRecovery:
+    def test_worker_crash_salvages_and_retries(self, cfg, stack):
+        harvested = []
+        outcomes = _supervise(
+            cfg, stack, [2, 3],
+            on_outcome=lambda o: harvested.append(o.day),
+            crash_days=frozenset({3}),
+        )
+        # Both days complete: day 3's injected crash broke the pool,
+        # day 2 was salvaged, and the retry computed day 3 for real.
+        assert sorted(outcomes) == [2, 3]
+        assert sorted(harvested) == [2, 3]
+
+    def test_crash_run_is_bit_identical(self, cfg, serial_result):
+        plan = FaultPlan.build(
+            FaultEvent(time_s=2.2 * DAY, action="worker-crash")  # day 3
+        )
+        assert plan.worker_crash_days() == frozenset({3})
+        faulted = dataclasses.replace(cfg, fault_plan=plan)
+        result = run_mission(faulted, execution=FAST)
+        assert_bit_identical(serial_result, result)
+
+    def test_every_day_crashing_once_still_completes(self, cfg, serial_result):
+        plan = FaultPlan.build(
+            FaultEvent(time_s=1.1 * DAY, action="worker-crash"),  # day 2
+            FaultEvent(time_s=2.1 * DAY, action="worker-crash"),  # day 3
+        )
+        faulted = dataclasses.replace(cfg, fault_plan=plan)
+        result = run_mission(faulted, execution=FAST)
+        assert_bit_identical(serial_result, result)
+
+    def test_crash_telemetry_counters(self, cfg):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            plan = FaultPlan.build(
+                FaultEvent(time_s=1.4 * DAY, action="worker-crash")
+            )
+            run_mission(dataclasses.replace(cfg, fault_plan=plan),
+                        execution=FAST)
+            snap = obs.metrics.registry.snapshot()
+            assert snap["exec.pool_respawns"]["series"][0]["value"] >= 1
+            retry_series = snap["exec.retries"]["series"]
+            assert any(s["labels"]["reason"] == "pool-broken" and s["value"] >= 1
+                       for s in retry_series)
+        finally:
+            obs.reset()
+
+
+class TestDeadlines:
+    def test_hung_worker_is_killed_and_retried(self, cfg, stack):
+        # Deadline must clear real per-day compute (~1s) plus worker
+        # startup, while staying far below the injected 60s hang.
+        execution = dataclasses.replace(FAST, day_deadline_s=8.0)
+        outcomes = _supervise(cfg, stack, [2, 3], execution,
+                              hang_days=frozenset({2}), hang_s=60.0)
+        # Injection spent after the first teardown; retry completes.
+        assert sorted(outcomes) == [2, 3]
+
+    def test_deadline_budget_exhaustion_raises(self, cfg, stack, monkeypatch):
+        # Make the *computation itself* hang every attempt by injecting
+        # the hang repeatedly: never spend the injection.
+        import repro.exec.supervisor as sup
+
+        execution = dataclasses.replace(FAST, day_deadline_s=0.2,
+                                        max_day_retries=1)
+        original = sup._spawn_pool
+
+        def always_hanging(workers, payload, crash_days, hang_days, hang_s):
+            return original(workers, payload, crash_days,
+                            frozenset({2}), 30.0)
+
+        monkeypatch.setattr(sup, "_spawn_pool", always_hanging)
+        with pytest.raises(ExecutorUnavailable, match="deadline"):
+            _supervise(cfg, stack, [2], execution)
+
+    def test_timeout_counter_increments(self, cfg, stack):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            execution = dataclasses.replace(FAST, day_deadline_s=8.0)
+            _supervise(cfg, stack, [2, 3], execution,
+                       hang_days=frozenset({3}), hang_s=60.0)
+            snap = obs.metrics.registry.snapshot()
+            assert snap["exec.timeouts"]["series"][0]["value"] >= 1
+        finally:
+            obs.reset()
+
+
+class TestBoundedDegradation:
+    def test_pool_failure_limit_raises(self, cfg, stack, monkeypatch):
+        """Consecutive no-progress pool failures give up, not loop."""
+        import repro.exec.supervisor as sup
+
+        original = sup._spawn_pool
+        spawns = []
+
+        def always_crashing(workers, payload, crash_days, hang_days, hang_s):
+            spawns.append(workers)
+            return original(workers, payload, frozenset({2}), hang_days, hang_s)
+
+        monkeypatch.setattr(sup, "_spawn_pool", always_crashing)
+        execution = dataclasses.replace(FAST, pool_failure_limit=2)
+        with pytest.raises(ExecutorUnavailable, match="consecutive"):
+            _supervise(cfg, stack, [2], execution)
+        assert len(spawns) == 2
+
+    def test_mission_degrades_to_serial_and_matches(self, cfg, serial_result,
+                                                    monkeypatch):
+        """A supervisor give-up finishes the mission serially, keeping
+        salvaged days — end result still bit-identical."""
+        import repro.experiments.mission as mission_mod
+
+        calls = {"n": 0}
+        real = mission_mod.run_days_supervised
+
+        def flaky(cfg_, truth, models, localizer, days, execution, *,
+                  on_outcome=None, **kwargs):
+            calls["n"] += 1
+            # Deliver the first day, then give up.
+            partial = real(cfg_, truth, models, localizer, days[:1],
+                           execution, on_outcome=on_outcome, **kwargs)
+            raise ExecutorUnavailable("injected give-up after partial progress")
+
+        monkeypatch.setattr(mission_mod, "run_days_supervised", flaky)
+        result = run_mission(cfg, execution=FAST)
+        assert calls["n"] == 1
+        assert_bit_identical(serial_result, result)
+
+    def test_fallback_is_signalled_not_silent(self, cfg, monkeypatch):
+        """Satellite: every serial downgrade logs + counts exec.fallback."""
+        from repro import obs
+        import repro.experiments.mission as mission_mod
+
+        def broken(*args, **kwargs):
+            raise ExecutorUnavailable("no pool for you")
+
+        monkeypatch.setattr(mission_mod, "run_days_supervised", broken)
+        obs.reset()
+        obs.enable()
+        try:
+            run_mission(cfg, execution=FAST)
+            snap = obs.metrics.registry.snapshot()
+            series = snap["exec.fallback"]["series"]
+            assert [s["labels"]["reason"] for s in series] == [
+                "executor-unavailable"
+            ]
+            records = [r for r in obs.logging.buffer.records
+                       if r.event == "parallel-fallback"]
+            assert records and records[0].fields["reason"] == "executor-unavailable"
+        finally:
+            obs.reset()
+
+    def test_sensing_fault_fallback_reason(self, monkeypatch):
+        from repro import obs
+
+        plan = FaultCampaign.reference(days=3, seed=1).generate()
+        cfg = MissionConfig(days=3, seed=5, frame_dt=5.0, events=None,
+                            fault_plan=plan)
+        obs.reset()
+        obs.enable()
+        try:
+            run_mission(cfg, execution=FAST)
+            series = obs.metrics.registry.snapshot()["exec.fallback"]["series"]
+            assert [s["labels"]["reason"] for s in series] == [
+                "sensing-fault-plan"
+            ]
+        finally:
+            obs.reset()

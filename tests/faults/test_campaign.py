@@ -88,3 +88,43 @@ class TestValidation:
     def test_negative_counts_rejected(self):
         with pytest.raises(ConfigError):
             FaultCampaign(battery_depletions=-1)
+
+
+class TestWorkerCrashes:
+    def test_generated_and_bounded_by_horizon(self):
+        camp = dataclasses.replace(
+            FaultCampaign.reference(days=5, seed=4), worker_crashes=3
+        )
+        plan = camp.generate()
+        crashes = plan.exec_events()
+        assert len(crashes) == 3
+        assert all(e.action == "worker-crash" for e in crashes)
+        assert all(0.0 <= e.time_s < 5 * DAY for e in crashes)
+        assert plan.worker_crash_days() <= set(range(1, 6))
+
+    def test_adding_crashes_keeps_existing_plan_byte_stable(self):
+        """worker-crash draws come last: a campaign extended with them
+        reproduces its historical bus/sensing events exactly."""
+        base = FaultCampaign.reference(days=7, seed=11)
+        extended = dataclasses.replace(base, worker_crashes=4)
+        plain = base.generate().events
+        with_crashes = [e for e in extended.generate().events
+                        if e.action != "worker-crash"]
+        assert list(plain) == with_crashes
+
+    def test_exec_events_never_count_as_sensing(self):
+        camp = FaultCampaign(
+            seed=0, horizon_s=3 * DAY,
+            crashes_per_day=0.0, flaps_per_day=0.0, lossy_windows_per_day=0.0,
+            blackouts_per_day=0.0, beacon_outages_per_day=0.0,
+            battery_depletions=0, sdcard_exhaustions=0, worker_crashes=2,
+        )
+        plan = camp.generate()
+        assert not plan.sensing_events()
+        assert not plan.bus_events()
+        assert len(plan.exec_events()) == 2
+        assert not plan.is_empty()
+
+    def test_negative_worker_crashes_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultCampaign(worker_crashes=-1)

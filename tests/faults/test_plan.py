@@ -160,3 +160,27 @@ class TestMissionConfigIntegration:
     def test_config_stays_hashable(self):
         plan = FaultPlan.build(FaultEvent(time_s=0.0, action="blackout"))
         assert isinstance(hash(MissionConfig(days=2, fault_plan=plan)), int)
+
+
+class TestExecFaults:
+    def test_worker_crash_needs_no_target(self):
+        FaultEvent(time_s=0.0, action="worker-crash").validate()
+
+    def test_worker_crash_days_maps_time_to_day(self):
+        plan = FaultPlan.build(
+            FaultEvent(time_s=0.0, action="worker-crash"),          # day 1
+            FaultEvent(time_s=1.5 * DAY, action="worker-crash"),    # day 2
+            FaultEvent(time_s=2.999 * DAY, action="worker-crash"),  # day 3
+        )
+        assert plan.worker_crash_days() == frozenset({1, 2, 3})
+        assert len(plan.exec_events()) == 3
+
+    def test_exec_events_excluded_from_bus_and_sensing(self):
+        plan = FaultPlan.build(
+            FaultEvent(time_s=DAY, action="worker-crash"),
+            FaultEvent(time_s=DAY, action="blackout", duration_s=HOUR),
+            FaultEvent(time_s=DAY, action="badge-battery", target="1"),
+        )
+        assert {e.action for e in plan.bus_events()} == {"blackout"}
+        assert {e.action for e in plan.sensing_events()} == {"badge-battery"}
+        assert {e.action for e in plan.exec_events()} == {"worker-crash"}

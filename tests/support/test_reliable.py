@@ -249,3 +249,130 @@ class TestStats:
         letter = DeadLetter("a#0", "b", "job", None, 3, 0.0, 9.0, "max-attempts")
         with pytest.raises(AttributeError):
             letter.reason = "other"
+
+
+class TestDeadLetterRequeue:
+    """Operator-driven DLQ drain: ``Node.requeue_dead_letters``."""
+
+    def test_empty_queue_is_a_noop(self):
+        sim, network, a, b = make_net()
+        assert a.requeue_dead_letters() == 0
+        assert a.dead_letters == []
+
+    def test_requeue_delivers_in_dead_letter_order(self):
+        """FIFO drain: messages are re-sent in dead-lettering order
+        (jittered retry timers mean that is not always send order)."""
+        sim, network, a, b = make_net()
+        network.crash("b")
+        for k in range(5):
+            a.send_reliable("b", "job", k, max_attempts=2)
+        sim.run()
+        dlq_order = [letter.payload for letter in a.dead_letters]
+        assert sorted(dlq_order) == [0, 1, 2, 3, 4]
+        network.recover("b")
+        # The default destination breaker opened during the outage.
+        # After its cooldown the half-open state admits exactly one
+        # probe, so a full drain is two requeue calls: probe + rest.
+        requeued = []
+        sim.schedule_at(sim.now + 1000.0,
+                        lambda: requeued.append(a.requeue_dead_letters()))
+        sim.run()  # probe delivered and acked -> breaker closes
+        requeued.append(a.requeue_dead_letters())
+        sim.run()
+        assert requeued == [1, 4]
+        assert a.dead_letters == []
+        assert b.handled == dlq_order
+
+    def test_requeue_preserves_accounting_invariant(self):
+        sim, network, a, b = make_net()
+        network.crash("b")
+        for k in range(4):
+            a.send_reliable("b", "job", k, max_attempts=2)
+        sim.run()
+        network.recover("b")
+        sim.schedule_at(sim.now + 1000.0, a.requeue_dead_letters)
+        sim.run()  # breaker probe succeeds
+        a.requeue_dead_letters()
+        sim.run()
+        stats = a.reliable
+        # Each requeue counts as a fresh send, so the ledger still closes.
+        assert stats.sent["job"] == 8
+        assert stats.acked.get("job", 0) + stats.dead.get("job", 0) == 8
+        assert a.reliable_pending() == 0
+
+    def test_open_breaker_defers_requeue_until_cooldown(self):
+        sim, network, a, b = make_net()
+        a.configure_breaker("b", failure_threshold=1, cooldown_s=5.0)
+        network.crash("b")
+        a.send_reliable("b", "job", 1, max_attempts=1)
+        sim.run()
+        assert a._breakers["b"].state == "open"
+        assert len(a.dead_letters) == 1
+        # Still cooling down: the letter stays queued for a later drain.
+        assert a.requeue_dead_letters() == 0
+        assert len(a.dead_letters) == 1
+        network.recover("b")
+        results = []
+        sim.schedule_at(10.0, lambda: results.append(a.requeue_dead_letters()))
+        sim.run()
+        assert results == [1]
+        assert b.handled == [1]
+        assert a._breakers["b"].state == "closed"
+        assert a.dead_letters == []
+
+    def test_requeue_dedups_when_only_the_ack_was_lost(self):
+        """The receiver handled the message; only acks died.  The requeue
+        reuses the original msg_id, so dispatch stays exactly-once."""
+        sim, network, a, b = make_net()
+        network.partition("b", "a", bidirectional=False)  # acks blocked
+        a.send_reliable("b", "job", 42, max_attempts=2)
+        sim.run()
+        assert b.handled == [42]  # handled despite the dead-lettering
+        assert a.dead_letters[0].reason == "max-attempts"
+        network.heal("b", "a", bidirectional=False)
+        assert a.requeue_dead_letters() == 1
+        sim.run()
+        assert b.handled == [42]  # NOT handled twice
+        assert b.duplicates_suppressed >= 1
+        assert a.reliable.acked.get("job", 0) == 1
+        assert a.reliable_pending() == 0
+
+    def test_requeued_message_can_dead_letter_again(self):
+        sim, network, a, b = make_net()
+        network.crash("b")
+        a.send_reliable("b", "job", 1, max_attempts=1)
+        sim.run()
+        assert len(a.dead_letters) == 1
+        assert a.requeue_dead_letters(max_attempts=2) == 1
+        sim.run()
+        assert len(a.dead_letters) == 1
+        assert a.dead_letters[0].attempts == 2
+
+    def test_validation(self):
+        sim, network, a, b = make_net()
+        with pytest.raises(ConfigError):
+            a.requeue_dead_letters(max_attempts=0)
+        from repro.core.errors import ProtocolError
+        from repro.core.engine import Simulator
+
+        lone = Node("lone", Simulator())
+        with pytest.raises(ProtocolError):
+            lone.requeue_dead_letters()
+
+    def test_requeue_counter_and_gauge(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            sim, network, a, b = make_net()
+            network.crash("b")
+            a.send_reliable("b", "job", 1, max_attempts=1)
+            sim.run()
+            network.recover("b")
+            a.requeue_dead_letters()
+            snap = obs.metrics.registry.snapshot()
+            requeued = snap["bus.reliable.requeued"]["series"]
+            assert requeued == [{"labels": {"kind": "job"}, "value": 1.0}]
+        finally:
+            obs.reset()
