@@ -7,6 +7,7 @@ Commands:
     analyze    re-run all analyses on a previously saved dataset
     telemetry  run a short instrumented mission, print the telemetry report
     faults     run a faulted mission under a seeded chaos campaign
+    quality    run a data-corruption campaign and print the quality report
 """
 
 from __future__ import annotations
@@ -44,6 +45,12 @@ def _add_mission_args(parser: argparse.ArgumentParser) -> None:
                              "journal and execute only the remainder "
                              "(requires --checkpoint; bit-identical to an "
                              "uninterrupted run)")
+    parser.add_argument("--quality", default="auto",
+                        choices=("auto", "off", "gate", "strict"),
+                        help="validating ingest gate: 'auto' (default) gates "
+                             "only when the fault plan corrupts data, 'gate' "
+                             "always, 'strict' raises on quarantines, 'off' "
+                             "never")
 
 
 def _config(args: argparse.Namespace) -> MissionConfig:
@@ -60,7 +67,8 @@ def _execution(args: argparse.Namespace) -> ExecutionConfig:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = run_mission(_config(args), execution=_execution(args))
+    result = run_mission(_config(args), execution=_execution(args),
+                         quality=args.quality)
     checkpoint = (result.cache_stats or {}).get("checkpoint")
     if checkpoint is not None and checkpoint["resumed_days"]:
         days = ", ".join(str(d) for d in checkpoint["resumed_days"])
@@ -81,8 +89,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
         format_fig2, format_fig3, format_fig5, format_series,
     )
 
-    result = run_mission(_config(args), execution=_execution(args))
-    print("=== Figure 2 ===");  print(format_fig2(*fig2(result)))
+    result = run_mission(_config(args), execution=_execution(args),
+                         quality=args.quality)
+    data2 = fig2(result)
+    print("=== Figure 2 ===")
+    print(format_fig2(*data2, coverage=getattr(data2, "coverage", 1.0)))
     print("\n=== Figure 3 ==="); print(format_fig3(fig3(result, "A")))
     print("\n=== Figure 4 ==="); print(format_series(fig4(result)))
     print("\n=== Figure 5 ==="); print(format_fig5(result, fig5(result)))
@@ -93,7 +104,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_save(args: argparse.Namespace) -> int:
     from repro.analytics.dataset_io import save_sensing
 
-    result = run_mission(_config(args), execution=_execution(args))
+    result = run_mission(_config(args), execution=_execution(args),
+                         quality=args.quality)
     save_sensing(result.sensing, args.path)
     print(f"saved {len(result.sensing.summaries)} badge-days to {args.path}")
     return 0
@@ -103,10 +115,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analytics.dataset_io import load_sensing
     from repro.analytics.reports import deployment_stats, table1
 
-    sensing = load_sensing(args.path)
-    print(table1(sensing))
+    sensing = load_sensing(args.path, quality=args.gate)
+    if sensing.quality is not None and not sensing.quality.all_ok:
+        print(sensing.quality.to_text())
+        print()
+    print(table1(sensing).to_text())
     print()
-    print(deployment_stats(sensing))
+    print(deployment_stats(sensing).to_text())
     return 0
 
 
@@ -119,7 +134,8 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     obs.enable()
     obs.logging.buffer.echo = args.echo_logs
     try:
-        result = run_mission(_config(args), execution=_execution(args))
+        result = run_mission(_config(args), execution=_execution(args),
+                             quality=args.quality)
         print(result.telemetry.to_text())
         if args.json:
             print()
@@ -143,10 +159,14 @@ def cmd_faults(args: argparse.Namespace) -> int:
     plan = campaign.generate()
     cfg = dataclasses.replace(cfg, fault_plan=plan)
     print(f"campaign seed {args.campaign_seed}: {len(plan.events)} fault events "
-          f"({len(plan.bus_events())} bus, {len(plan.sensing_events())} sensing)")
-    result = run_mission(cfg, execution=_execution(args))
+          f"({len(plan.bus_events())} bus, {len(plan.sensing_events())} sensing, "
+          f"{len(plan.data_events())} data)")
+    result = run_mission(cfg, execution=_execution(args), quality=args.quality)
     print()
     print(result.reliability.to_text())
+    if result.quality is not None:
+        print()
+        print(result.quality.to_text())
     print()
     print(f"badge-days sensed: {len(result.sensing.summaries)}, "
           f"SD-card total: {result.sdcard.total_gib():.1f} GiB, "
@@ -154,6 +174,35 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.json:
         print()
         print(json.dumps(result.reliability.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_quality(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.faults import FaultCampaign
+
+    cfg = _config(args)
+    if args.clean:
+        mode = "gate"
+    else:
+        # Target the primary badges: backups mostly carry no data, so
+        # corrupting them would be a silent no-op.
+        campaign = FaultCampaign.corruption(
+            days=cfg.days, seed=args.campaign_seed, n_badges=cfg.crew_size,
+        )
+        plan = campaign.generate()
+        cfg = dataclasses.replace(cfg, fault_plan=plan)
+        mode = args.quality if args.quality != "off" else "gate"
+        print(f"corruption campaign seed {args.campaign_seed}: "
+              f"{len(plan.data_events())} data-corruption events")
+        print()
+    result = run_mission(cfg, execution=_execution(args), quality=mode)
+    print(result.quality.to_text())
+    if args.json:
+        print()
+        print(result.quality.to_json())
     return 0
 
 
@@ -203,7 +252,26 @@ def main(argv: list[str] | None = None) -> int:
 
     p_an = sub.add_parser("analyze", help="analyze a saved dataset")
     p_an.add_argument("path", help="directory written by 'save'")
+    p_an.add_argument("--gate", default="gate",
+                      choices=("off", "gate", "strict"),
+                      help="ingest gate for the loaded dataset "
+                           "(default: gate)")
     p_an.set_defaults(func=cmd_analyze)
+
+    p_q = sub.add_parser(
+        "quality",
+        help="run a data-corruption campaign, print the quality report",
+    )
+    _add_mission_args(p_q)
+    p_q.set_defaults(days=3)  # short mission by default; --days overrides
+    p_q.add_argument("--campaign-seed", type=int, default=0,
+                     help="seed of the randomized corruption campaign")
+    p_q.add_argument("--clean", action="store_true",
+                     help="no corruption: gate the pristine dataset instead "
+                          "(every verdict should be 'ok')")
+    p_q.add_argument("--json", action="store_true",
+                     help="also dump the quality report as canonical JSON")
+    p_q.set_defaults(func=cmd_quality)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -9,6 +9,12 @@ pairwise interaction times, and the centrality measures of Table I.
 """
 
 from repro.analytics.centrality import CentralityResult, company_and_authority, hits_authority
+from repro.analytics.coverage import (
+    CoveredDict,
+    CoveredList,
+    CoveredTuple,
+    dataset_coverage,
+)
 from repro.analytics.dataset import BadgeDaySummary, MissionSensing
 from repro.analytics.interactions import pair_copresence_seconds, pairwise_matrix
 from repro.analytics.meetings import Meeting, detect_meetings
@@ -22,10 +28,14 @@ from repro.analytics.walking import daily_walking_fraction, walking_mask
 __all__ = [
     "BadgeDaySummary",
     "CentralityResult",
+    "CoveredDict",
+    "CoveredList",
+    "CoveredTuple",
     "DeploymentStats",
     "Meeting",
     "MissionSensing",
     "company_and_authority",
+    "dataset_coverage",
     "daily_speech_fraction",
     "daily_walking_fraction",
     "day_timeline",

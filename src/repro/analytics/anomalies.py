@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredDict, CoveredList, dataset_coverage
 from repro.analytics.dataset import MissionSensing
 from repro.analytics.meetings import Meeting, detect_meetings
 from repro.analytics.speech import MACHINE_STABILITY, daily_speech_fraction
@@ -52,7 +53,7 @@ def unplanned_gatherings(
     if min_participants is None:
         min_participants = max(2, len(sensing.badges_on(day)) - 1)
     meetings = detect_meetings(sensing, day, min_participants=min_participants)
-    out = []
+    out = CoveredList(coverage=getattr(meetings, "coverage", 1.0))
     for meeting in meetings:
         mid = (meeting.t0 + meeting.t1) / 2.0
         if not any(lo - 60 <= mid <= hi + 60 for lo, hi in scheduled_windows):
@@ -69,16 +70,23 @@ def quiet_days(
     below ``threshold * trend`` are flagged (famine and reprimand days).
     """
     per_astro = daily_speech_fraction(sensing, corrected)
+    coverage = dataset_coverage(sensing)
     days = sensing.days
     means = []
     for day in days:
-        values = [series[day] for series in per_astro.values() if day in series]
+        values = [
+            series[day] for series in per_astro.values()
+            if day in series and np.isfinite(series[day])
+        ]
         means.append(float(np.mean(values)) if values else 0.0)
     if len(days) < 3:
-        return []
+        return CoveredList(coverage=coverage)
     coeffs = np.polyfit(days, means, deg=1)
     trend = np.polyval(coeffs, days)
-    return [day for day, m, t in zip(days, means, trend) if t > 0 and m < threshold * t]
+    return CoveredList(
+        [day for day, m, t in zip(days, means, trend) if t > 0 and m < threshold * t],
+        coverage=coverage,
+    )
 
 
 def badge_swap_suspicions(
@@ -91,7 +99,7 @@ def badge_swap_suspicions(
     voice at point-blank range, and vice versa.
     """
     roster = sensing.assignment.roster
-    suspicions: list[SwapSuspicion] = []
+    suspicions: CoveredList = CoveredList(coverage=dataset_coverage(sensing))
     for (badge_id, day), summary in sorted(sensing.summaries.items()):
         astro = sensing.wearer_of(badge_id, day, corrected)
         if astro is None:
@@ -107,7 +115,11 @@ def badge_swap_suspicions(
         )
         if int(own.sum()) < MIN_OWN_SPEECH_FRAMES:
             continue
-        median_pitch = float(np.median(summary.dominant_pitch_hz[own]))
+        pitches = summary.dominant_pitch_hz[own]
+        pitches = pitches[np.isfinite(pitches)]
+        if pitches.size == 0:
+            continue
+        median_pitch = float(np.median(pitches))
         observed_sex = "f" if median_pitch >= PITCH_SEX_BOUNDARY_HZ else "m"
         if observed_sex != profile.sex:
             suspicions.append(
@@ -126,7 +138,7 @@ def machine_speech_share(sensing: MissionSensing) -> dict[tuple[int, int], float
     High values mark the badge of the impaired astronaut whose screen
     reader narrates their work.
     """
-    out: dict[tuple[int, int], float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for key, summary in sensing.summaries.items():
         loud = (
             summary.active

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.coverage import dataset_coverage
 from repro.analytics.dataset import MissionSensing
 from repro.analytics.interactions import company_seconds, pair_copresence_seconds, pairwise_matrix
 from repro.core.errors import DataError
@@ -64,6 +65,16 @@ class CentralityResult:
     company_s: dict[str, float]
     company_norm: dict[str, float | None]
     authority_norm: dict[str, float | None]
+    #: Usable-data fraction behind these scores (quality-gate verdicts).
+    coverage: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "company_s": dict(self.company_s),
+            "company_norm": dict(self.company_norm),
+            "authority_norm": dict(self.authority_norm),
+            "coverage": self.coverage,
+        }
 
 
 def company_and_authority(
@@ -103,4 +114,5 @@ def company_and_authority(
         company_s={a: company.get(a, 0.0) for a in ids},
         company_norm=normalize({a: company.get(a, 0.0) for a in ids}),
         authority_norm=normalize(authority_by_astro),
+        coverage=dataset_coverage(sensing),
     )

@@ -1,0 +1,61 @@
+"""Coverage plumbing for the analytics layer.
+
+Every analysis result can carry a ``coverage`` attribute: the fraction
+of the expected badge-day frames that actually contributed, as judged by
+the :mod:`repro.quality` gate.  An ungated dataset (``sensing.quality is
+None``) is assumed complete — coverage 1.0 — so the attribute is free
+for the clean path and only drops below 1 when the gate found damage.
+
+The carriers are thin ``dict`` / ``list`` / ``tuple`` subclasses, so
+results compare equal to (and unpack like) their plain counterparts:
+``names, counts = transition_matrix(sensing)`` keeps working, and a
+``CoveredDict`` still ``==`` the plain dict with the same items.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.dataset import MissionSensing
+
+
+def dataset_coverage(sensing: MissionSensing, day: int | None = None) -> float:
+    """Usable-data fraction of a (gated) dataset, per the quality report.
+
+    Excludes the reference badge — it records around the clock by design
+    and would dilute crew coverage.  Returns 1.0 for ungated datasets.
+    """
+    if sensing.quality is None:
+        return 1.0
+    return sensing.quality.coverage(
+        day=day, exclude_badges=(sensing.assignment.reference_id,)
+    )
+
+
+class CoveredDict(dict):
+    """A dict result that knows how much data backed it."""
+
+    coverage: float = 1.0
+
+    def __init__(self, *args, coverage: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.coverage = float(coverage)
+
+
+class CoveredList(list):
+    """A list result that knows how much data backed it."""
+
+    coverage: float = 1.0
+
+    def __init__(self, *args, coverage: float = 1.0):
+        super().__init__(*args)
+        self.coverage = float(coverage)
+
+
+class CoveredTuple(tuple):
+    """A tuple result (e.g. ``(names, counts)``) carrying coverage."""
+
+    coverage: float = 1.0
+
+    def __new__(cls, items, coverage: float = 1.0):
+        self = super().__new__(cls, items)
+        self.coverage = float(coverage)
+        return self

@@ -10,6 +10,7 @@ astronauts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -19,6 +20,9 @@ from repro.core.config import MissionConfig
 from repro.core.errors import DataError
 from repro.habitat.floorplan import FloorPlan
 from repro.localization.pipeline import LocalizationResult
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.quality
+    from repro.quality.report import DataQualityReport
 
 
 @dataclass
@@ -86,6 +90,10 @@ class MissionSensing:
     assignment: BadgeAssignment
     summaries: dict[tuple[int, int], BadgeDaySummary] = field(default_factory=dict)
     pairwise: dict[int, PairwiseDay] = field(default_factory=dict)
+    #: Set by the quality gate when this dataset has been validated; the
+    #: analytics layer reads coverage fractions from it.  ``None`` means
+    #: the dataset was never gated (assumed complete).
+    quality: Optional["DataQualityReport"] = None
 
     @property
     def days(self) -> list[int]:
@@ -126,9 +134,17 @@ class MissionSensing:
         return mapping.get(badge_id)
 
     def room_estimate_matrix(self, day: int) -> tuple[list[int], np.ndarray]:
-        """``(badge_ids, (badges, frames) room matrix)`` for a day."""
+        """``(badge_ids, (badges, frames) room matrix)`` for a day.
+
+        Tolerates dirty datasets: a day with no badges yields an empty
+        ``(0, 0)`` matrix, and ragged badge-days (possible only when an
+        ungated corrupt dataset is analyzed directly) are trimmed to the
+        shortest stream rather than crashing ``np.vstack``.
+        """
         badges = self.badges_on(day)
         if not badges:
-            raise DataError(f"no badges on day {day}")
-        matrix = np.vstack([self.summary(b, day).room for b in badges])
+            return [], np.zeros((0, 0), dtype=np.int8)
+        rooms = [self.summary(b, day).room for b in badges]
+        shortest = min(r.shape[0] for r in rooms)
+        matrix = np.vstack([r[:shortest] for r in rooms])
         return badges, matrix

@@ -5,6 +5,14 @@ A full mission simulation takes minutes; the analyses take seconds.
 through a :class:`~repro.core.storage.DataStore` directory so the
 expensive step can be cached between analysis sessions (the real
 deployment's equivalent was pulling the SD cards once).
+
+Saved datasets ride inside the :mod:`repro.exec.integrity` artifact
+envelope: the write is atomic, the payload is checksum-verified on
+every load, and a store that fails verification is quarantined next to
+itself — never silently served.  Directories written by older versions
+(plain ``.npz`` files + ``meta.json``) still load.  On load the data is
+additionally routed through the :mod:`repro.quality` ingest gate unless
+the caller opts out.
 """
 
 from __future__ import annotations
@@ -17,9 +25,22 @@ from repro.analytics.dataset import BadgeDaySummary, MissionSensing
 from repro.badges.assignment import BadgeAssignment
 from repro.badges.pipeline import PairwiseDay
 from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.core.errors import ConfigError, DataError
 from repro.core.storage import DataStore
 from repro.crew.roster import icares_roster
+from repro.exec.integrity import (
+    ArtifactError,
+    quarantine,
+    read_artifact,
+    write_artifact,
+)
 from repro.habitat.floorplan import lunares_floorplan
+from repro.quality.gate import gate_sensing
+
+#: Single-file artifact a saved dataset lives in (integrity envelope).
+ARTIFACT_NAME = "sensing.artifact"
+#: Envelope schema version for saved sensing datasets.
+SENSING_SCHEMA = 1
 
 _SUMMARY_ARRAYS = (
     "active", "worn", "room", "x", "y", "accel_rms", "voice_db",
@@ -100,10 +121,54 @@ def store_to_sensing(store: DataStore) -> MissionSensing:
 
 
 def save_sensing(sensing: MissionSensing, path: str | Path) -> None:
-    """Write a sensing dataset to a directory."""
-    sensing_to_store(sensing).save_dir(path)
+    """Write a sensing dataset to a directory.
+
+    The store is persisted as a single checksummed artifact
+    (atomic temp-file + rename write; verified byte-for-byte on load).
+    """
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    payload = sensing_to_store(sensing).to_payload()
+    write_artifact(root / ARTIFACT_NAME, payload, SENSING_SCHEMA)
 
 
-def load_sensing(path: str | Path) -> MissionSensing:
-    """Read a sensing dataset previously written by :func:`save_sensing`."""
-    return store_to_sensing(DataStore.load_dir(path))
+def load_sensing(path: str | Path, quality: str = "gate") -> MissionSensing:
+    """Read a sensing dataset previously written by :func:`save_sensing`.
+
+    The artifact's checksum is verified before anything is unpickled; a
+    store that fails verification is moved to a ``quarantine/`` sibling
+    and a :class:`~repro.core.errors.DataError` raised — corrupt bytes
+    are never served.  Directories from older versions (``.npz`` files
+    + ``meta.json``) load through the legacy path.
+
+    Args:
+        path: directory written by :func:`save_sensing`.
+        quality: ``"gate"`` (default) routes the loaded data through the
+            validating ingest gate (repairing / quarantining bad
+            badge-days and attaching a
+            :class:`~repro.quality.report.DataQualityReport`);
+            ``"strict"`` additionally raises if any badge-day is
+            quarantined; ``"off"`` serves the bytes exactly as stored.
+    """
+    if quality not in ("off", "gate", "strict"):
+        raise ConfigError(
+            f"quality must be one of off/gate/strict, got {quality!r}")
+    root = Path(path)
+    artifact = root / ARTIFACT_NAME
+    if artifact.exists():
+        try:
+            payload = read_artifact(artifact, SENSING_SCHEMA)
+        except ArtifactError as exc:
+            quarantine(artifact, root, store="sensing")
+            raise DataError(
+                f"saved dataset at {root} failed integrity verification "
+                f"({exc}); the store was quarantined"
+            ) from exc
+        store = DataStore.from_payload(payload)
+    else:  # legacy directory layout (pre-envelope)
+        store = DataStore.load_dir(path)
+    sensing = store_to_sensing(store)
+    if quality == "off":
+        return sensing
+    gated, _report = gate_sensing(sensing, strict=(quality == "strict"))
+    return gated

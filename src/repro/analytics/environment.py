@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredDict, CoveredList, dataset_coverage
 from repro.analytics.dataset import MissionSensing
 
 
@@ -43,8 +44,17 @@ def room_temperatures_from_observations(
 
 
 def warmest_room(temperatures: dict[str, float]) -> str:
-    """The room the crew would call cosiest (paper: the kitchen)."""
-    return max(temperatures, key=temperatures.get)
+    """The room the crew would call cosiest (paper: the kitchen).
+
+    An empty or all-NaN temperature map (no usable climate readings)
+    yields ``""`` rather than a crash.
+    """
+    usable = {
+        room: temp for room, temp in temperatures.items() if np.isfinite(temp)
+    }
+    if not usable:
+        return ""
+    return max(usable, key=usable.get)
 
 
 def daily_ambient_noise(sensing: MissionSensing, corrected: bool = True) -> dict[int, float]:
@@ -59,16 +69,27 @@ def daily_ambient_noise(sensing: MissionSensing, corrected: bool = True) -> dict
         if badge_id == sensing.assignment.reference_id:
             continue
         voice = np.nan_to_num(summary.voice_db, nan=-np.inf)
-        quiet = summary.active & (voice < 55.0) & ~np.isnan(summary.sound_db)
+        quiet = (
+            summary.active & (voice < 55.0)
+            & np.isfinite(summary.sound_db)
+        )
         if quiet.any():
-            by_day.setdefault(day, []).append(float(np.median(summary.sound_db[quiet])))
-    return {day: float(np.median(v)) for day, v in sorted(by_day.items())}
+            level = float(np.median(summary.sound_db[quiet]))
+            if np.isfinite(level):
+                by_day.setdefault(day, []).append(level)
+    return CoveredDict(
+        {day: float(np.median(v)) for day, v in sorted(by_day.items())},
+        coverage=dataset_coverage(sensing),
+    )
 
 
 def quiet_noise_days(sensing: MissionSensing, margin_db: float = 1.0) -> list[int]:
     """Days whose ambient noise sits ``margin_db`` below the mission median."""
     noise = daily_ambient_noise(sensing)
     if len(noise) < 3:
-        return []
+        return CoveredList(coverage=getattr(noise, "coverage", 1.0))
     baseline = float(np.median(list(noise.values())))
-    return [day for day, level in noise.items() if level < baseline - margin_db]
+    return CoveredList(
+        [day for day, level in noise.items() if level < baseline - margin_db],
+        coverage=getattr(noise, "coverage", 1.0),
+    )

@@ -12,16 +12,28 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredDict, dataset_coverage
 from repro.analytics.dataset import MissionSensing
 from repro.analytics.speech import loud_voice_mask
 
 
 def _located_matrix(sensing: MissionSensing, day: int) -> tuple[list[int], np.ndarray]:
     """Room matrix with unworn badges masked out (a badge on a desk does
-    not testify to its owner's whereabouts)."""
+    not testify to its owner's whereabouts).  Empty on dataless days."""
     badges, rooms = sensing.room_estimate_matrix(day)
-    worn = np.vstack([sensing.summary(b, day).worn for b in badges])
+    if not badges:
+        return badges, rooms
+    worn = np.vstack(
+        [sensing.summary(b, day).worn[: rooms.shape[1]] for b in badges]
+    )
     return badges, np.where(worn, rooms, -1)
+
+
+def _loud_matrix(sensing: MissionSensing, day: int, badges: list[int],
+                 n_frames: int) -> np.ndarray:
+    return np.vstack(
+        [loud_voice_mask(sensing.summary(b, day))[:n_frames] for b in badges]
+    )
 
 
 def company_seconds(sensing: MissionSensing, corrected: bool = True) -> dict[str, float]:
@@ -30,9 +42,11 @@ def company_seconds(sensing: MissionSensing, corrected: bool = True) -> dict[str
     A frame counts when the astronaut's badge is worn, localized, and at
     least one other worn badge shares the room.
     """
-    out: dict[str, float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for day in sensing.days:
         badges, located = _located_matrix(sensing, day)
+        if not badges:
+            continue
         dt = sensing.summary(badges[0], day).dt
         for i, badge_id in enumerate(badges):
             astro = sensing.wearer_of(badge_id, day, corrected)
@@ -49,9 +63,11 @@ def pair_copresence_seconds(
     sensing: MissionSensing, corrected: bool = True
 ) -> dict[tuple[str, str], float]:
     """Same-room seconds per astronaut pair, mission-wide."""
-    out: dict[tuple[str, str], float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for day in sensing.days:
         badges, located = _located_matrix(sensing, day)
+        if not badges:
+            continue
         dt = sensing.summary(badges[0], day).dt
         for i, j in combinations(range(len(badges)), 2):
             a = sensing.wearer_of(badges[i], day, corrected)
@@ -72,11 +88,13 @@ def private_talk_seconds(
     Frames where exactly those two worn badges share a room and at least
     one of them detects loud (human) voice.
     """
-    out: dict[tuple[str, str], float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for day in sensing.days:
         badges, located = _located_matrix(sensing, day)
+        if not badges:
+            continue
         dt = sensing.summary(badges[0], day).dt
-        loud = np.vstack([loud_voice_mask(sensing.summary(b, day)) for b in badges])
+        loud = _loud_matrix(sensing, day, badges, located.shape[1])
         for i, j in combinations(range(len(badges)), 2):
             a = sensing.wearer_of(badges[i], day, corrected)
             b = sensing.wearer_of(badges[j], day, corrected)
@@ -101,11 +119,13 @@ def pair_meeting_seconds(
     Co-presence frames during which someone nearby is audibly speaking —
     private chats and group meetings alike.
     """
-    out: dict[tuple[str, str], float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for day in sensing.days:
         badges, located = _located_matrix(sensing, day)
+        if not badges:
+            continue
         dt = sensing.summary(badges[0], day).dt
-        loud = np.vstack([loud_voice_mask(sensing.summary(b, day)) for b in badges])
+        loud = _loud_matrix(sensing, day, badges, located.shape[1])
         for i, j in combinations(range(len(badges)), 2):
             a = sensing.wearer_of(badges[i], day, corrected)
             b = sensing.wearer_of(badges[j], day, corrected)
@@ -122,7 +142,7 @@ def ir_contact_seconds(
     sensing: MissionSensing, corrected: bool = True
 ) -> dict[tuple[str, str], float]:
     """Face-to-face seconds per pair from the IR transceivers."""
-    out: dict[tuple[str, str], float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for day, pairwise in sensing.pairwise.items():
         for (bi, bj), contact in pairwise.ir_contact.items():
             a = sensing.wearer_of(bi, day, corrected)
@@ -130,7 +150,10 @@ def ir_contact_seconds(
             if a is None or b is None or a == b:
                 continue
             key = tuple(sorted((a, b)))
-            dt = sensing.summary(bi, day).dt
+            # The stream may outlive its badge-day summary (quarantine);
+            # the frame period is a config constant either way.
+            summary = sensing.summaries.get((bi, day))
+            dt = summary.dt if summary is not None else sensing.cfg.frame_dt
             out[key] = out.get(key, 0.0) + float(contact.sum()) * dt
     return out
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredList, dataset_coverage
 from repro.analytics.dataset import MissionSensing
 from repro.analytics.speech import loud_voice_mask
 
@@ -60,9 +61,20 @@ def detect_meetings(
     min_duration_s: float = MIN_MEETING_S,
     gap_tolerance_s: float = GAP_TOLERANCE_S,
 ) -> list[Meeting]:
-    """Detect meetings on one day from room estimates plus speech."""
+    """Detect meetings on one day from room estimates plus speech.
+
+    A day without any badge data yields an empty result (coverage
+    reflects what the quality gate knows about the day) instead of
+    crashing — quarantined days simply have no meetings to report.
+    """
+    coverage = dataset_coverage(sensing, day)
     badges, rooms = sensing.room_estimate_matrix(day)
-    worn = np.vstack([sensing.summary(b, day).worn for b in badges])
+    if not badges:
+        return CoveredList(coverage=coverage)
+    n_frames = rooms.shape[1]
+    worn = np.vstack(
+        [sensing.summary(b, day).worn[:n_frames] for b in badges]
+    )
     located = np.where(worn, rooms, -1)
     dt = sensing.summary(badges[0], day).dt
     t0 = sensing.summary(badges[0], day).t0
@@ -93,7 +105,7 @@ def detect_meetings(
                 )
             )
     meetings.sort(key=lambda m: (m.t0, m.room))
-    return meetings
+    return CoveredList(meetings, coverage=coverage)
 
 
 def _meeting_speech(
@@ -103,15 +115,22 @@ def _meeting_speech(
     loud_any = None
     levels = []
     for badge_id in participants:
-        summary = sensing.summary(badge_id, day)
+        summary = sensing.summaries.get((badge_id, day))
+        if summary is None:
+            continue
         loud = loud_voice_mask(summary)[s:e]
-        loud_any = loud if loud_any is None else (loud_any | loud)
+        if loud_any is None:
+            loud_any = loud
+        elif loud.shape == loud_any.shape:
+            loud_any = loud_any | loud
         window = summary.voice_db[s:e]
         finite = np.isfinite(window)
         if finite.any():
             levels.append(float(window[finite].mean()))
     frac = float(loud_any.mean()) if loud_any is not None and loud_any.size else 0.0
-    return frac, float(np.mean(levels)) if levels else float("nan")
+    # All-masked windows yield NaN loudness rather than a fabricated level.
+    finite_levels = [v for v in levels if np.isfinite(v)]
+    return frac, float(np.mean(finite_levels)) if finite_levels else float("nan")
 
 
 def whole_crew_meetings(

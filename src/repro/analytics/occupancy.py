@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredDict, dataset_coverage
 from repro.analytics.dataset import BadgeDaySummary, MissionSensing
 
 #: The paper's minimum-stay filter, seconds ("necessary to filter out
@@ -93,7 +94,7 @@ def stay_durations_by_room(
     one session; ``long_stay_s`` keeps only substantial visits (the
     paper compares characteristic work-session lengths, not dashes).
     """
-    out: dict[str, list[float]] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for summary in sensing.summaries.values():
         if summary.badge_id == sensing.assignment.reference_id:
             continue
@@ -114,7 +115,7 @@ def typical_stay_hours(sensing: MissionSensing, room: str) -> float:
 
 def room_occupancy_seconds(sensing: MissionSensing) -> dict[str, float]:
     """Total badge-seconds localized to each room across the mission."""
-    out: dict[str, float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     ref = sensing.assignment.reference_id
     for summary in sensing.summaries.values():
         if summary.badge_id == ref:

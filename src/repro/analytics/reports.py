@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analytics.centrality import company_and_authority
+from repro.analytics.coverage import dataset_coverage
 from repro.analytics.dataset import MissionSensing
 from repro.analytics.speech import mission_speech_fraction
 from repro.analytics.walking import mission_walking_fraction
@@ -25,6 +26,23 @@ class Table1:
     authority: dict[str, float | None]
     talking: dict[str, float | None]
     walking: dict[str, float | None]
+    #: Usable-data fraction behind the table (quality-gate verdicts).
+    coverage: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "company": dict(self.company),
+            "authority": dict(self.authority),
+            "talking": dict(self.talking),
+            "walking": dict(self.walking),
+            "coverage": self.coverage,
+        }
+
+    def to_text(self) -> str:
+        text = str(self)
+        if self.coverage < 1.0:
+            text += f"\n(computed from {self.coverage:.1%} of the expected data)"
+        return text
 
     def rows(self) -> list[tuple[str, str, str, str, str]]:
         """Formatted rows ``(id, company, authority, talking, walking)``."""
@@ -70,6 +88,7 @@ def table1(sensing: MissionSensing, corrected: bool = True) -> Table1:
         authority={a: centrality.authority_norm.get(a) for a in ids},
         talking=dict(talking_norm),
         walking=dict(walking_norm),
+        coverage=dataset_coverage(sensing),
     )
 
 
@@ -83,6 +102,25 @@ class DeploymentStats:
     worn_by_day: dict[int, float]
     n_instrumented_days: int
     n_badges: int
+    #: Usable-data fraction behind the stats (quality-gate verdicts).
+    coverage: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "total_gib": self.total_gib,
+            "worn_fraction": self.worn_fraction,
+            "active_fraction": self.active_fraction,
+            "worn_by_day": dict(self.worn_by_day),
+            "n_instrumented_days": self.n_instrumented_days,
+            "n_badges": self.n_badges,
+            "coverage": self.coverage,
+        }
+
+    def to_text(self) -> str:
+        text = str(self)
+        if self.coverage < 1.0:
+            text += f"\n(computed from {self.coverage:.1%} of the expected data)"
+        return text
 
     def compliance_decay(self) -> tuple[float, float]:
         """(early, late) mean worn fraction — the paper's ~80% -> ~50%."""
@@ -133,4 +171,5 @@ def deployment_stats(sensing: MissionSensing) -> DeploymentStats:
         worn_by_day={d: float(np.mean(v)) for d, v in sorted(worn_by_day.items())},
         n_instrumented_days=len(sensing.days),
         n_badges=len(badges) + 1,  # + reference badge
+        coverage=dataset_coverage(sensing),
     )

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredDict, dataset_coverage
 from repro.analytics.dataset import BadgeDaySummary, MissionSensing
 from repro.analytics.speech import MACHINE_STABILITY
 from repro.core.errors import DataError
@@ -77,7 +78,7 @@ def enroll_profiles(
         mask = own_speech_mask(summary)
         if mask.any():
             pooled.setdefault(astro, []).append(summary.dominant_pitch_hz[mask])
-    profiles: dict[str, VoiceProfile] = {}
+    profiles: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for astro, chunks in pooled.items():
         pitches = np.concatenate(chunks)
         if pitches.size < min_frames:
@@ -145,4 +146,7 @@ def sex_classification_report(
         truth_sex = roster.profile(astro).sex
         correct[astro] = correct.get(astro, 0) + int((predicted == truth_sex).sum())
         total[astro] = total.get(astro, 0) + int(mask.sum())
-    return {a: correct[a] / total[a] for a in total if total[a] > 0}
+    return CoveredDict(
+        {a: correct[a] / total[a] for a in total if total[a] > 0},
+        coverage=dataset_coverage(sensing),
+    )

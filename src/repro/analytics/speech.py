@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredDict, dataset_coverage
 from repro.analytics.dataset import BadgeDaySummary, MissionSensing
 
 #: The paper's experimentally determined thresholds.
@@ -92,7 +93,7 @@ def daily_speech_fraction(
     reject_machine: bool = True,
 ) -> dict[str, dict[int, float]]:
     """Per-astronaut, per-day speech fraction (the Fig 6 series)."""
-    out: dict[str, dict[int, float]] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for astro, summaries in sensing.astro_summaries(corrected).items():
         series: dict[int, float] = {}
         for summary in summaries:
@@ -108,7 +109,7 @@ def mission_speech_fraction(
     sensing: MissionSensing, corrected: bool = True, reject_machine: bool = True
 ) -> dict[str, float]:
     """Whole-mission speech fraction per astronaut (Table I column b)."""
-    out: dict[str, float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for astro, summaries in sensing.astro_summaries(corrected).items():
         n_speech = 0
         n_recorded = 0

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.coverage import dataset_coverage
 from repro.analytics.dataset import MissionSensing
 from repro.analytics.speech import loud_voice_mask
 
@@ -36,6 +37,8 @@ class DayTimeline:
     t0: float
     bin_s: float
     tracks: list[AstronautTimeline]
+    #: Usable-data fraction of the day (quality-gate verdicts).
+    coverage: float = 1.0
 
     def bin_times(self) -> np.ndarray:
         """Start time (seconds of day) of each bin."""
@@ -83,7 +86,8 @@ def day_timeline(
             )
         )
     tracks.sort(key=lambda t: t.astro_id)
-    return DayTimeline(day=day, t0=t0, bin_s=bin_s, tracks=tracks)
+    return DayTimeline(day=day, t0=t0, bin_s=bin_s, tracks=tracks,
+                       coverage=dataset_coverage(sensing, day))
 
 
 def _dominant_per_row(labels: np.ndarray) -> np.ndarray:

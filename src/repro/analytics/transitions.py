@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredTuple, dataset_coverage
 from repro.analytics.dataset import MissionSensing
 from repro.analytics.occupancy import MIN_STAY_S, stays
 from repro.habitat.rooms import ROOM_NAMES
@@ -52,6 +53,8 @@ def transition_matrix(
 
     Returns ``(room_names, counts)`` with ``counts[i, j]`` the number of
     passages from room i to room j summed over all badges and days.
+    The pair unpacks like a plain tuple and additionally carries a
+    ``.coverage`` fraction (1.0 unless a quality gate found damage).
     """
     n = len(ROOM_NAMES)
     total = np.zeros((n, n), dtype=np.int64)
@@ -60,7 +63,8 @@ def transition_matrix(
         if badge_id == ref:
             continue
         total += transition_counts_day(sensing, badge_id, day, min_stay_s, exclude)
-    return list(ROOM_NAMES), total
+    return CoveredTuple((list(ROOM_NAMES), total),
+                        coverage=dataset_coverage(sensing))
 
 
 def top_transitions(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredDict, dataset_coverage
 from repro.analytics.dataset import BadgeDaySummary, MissionSensing
 
 #: RMS acceleration above which the wearer is considered walking, m/s^2.
@@ -41,7 +42,7 @@ def daily_walking_fraction(
     threshold: float = WALK_THRESHOLD,
 ) -> dict[str, dict[int, float]]:
     """Per-astronaut, per-day walking fractions (the Fig 4 series)."""
-    out: dict[str, dict[int, float]] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for astro, summaries in sensing.astro_summaries(corrected).items():
         series: dict[int, float] = {}
         for summary in summaries:
@@ -60,7 +61,7 @@ def mission_walking_fraction(
     astronauts with partial missions (C) are averaged over their own
     recorded time only.
     """
-    out: dict[str, float] = {}
+    out: CoveredDict = CoveredDict(coverage=dataset_coverage(sensing))
     for astro, summaries in sensing.astro_summaries(corrected).items():
         walked = sum(float(walking_mask(s, threshold).sum()) * s.dt for s in summaries)
         worn = sum(s.worn_seconds() for s in summaries)

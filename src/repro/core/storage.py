@@ -82,6 +82,18 @@ class DataStore:
 
     # -- persistence ------------------------------------------------------
 
+    def to_payload(self) -> dict:
+        """Plain-dict snapshot of the store for single-file persistence."""
+        return {"arrays": dict(self._arrays), "meta": dict(self._meta)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DataStore":
+        """Rebuild a store from a :meth:`to_payload` snapshot."""
+        store = cls()
+        store._arrays = {tuple(k): dict(v) for k, v in payload["arrays"].items()}
+        store._meta = {tuple(k): v for k, v in payload["meta"].items()}
+        return store
+
     def save_dir(self, path: str | Path) -> None:
         """Write the store to a directory (``.npz`` per array key, one
         ``meta.json``)."""

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analytics.coverage import CoveredDict
 from repro.analytics.speech import daily_speech_fraction
 from repro.analytics.timeline import DayTimeline, day_timeline
 from repro.analytics.transitions import transition_matrix
@@ -18,18 +19,31 @@ from repro.experiments.mission import MissionResult
 from repro.localization.heatmap import CELL_SIZE_M, Heatmap
 
 
+def _coverage_note(coverage: float) -> list[str]:
+    """A trailer line for partial-data figures (nothing when complete)."""
+    if coverage >= 1.0:
+        return []
+    return [f"(computed from {coverage:.1%} of the expected data)"]
+
+
 def fig2(result: MissionResult) -> tuple[list[str], np.ndarray]:
-    """Figure 2: room-to-room passage counts (main hall excluded)."""
+    """Figure 2: room-to-room passage counts (main hall excluded).
+
+    The returned pair unpacks as ``(names, counts)`` and carries a
+    ``.coverage`` attribute from the quality gate.
+    """
     return transition_matrix(result.sensing)
 
 
-def format_fig2(names: list[str], counts: np.ndarray) -> str:
+def format_fig2(names: list[str], counts: np.ndarray,
+                coverage: float = 1.0) -> str:
     width = max(len(n) for n in names) + 1
     header = " " * width + " ".join(f"{n[:8]:>8}" for n in names)
     lines = [header]
     for i, name in enumerate(names):
         cells = " ".join(f"{int(counts[i, j]):>8}" for j in range(len(names)))
         lines.append(f"{name:<{width}}{cells}")
+    lines.extend(_coverage_note(coverage))
     return "\n".join(lines)
 
 
@@ -64,10 +78,11 @@ def fig4(result: MissionResult, days: tuple[int, ...] | None = None) -> dict[str
     """Figure 4: per-astronaut daily walking fractions (paper: days 2-8)."""
     series = daily_walking_fraction(result.sensing)
     if days is not None:
-        series = {
+        filtered = {
             astro: {d: v for d, v in per_day.items() if d in days}
             for astro, per_day in series.items()
         }
+        series = CoveredDict(filtered, coverage=series.coverage)
     return series
 
 
@@ -80,6 +95,7 @@ def format_series(series: dict[str, dict[int, float]]) -> str:
             f"{series[astro][d]:.3f}" if d in series[astro] else "  --  " for d in days
         )
         lines.append(f"{astro:<3} {cells}")
+    lines.extend(_coverage_note(getattr(series, "coverage", 1.0)))
     return "\n".join(lines)
 
 
@@ -102,6 +118,7 @@ def format_fig5(result: MissionResult, timeline: DayTimeline) -> str:
             if frac >= 0.25 or room >= 0:
                 chunks.append(f"{hhmm(t)} {plan.name_of(int(room))[:7]:<7} {frac:.2f}")
         lines.append("  " + " | ".join(chunks[:12]) + (" ..." if len(chunks) > 12 else ""))
+    lines.extend(_coverage_note(timeline.coverage))
     return "\n".join(lines)
 
 

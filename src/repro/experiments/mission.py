@@ -43,10 +43,14 @@ from repro.exec.executor import (
     compute_day,
     replay_accounting,
 )
+from repro.core.errors import ConfigError
 from repro.exec.hashing import canonical, truth_compatible
 from repro.exec.supervisor import run_days_supervised
+from repro.faults.data import apply_data_faults
 from repro.faults.report import ReliabilityReport
 from repro.faults.scenario import run_support_scenario
+from repro.quality.gate import gate_sensing
+from repro.quality.report import DataQualityReport
 from repro.localization.pipeline import Localizer
 from repro.obs import _state as _obs
 from repro.obs import enabled as obs_enabled
@@ -91,6 +95,9 @@ class MissionResult:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     #: Per-stage cache hit/miss counts when a cache was active, else None.
     cache_stats: Optional[dict] = None
+    #: Data-quality verdicts from the ingest gate (``quality != "off"``
+    #: with gating in effect); None when the dataset was never gated.
+    quality: Optional[DataQualityReport] = None
 
     @property
     def assignment(self) -> BadgeAssignment:
@@ -114,6 +121,7 @@ class MissionResult:
             "cache": self.cache_stats,
             "telemetry": self.telemetry.to_dict() if self.telemetry is not None else None,
             "reliability": self.reliability.to_dict() if self.reliability is not None else None,
+            "quality": self.quality.to_dict() if self.quality is not None else None,
         }
 
     def to_text(self) -> str:
@@ -144,6 +152,9 @@ class MissionResult:
                     + (f", {checkpoint['quarantined']} quarantined"
                        if checkpoint["quarantined"] else "")
                 )
+        if self.quality is not None:
+            lines.append("")
+            lines.append(self.quality.to_text())
         if self.reliability is not None:
             lines.append("")
             lines.append(self.reliability.to_text())
@@ -184,6 +195,7 @@ def run_mission(
     localizer: Localizer | None = None,
     models: SensingModels | None = None,
     execution: ExecutionConfig | None = None,
+    quality: str = "auto",
 ) -> MissionResult:
     """Simulate, sense, and localize a full mission.
 
@@ -200,10 +212,17 @@ def run_mission(
             (:class:`~repro.core.config.ExecutionConfig`; defaults to
             serial, uncached, unjournaled).  Never affects results, only
             speed and crash-safety.
+        quality: ingest-gate mode — ``"auto"`` gates only when the fault
+            plan injects data corruption, ``"gate"`` always gates,
+            ``"strict"`` gates and raises on any quarantine, ``"off"``
+            never gates (corrupt data flows to analytics unfiltered).
 
     Returns:
         A :class:`MissionResult` whose ``sensing`` feeds every analysis.
     """
+    if quality not in ("auto", "off", "gate", "strict"):
+        raise ConfigError(
+            f"quality must be one of auto/off/gate/strict, got {quality!r}")
     cfg = cfg if cfg is not None else MissionConfig()
     execution = execution if execution is not None else ExecutionConfig()
     cache = MissionCache(execution.cache_dir) if execution.cache_active else None
@@ -277,6 +296,18 @@ def run_mission(
             sensing.pairwise[day] = outcome.pairwise
             outcome.telemetry = None  # merged already; don't retain snapshots
 
+        # Data corruption strikes the assembled dataset — after the
+        # per-day pipeline (so cached/journaled outcomes stay pristine)
+        # and before the quality gate sees it.
+        has_data_faults = plan is not None and bool(plan.data_events())
+        if has_data_faults:
+            sensing = apply_data_faults(sensing, plan, cfg.seed)
+
+        quality_report: DataQualityReport | None = None
+        if quality in ("gate", "strict") or (quality == "auto" and has_data_faults):
+            sensing, quality_report = gate_sensing(
+                sensing, strict=(quality == "strict"))
+
         reliability = run_support_scenario(cfg, plan) if plan is not None else None
 
     telemetry = obs_export.to_dict() if obs_enabled() else None
@@ -287,7 +318,7 @@ def run_mission(
     return MissionResult(
         cfg=cfg, truth=truth, sensing=sensing, models=models,
         sdcard=sdcard, telemetry=telemetry, reliability=reliability,
-        execution=execution, cache_stats=cache_stats,
+        execution=execution, cache_stats=cache_stats, quality=quality_report,
     )
 
 

@@ -12,9 +12,11 @@ success under the reliable-transport guarantees of
 """
 
 from repro.faults.campaign import FaultCampaign
+from repro.faults.data import apply_data_faults
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     BUS_ACTIONS,
+    DATA_ACTIONS,
     SENSING_ACTIONS,
     FaultEvent,
     FaultPlan,
@@ -28,6 +30,7 @@ from repro.faults.scenario import run_support_scenario
 
 __all__ = [
     "BUS_ACTIONS",
+    "DATA_ACTIONS",
     "SENSING_ACTIONS",
     "FaultCampaign",
     "FaultEvent",
@@ -35,6 +38,7 @@ __all__ = [
     "FaultPlan",
     "ReliabilityReport",
     "aggregate_delivery",
+    "apply_data_faults",
     "availability_from_downtime",
     "run_support_scenario",
 ]

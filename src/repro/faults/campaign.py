@@ -61,6 +61,15 @@ class FaultCampaign:
     #: recover).  Drawn after every other fault class, so campaigns with
     #: ``worker_crashes=0`` reproduce their historical plans exactly.
     worker_crashes: int = 0
+    #: Whole-mission counts of data-corruption faults striking assembled
+    #: badge-days (exercising the ``repro.quality`` ingest gate).  Drawn
+    #: after every class above — including ``worker_crashes`` — so
+    #: campaigns without them reproduce their historical plans exactly.
+    bitrot_days: int = 0
+    truncated_days: int = 0
+    duplicated_days: int = 0
+    stuck_days: int = 0
+    clock_desyncs: int = 0
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -78,6 +87,10 @@ class FaultCampaign:
         if self.battery_depletions < 0 or self.sdcard_exhaustions < 0 \
                 or self.worker_crashes < 0:
             raise ConfigError("fault counts must be non-negative")
+        for name in ("bitrot_days", "truncated_days", "duplicated_days",
+                     "stuck_days", "clock_desyncs"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
 
     @property
     def days(self) -> float:
@@ -138,15 +151,66 @@ class FaultCampaign:
                     time_s=0.0, action="sdcard-cap", target=str(badge),
                     value=self.sdcard_cap_bytes,
                 ))
-        # Executor-level crashes are drawn last: adding them to a
-        # campaign never perturbs the draw sequence of the classes above,
-        # so existing seeded plans stay byte-stable.
+        # Executor-level crashes are drawn after every bus/sensing class:
+        # adding them to a campaign never perturbs the draw sequence of
+        # the classes above, so existing seeded plans stay byte-stable.
         for _ in range(self.worker_crashes):
             events.append(FaultEvent(
                 time_s=float(rng.uniform(0.0, self.horizon_s)),
                 action="worker-crash",
             ))
+        # Data-corruption faults are drawn last of all, for the same
+        # byte-stability guarantee.
+        if self.badge_ids:
+            def data_event(action: str, lo: float, hi: float) -> FaultEvent:
+                badge = self.badge_ids[int(rng.integers(len(self.badge_ids)))]
+                return FaultEvent(
+                    time_s=float(rng.uniform(0.0, self.horizon_s)),
+                    action=action, target=str(badge),
+                    value=float(rng.uniform(lo, hi)),
+                )
+
+            for _ in range(self.bitrot_days):
+                events.append(data_event("data-bitrot", 0.02, 0.25))
+            for _ in range(self.truncated_days):
+                events.append(data_event("data-truncate", 0.2, 0.9))
+            for _ in range(self.duplicated_days):
+                events.append(data_event("data-duplicate", 0.05, 0.3))
+            for _ in range(self.stuck_days):
+                events.append(data_event("data-stuck", 0.1, 0.5))
+            for _ in range(self.clock_desyncs):
+                event = data_event("data-clock-skew", 300.0, 4 * HOUR)
+                if rng.uniform() < 0.5:  # drift runs both ways
+                    event = FaultEvent(
+                        time_s=event.time_s, action=event.action,
+                        target=event.target, value=-event.value,
+                    )
+                events.append(event)
         return FaultPlan.build(*events)
+
+    @classmethod
+    def corruption(cls, days: int = 14, seed: int = 0,
+                   n_badges: int = 7) -> "FaultCampaign":
+        """A data-corruption-only campaign (exercises the quality gate).
+
+        No bus/sensing/executor faults: every event damages assembled
+        badge-day data, so the mission content itself is clean and any
+        analytics deviation is attributable to the gate's repairs.
+        """
+        return cls(
+            seed=seed,
+            horizon_s=days * DAY,
+            badge_ids=tuple(range(n_badges)),
+            crashes_per_day=0.0, flaps_per_day=0.0,
+            lossy_windows_per_day=0.0, blackouts_per_day=0.0,
+            beacon_outages_per_day=0.0,
+            battery_depletions=0, sdcard_exhaustions=0,
+            bitrot_days=max(1, days // 4),
+            truncated_days=max(1, days // 5),
+            duplicated_days=max(1, days // 7),
+            stuck_days=max(1, days // 5),
+            clock_desyncs=max(1, days // 7),
+        )
 
     @classmethod
     def reference(cls, days: int = 14, seed: int = 0,

@@ -42,7 +42,20 @@ EXEC_ACTIONS = frozenset({
     "worker-crash",   # the pool worker computing time_s's day is SIGKILLed
 })
 
-ACTIONS = BUS_ACTIONS | SENSING_ACTIONS | EXEC_ACTIONS
+#: Faults that corrupt already-recorded badge-day data (chaos-testing
+#: the ``repro.quality`` ingest gate).  Each strikes the badge-day of
+#: ``target`` containing ``time_s``; the corruption is applied to the
+#: assembled dataset, after sensing, the way real damage appears at
+#: analysis time.
+DATA_ACTIONS = frozenset({
+    "data-bitrot",      # value: fraction of frames struck with garbage
+    "data-truncate",    # value: fraction of the day that survives
+    "data-duplicate",   # value: fraction of the day duplicated + reordered
+    "data-stuck",       # value: fraction of the day a sensor reads constant
+    "data-clock-skew",  # value: seconds the day's t0 drifts (signed)
+})
+
+ACTIONS = BUS_ACTIONS | SENSING_ACTIONS | EXEC_ACTIONS | DATA_ACTIONS
 
 
 @dataclass(frozen=True)
@@ -83,6 +96,18 @@ class FaultEvent:
                            "beacon-outage", "badge-battery", "sdcard-cap") \
                 and not self.target:
             raise ConfigError(f"fault action {self.action!r} needs a target")
+        if self.action in DATA_ACTIONS:
+            if not self.target:
+                raise ConfigError(f"fault action {self.action!r} needs a badge target")
+            if self.action in ("data-bitrot", "data-duplicate", "data-stuck") \
+                    and not 0.0 < self.value <= 1.0:
+                raise ConfigError(f"{self.action} value must be a fraction in (0, 1]")
+            if self.action == "data-truncate" and not 0.0 <= self.value < 1.0:
+                raise ConfigError("data-truncate value must be a surviving "
+                                  "fraction in [0, 1)")
+            if self.action == "data-clock-skew" and self.value == 0.0:
+                raise ConfigError("data-clock-skew value must be a non-zero "
+                                  "seconds offset")
 
     @property
     def end_s(self) -> float | None:
@@ -148,6 +173,18 @@ class FaultPlan:
     def exec_events(self) -> list[FaultEvent]:
         """Events aimed at the execution engine (supervisor chaos)."""
         return [e for e in self.events if e.action in EXEC_ACTIONS]
+
+    def data_events(self) -> list[FaultEvent]:
+        """Events that corrupt assembled badge-day data, in time order."""
+        return [e for e in self.events if e.action in DATA_ACTIONS]
+
+    def data_events_by_badge_day(self) -> dict[tuple[int, int], list[FaultEvent]]:
+        """Data-corruption events grouped by the badge-day they strike."""
+        out: dict[tuple[int, int], list[FaultEvent]] = {}
+        for event in self.data_events():
+            key = (event.badge_id(), int(event.time_s // DAY) + 1)
+            out.setdefault(key, []).append(event)
+        return out
 
     def worker_crash_days(self) -> frozenset[int]:
         """Mission days whose pool worker an injected crash should kill.

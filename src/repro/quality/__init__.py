@@ -1,0 +1,55 @@
+"""repro.quality: the validating ingest gate for sensing datasets.
+
+The paper's deployment produced dirty data as a matter of course (badges
+unworn, batteries dying mid-day, SD cards failing, clocks drifting); a
+reproduction whose analytics assume pristine input is reproducing an
+idealization, not the system.  This package sits between the sensing
+pipeline (or a loaded dataset) and the analytics layer:
+
+- :func:`validate_sensing` inspects every badge-day and returns a
+  :class:`DataQualityReport` of per-badge-day verdicts
+  (``ok | repaired | quarantined``) with explicit, counted repairs;
+- :func:`gate_sensing` additionally applies the verdicts, returning a
+  dataset that serves only intact or repaired badge-days —
+  quarantined data is excluded, never silently served;
+- the attached report is where every analytics module reads its
+  ``coverage`` fraction from, so results computed from partial data
+  say so.
+
+A clean dataset passes with every verdict ``ok`` and is served as the
+*same* array objects — bit-identical analytics, coverage exactly 1.0.
+"""
+
+from repro.quality.gate import (
+    ALL_CHANNELS,
+    BOOL_CHANNELS,
+    FLOAT_CHANNELS,
+    QualityPolicy,
+    gate_sensing,
+    validate_sensing,
+)
+from repro.quality.report import (
+    VERDICT_OK,
+    VERDICT_QUARANTINED,
+    VERDICT_REPAIRED,
+    VERDICTS,
+    BadgeDayVerdict,
+    DataQualityReport,
+    QualityIssue,
+)
+
+__all__ = [
+    "ALL_CHANNELS",
+    "BOOL_CHANNELS",
+    "FLOAT_CHANNELS",
+    "BadgeDayVerdict",
+    "DataQualityReport",
+    "QualityIssue",
+    "QualityPolicy",
+    "VERDICTS",
+    "VERDICT_OK",
+    "VERDICT_QUARANTINED",
+    "VERDICT_REPAIRED",
+    "gate_sensing",
+    "validate_sensing",
+]

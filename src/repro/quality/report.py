@@ -1,0 +1,225 @@
+"""Data-quality verdicts and the mission-level quality report.
+
+The paper's deployment lost data constantly — badges not worn, batteries
+dying mid-day, SD cards silently filling up, clocks drifting between
+opportunistic syncs.  A real analysis pipeline therefore needs an
+explicit record of *what it was given*: per badge-day, whether the data
+arrived intact (``ok``), had to be repaired (``repaired``), or was too
+damaged to serve (``quarantined``) — and, for repaired days, exactly
+which repairs were applied and how many frames they cost.
+
+Everything in this module is plain data: reports built from the same
+dataset are byte-identical through :meth:`DataQualityReport.to_json`,
+which is what the regression tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: The three possible badge-day verdicts.
+VERDICT_OK = "ok"
+VERDICT_REPAIRED = "repaired"
+VERDICT_QUARANTINED = "quarantined"
+
+VERDICTS = (VERDICT_OK, VERDICT_REPAIRED, VERDICT_QUARANTINED)
+
+
+@dataclass(frozen=True)
+class QualityIssue:
+    """One problem found in one badge-day.
+
+    Attributes:
+        kind: stable machine-readable issue tag (``nan-in-active``,
+            ``truncated``, ``frame-surplus``, ``clock-skew``, ...).
+        detail: short human-readable elaboration.
+        frames: number of frames implicated (0 for metadata issues).
+    """
+
+    kind: str
+    detail: str = ""
+    frames: int = 0
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail, "frames": self.frames}
+
+
+@dataclass(frozen=True)
+class BadgeDayVerdict:
+    """The gate's judgement of one badge-day.
+
+    Attributes:
+        badge_id / day: which badge-day this verdict covers.
+        verdict: ``ok`` | ``repaired`` | ``quarantined``.
+        issues: every problem found, in detection order.
+        repairs: repair kind -> frames (or occurrences) affected.  Empty
+            for ``ok``; for ``quarantined`` it records what a repair
+            *would* have needed before the day was given up on.
+        frames_expected: frames a complete day would have held.
+        frames_usable: frames that survived validation and repair
+            (0 for quarantined days).
+    """
+
+    badge_id: int
+    day: int
+    verdict: str
+    issues: tuple[QualityIssue, ...] = ()
+    repairs: dict[str, int] = field(default_factory=dict)
+    frames_expected: int = 0
+    frames_usable: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Usable fraction of the expected frames (0 for quarantined)."""
+        if self.verdict == VERDICT_QUARANTINED or self.frames_expected <= 0:
+            return 0.0
+        return self.frames_usable / self.frames_expected
+
+    def to_dict(self) -> dict:
+        return {
+            "badge_id": self.badge_id,
+            "day": self.day,
+            "verdict": self.verdict,
+            "issues": [issue.to_dict() for issue in self.issues],
+            "repairs": dict(sorted(self.repairs.items())),
+            "frames_expected": self.frames_expected,
+            "frames_usable": self.frames_usable,
+            "coverage": round(self.coverage, 9),
+        }
+
+
+@dataclass
+class DataQualityReport:
+    """Everything the quality gate learned about one sensing dataset.
+
+    The report keeps a verdict for *every* badge-day the gate saw —
+    including the quarantined ones that are no longer served — which is
+    what lets the analytics layer compute honest coverage fractions
+    ("this Table I was computed from 60% of the data").
+    """
+
+    verdicts: tuple[BadgeDayVerdict, ...] = ()
+    #: Frames a complete badge-day holds (``cfg.frames_per_day``).
+    frames_expected: int = 0
+    #: Pairwise (badge-to-badge) stream accounting.
+    pairwise_checked: int = 0
+    pairwise_repaired: int = 0
+    pairwise_dropped: int = 0
+
+    # -- lookups --------------------------------------------------------
+
+    def verdict_for(self, badge_id: int, day: int) -> BadgeDayVerdict | None:
+        for verdict in self.verdicts:
+            if verdict.badge_id == badge_id and verdict.day == day:
+                return verdict
+        return None
+
+    def by_verdict(self, verdict: str) -> list[BadgeDayVerdict]:
+        return [v for v in self.verdicts if v.verdict == verdict]
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == VERDICT_OK)
+
+    @property
+    def n_repaired(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == VERDICT_REPAIRED)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == VERDICT_QUARANTINED)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.n_ok == len(self.verdicts)
+
+    def repairs_total(self) -> dict[str, int]:
+        """Aggregated repair counts across all badge-days."""
+        out: dict[str, int] = {}
+        for verdict in self.verdicts:
+            for kind, count in verdict.repairs.items():
+                out[kind] = out.get(kind, 0) + count
+        return dict(sorted(out.items()))
+
+    def issue_counts(self) -> dict[str, int]:
+        """Badge-days affected per issue kind."""
+        out: dict[str, int] = {}
+        for verdict in self.verdicts:
+            for kind in {issue.kind for issue in verdict.issues}:
+                out[kind] = out.get(kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def coverage(self, day: int | None = None,
+                 exclude_badges: tuple[int, ...] = ()) -> float:
+        """Mean usable-frame fraction over the (filtered) badge-days.
+
+        A dataset the gate never complained about has coverage 1.0; each
+        quarantined badge-day contributes 0.
+        """
+        pool = [
+            v for v in self.verdicts
+            if (day is None or v.day == day) and v.badge_id not in exclude_badges
+        ]
+        if not pool:
+            return 1.0
+        return sum(v.coverage for v in pool) / len(pool)
+
+    # -- the uniform report surface --------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data dump (JSON-serializable, deterministically ordered)."""
+        return {
+            "frames_expected": self.frames_expected,
+            "badge_days": len(self.verdicts),
+            "ok": self.n_ok,
+            "repaired": self.n_repaired,
+            "quarantined": self.n_quarantined,
+            "coverage": round(self.coverage(), 9),
+            "issues": self.issue_counts(),
+            "repairs": self.repairs_total(),
+            "pairwise": {
+                "checked": self.pairwise_checked,
+                "repaired": self.pairwise_repaired,
+                "dropped": self.pairwise_dropped,
+            },
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering — byte-identical for identical input."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def to_text(self) -> str:
+        """Human-readable quality summary."""
+        lines = [
+            f"data quality: {len(self.verdicts)} badge-days — "
+            f"{self.n_ok} ok, {self.n_repaired} repaired, "
+            f"{self.n_quarantined} quarantined "
+            f"(coverage {self.coverage():.1%})",
+        ]
+        issues = self.issue_counts()
+        if issues:
+            lines.append("issues (badge-days affected):")
+            for kind, count in issues.items():
+                lines.append(f"  {kind:<20} {count}")
+        repairs = self.repairs_total()
+        if repairs:
+            lines.append("repairs (frames / occurrences):")
+            for kind, count in repairs.items():
+                lines.append(f"  {kind:<20} {count}")
+        quarantined = self.by_verdict(VERDICT_QUARANTINED)
+        if quarantined:
+            lines.append("quarantined badge-days:")
+            for verdict in quarantined:
+                why = verdict.issues[0].kind if verdict.issues else "unknown"
+                lines.append(
+                    f"  badge {verdict.badge_id} day {verdict.day}: {why}"
+                )
+        if self.pairwise_checked:
+            lines.append(
+                f"pairwise streams: {self.pairwise_checked} checked, "
+                f"{self.pairwise_repaired} repaired, "
+                f"{self.pairwise_dropped} dropped"
+            )
+        return "\n".join(lines)

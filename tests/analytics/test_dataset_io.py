@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.analytics.dataset_io import load_sensing, save_sensing
+from repro.analytics.dataset_io import ARTIFACT_NAME, load_sensing, save_sensing
 from repro.analytics.reports import table1
 from repro.analytics.speech import mission_speech_fraction
+from repro.core.errors import ConfigError, DataError
 
 
 @pytest.fixture(scope="module")
@@ -49,3 +50,65 @@ class TestRoundTrip:
     def test_assignment_anomalies_preserved(self, round_tripped, sensing):
         day = sensing.cfg.events.badge_swap_day
         assert round_tripped.assignment.actual(day) == sensing.assignment.actual(day)
+
+    def test_clean_load_gates_all_ok(self, round_tripped):
+        """The default load routes through the quality gate: a clean
+        store arrives with a report attached and every verdict ok."""
+        assert round_tripped.quality is not None
+        assert round_tripped.quality.all_ok
+        assert round_tripped.quality.coverage() == 1.0
+
+
+class TestIntegrityEnvelope:
+    def save(self, sensing, tmp_path):
+        path = tmp_path / "mission"
+        save_sensing(sensing, path)
+        return path
+
+    def test_saved_as_single_artifact(self, sensing, tmp_path):
+        path = self.save(sensing, tmp_path)
+        assert (path / ARTIFACT_NAME).exists()
+        assert not list(path.glob("*.npz"))
+
+    def test_bit_flip_detected_and_quarantined(self, sensing, tmp_path):
+        path = self.save(sensing, tmp_path)
+        artifact = path / ARTIFACT_NAME
+        blob = bytearray(artifact.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        artifact.write_bytes(bytes(blob))
+        with pytest.raises(DataError):
+            load_sensing(path)
+        # The corrupt bytes are preserved for forensics, never deleted.
+        assert not artifact.exists()
+        quarantined = list((path / "quarantine").iterdir())
+        assert len(quarantined) == 1
+
+    def test_truncated_artifact_detected(self, sensing, tmp_path):
+        path = self.save(sensing, tmp_path)
+        artifact = path / ARTIFACT_NAME
+        artifact.write_bytes(artifact.read_bytes()[:100])
+        with pytest.raises(DataError):
+            load_sensing(path)
+
+    def test_legacy_directory_still_loads(self, sensing, tmp_path):
+        from repro.analytics.dataset_io import sensing_to_store
+
+        path = tmp_path / "legacy"
+        sensing_to_store(sensing).save_dir(path)  # pre-envelope layout
+        loaded = load_sensing(path)
+        assert set(loaded.summaries) == set(sensing.summaries)
+
+    def test_quality_off_serves_raw_bytes(self, sensing, tmp_path):
+        path = self.save(sensing, tmp_path)
+        loaded = load_sensing(path, quality="off")
+        assert loaded.quality is None
+
+    def test_quality_strict_passes_clean_store(self, sensing, tmp_path):
+        path = self.save(sensing, tmp_path)
+        loaded = load_sensing(path, quality="strict")
+        assert loaded.quality.all_ok
+
+    def test_unknown_quality_mode_rejected(self, sensing, tmp_path):
+        path = self.save(sensing, tmp_path)
+        with pytest.raises(ConfigError):
+            load_sensing(path, quality="maybe")

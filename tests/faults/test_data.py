@@ -1,0 +1,207 @@
+"""Tests for the data-corruption fault kinds and their application."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import MissionConfig
+from repro.core.errors import ConfigError
+from repro.core.units import DAY, HOUR
+from repro.experiments.mission import run_mission
+from repro.faults.campaign import FaultCampaign
+from repro.faults.data import apply_data_faults
+from repro.faults.plan import DATA_ACTIONS, FaultEvent, FaultPlan
+
+
+@pytest.fixture(scope="module")
+def tiny_sensing():
+    cfg = MissionConfig(days=2, crew_size=2, frame_dt=60.0, seed=9, events=None)
+    return run_mission(cfg).sensing
+
+
+def data_plan(*events: FaultEvent) -> FaultPlan:
+    return FaultPlan.build(*events)
+
+
+class TestEventValidation:
+    def test_data_actions_need_a_badge_target(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(time_s=0.0, action="data-bitrot", value=0.1).validate()
+
+    @pytest.mark.parametrize("action", ["data-bitrot", "data-duplicate", "data-stuck"])
+    def test_fraction_must_be_in_unit_interval(self, action):
+        with pytest.raises(ConfigError):
+            FaultEvent(time_s=0.0, action=action, target="1", value=1.5).validate()
+        with pytest.raises(ConfigError):
+            FaultEvent(time_s=0.0, action=action, target="1", value=0.0).validate()
+
+    def test_truncate_keeps_a_fraction_below_one(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(time_s=0.0, action="data-truncate", target="1",
+                       value=1.0).validate()
+        FaultEvent(time_s=0.0, action="data-truncate", target="1",
+                   value=0.0).validate()
+
+    def test_clock_skew_must_be_nonzero(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(time_s=0.0, action="data-clock-skew", target="1",
+                       value=0.0).validate()
+        FaultEvent(time_s=0.0, action="data-clock-skew", target="1",
+                   value=-300.0).validate()
+
+
+class TestPlanAccessors:
+    def test_data_events_selected_and_grouped(self):
+        plan = data_plan(
+            FaultEvent(time_s=2 * HOUR, action="data-bitrot", target="1", value=0.1),
+            FaultEvent(time_s=DAY + HOUR, action="data-truncate", target="1", value=0.5),
+            FaultEvent(time_s=3 * HOUR, action="data-stuck", target="2", value=0.2),
+            FaultEvent(time_s=0.0, action="blackout", duration_s=HOUR),
+        )
+        events = plan.data_events()
+        assert {e.action for e in events} <= DATA_ACTIONS
+        assert len(events) == 3
+        grouped = plan.data_events_by_badge_day()
+        assert set(grouped) == {(1, 1), (1, 2), (2, 1)}
+
+    def test_data_events_never_count_as_bus_or_sensing(self):
+        plan = data_plan(
+            FaultEvent(time_s=HOUR, action="data-bitrot", target="0", value=0.1),
+        )
+        assert plan.bus_events() == []
+        assert plan.sensing_events() == []
+        assert plan.exec_events() == []
+
+
+class TestCampaignDraws:
+    def test_corruption_campaign_covers_every_kind(self):
+        plan = FaultCampaign.corruption(days=14, seed=0).generate()
+        assert {e.action for e in plan.events} == DATA_ACTIONS
+
+    def test_zero_data_counts_keep_plans_byte_stable(self):
+        """Data draws come after every other class: a campaign extended
+        with them reproduces its historical events exactly."""
+        base = FaultCampaign.reference(days=7, seed=11)
+        extended = dataclasses.replace(
+            base, bitrot_days=2, truncated_days=1, duplicated_days=1,
+            stuck_days=2, clock_desyncs=1,
+        )
+        plain = base.generate().events
+        without_data = [e for e in extended.generate().events
+                        if e.action not in DATA_ACTIONS]
+        assert list(plain) == without_data
+
+    def test_same_seed_same_plan(self):
+        camp = FaultCampaign.corruption(days=7, seed=5)
+        assert camp.generate() == camp.generate()
+
+    def test_negative_data_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultCampaign(bitrot_days=-1)
+
+    def test_targets_come_from_badge_set(self):
+        camp = FaultCampaign.corruption(days=7, seed=3, n_badges=4)
+        for event in camp.generate().events:
+            assert event.badge_id() in camp.badge_ids
+
+
+class TestApplication:
+    def test_no_data_events_returns_same_object(self, tiny_sensing):
+        plan = data_plan(FaultEvent(time_s=0.0, action="blackout", duration_s=HOUR))
+        assert apply_data_faults(tiny_sensing, plan, seed=0) is tiny_sensing
+
+    def test_input_is_never_mutated(self, tiny_sensing):
+        key = min(tiny_sensing.summaries)
+        before = tiny_sensing.summaries[key].accel_rms.copy()
+        plan = data_plan(
+            FaultEvent(time_s=(key[1] - 1) * DAY + HOUR, action="data-bitrot",
+                       target=str(key[0]), value=0.2),
+        )
+        struck = apply_data_faults(tiny_sensing, plan, seed=0)
+        np.testing.assert_array_equal(tiny_sensing.summaries[key].accel_rms, before)
+        assert struck is not tiny_sensing
+
+    def test_same_seed_corrupts_identically(self, tiny_sensing):
+        plan = data_plan(
+            FaultEvent(time_s=DAY + HOUR, action="data-bitrot", target="1",
+                       value=0.15),
+            FaultEvent(time_s=DAY + 5 * HOUR, action="data-stuck", target="0",
+                       value=0.3),
+        )
+        a = apply_data_faults(tiny_sensing, plan, seed=4)
+        b = apply_data_faults(tiny_sensing, plan, seed=4)
+        for key in a.summaries:
+            np.testing.assert_array_equal(
+                a.summaries[key].accel_rms, b.summaries[key].accel_rms)
+            np.testing.assert_array_equal(
+                a.summaries[key].voice_db, b.summaries[key].voice_db)
+
+    def test_different_seeds_corrupt_differently(self, tiny_sensing):
+        plan = data_plan(
+            FaultEvent(time_s=DAY + HOUR, action="data-bitrot", target="1",
+                       value=0.15),
+        )
+        a = apply_data_faults(tiny_sensing, plan, seed=1)
+        b = apply_data_faults(tiny_sensing, plan, seed=2)
+        key = (1, 2)
+        assert not np.array_equal(
+            a.summaries[key].accel_rms, b.summaries[key].accel_rms,
+            equal_nan=True,
+        )
+
+    def test_missing_badge_day_is_a_noop(self, tiny_sensing):
+        plan = data_plan(
+            FaultEvent(time_s=DAY + HOUR, action="data-bitrot", target="55",
+                       value=0.2),
+        )
+        assert (55, 2) not in tiny_sensing.summaries
+        struck = apply_data_faults(tiny_sensing, plan, seed=0)
+        assert set(struck.summaries) == set(tiny_sensing.summaries)
+
+    def test_truncate_shortens_every_channel(self, tiny_sensing):
+        key = (1, 2)
+        n = tiny_sensing.summaries[key].n_frames
+        plan = data_plan(
+            FaultEvent(time_s=DAY + HOUR, action="data-truncate", target="1",
+                       value=0.5),
+        )
+        struck = apply_data_faults(tiny_sensing, plan, seed=0)
+        s = struck.summaries[key]
+        assert s.n_frames == n // 2
+        for name in ("active", "worn", "room", "x", "accel_rms", "sound_db"):
+            assert getattr(s, name).shape[0] == n // 2
+        if s.true_room is not None:
+            assert s.true_room.shape[0] == n // 2
+
+    def test_duplicate_lengthens_the_day(self, tiny_sensing):
+        key = (1, 2)
+        n = tiny_sensing.summaries[key].n_frames
+        plan = data_plan(
+            FaultEvent(time_s=DAY + HOUR, action="data-duplicate", target="1",
+                       value=0.1),
+        )
+        struck = apply_data_faults(tiny_sensing, plan, seed=0)
+        assert struck.summaries[key].n_frames > n
+
+    def test_clock_skew_shifts_t0(self, tiny_sensing):
+        key = (1, 2)
+        t0 = tiny_sensing.summaries[key].t0
+        plan = data_plan(
+            FaultEvent(time_s=DAY + HOUR, action="data-clock-skew", target="1",
+                       value=-7200.0),
+        )
+        struck = apply_data_faults(tiny_sensing, plan, seed=0)
+        assert struck.summaries[key].t0 == t0 - 7200.0
+
+    def test_stuck_latches_the_accelerometer(self, tiny_sensing):
+        key = (1, 2)
+        plan = data_plan(
+            FaultEvent(time_s=DAY + HOUR, action="data-stuck", target="1",
+                       value=0.4),
+        )
+        struck = apply_data_faults(tiny_sensing, plan, seed=0)
+        accel = struck.summaries[key].accel_rms
+        values, counts = np.unique(accel[np.isfinite(accel)], return_counts=True)
+        n = struck.summaries[key].n_frames
+        assert counts.max() >= int(0.4 * n)

@@ -33,3 +33,38 @@ class TestCli:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["explode"])
+
+
+class TestQualityCli:
+    def test_corruption_campaign_reports(self, capsys):
+        args = ["quality", "--days", "3", "--seed", "21", "--no-events",
+                "--campaign-seed", "1"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "data-corruption events" in out
+        assert "data quality:" in out
+
+    def test_clean_gate_all_ok(self, capsys):
+        args = ["quality", "--days", "2", "--seed", "21", "--no-events",
+                "--clean"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert "coverage 100.0%" in out
+
+    def test_json_dump_is_valid(self, capsys):
+        import json
+
+        args = ["quality", "--days", "2", "--seed", "21", "--no-events",
+                "--clean", "--json"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out.splitlines()[-1])
+        assert payload["coverage"] == 1.0
+
+    def test_analyze_gate_off(self, capsys, tiny_args, tmp_path):
+        path = str(tmp_path / "ds")
+        assert main(["save", *tiny_args, path]) == 0
+        capsys.readouterr()
+        assert main(["analyze", path, "--gate", "off"]) == 0
+        assert "company" in capsys.readouterr().out

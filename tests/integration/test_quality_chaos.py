@@ -1,0 +1,77 @@
+"""Tier-2 chaos: a full-scale corruption campaign through the whole path.
+
+A reference-size mission (full crew, default frame rate) under a seeded
+campaign mixing bus faults, sensing faults, *and* every data-corruption
+kind, run through ``run_mission`` with the quality gate engaged and then
+through every analytics entry point and all the paper figures.  This is
+the deployment the paper actually had — radios flaking, batteries dying,
+storage rotting — and the acceptance bar is that the analysis layer
+digests it without a single uncaught exception while reporting honest
+coverage.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import MissionConfig
+from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
+from repro.experiments.mission import run_mission
+from repro.faults.campaign import FaultCampaign
+
+from tests.quality.conftest import run_every_analysis
+
+pytestmark = pytest.mark.tier2
+
+
+def _everything_campaign(days: int, seed: int = 0) -> FaultCampaign:
+    return dataclasses.replace(
+        FaultCampaign.reference(days=days, seed=seed),
+        bitrot_days=3, truncated_days=2, duplicated_days=2,
+        stuck_days=2, clock_desyncs=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_quality_result():
+    days = 4
+    plan = _everything_campaign(days).generate()
+    cfg = MissionConfig(days=days, seed=13, events=None, fault_plan=plan)
+    return run_mission(cfg)
+
+
+class TestFullScaleCorruption:
+    def test_gate_engaged_with_dirty_verdicts(self, chaos_quality_result):
+        report = chaos_quality_result.quality
+        assert report is not None
+        assert report.n_repaired + report.n_quarantined > 0
+        assert report.coverage() < 1.0
+
+    def test_reliability_and_quality_coexist(self, chaos_quality_result):
+        # Bus-level fault reporting is unaffected by the data layer.
+        assert chaos_quality_result.reliability is not None
+        text = chaos_quality_result.to_text()
+        assert "data quality:" in text
+
+    def test_every_analysis_completes(self, chaos_quality_result):
+        results = run_every_analysis(chaos_quality_result.sensing)
+        assert results
+        for name, result in results.items():
+            coverage = getattr(result, "coverage", 1.0)
+            assert 0.0 <= coverage <= 1.0, name
+
+    def test_every_figure_completes(self, chaos_quality_result):
+        result = chaos_quality_result
+        names, counts = fig2(result)
+        assert counts.shape == (len(names), len(names))
+        fig3(result, result.assignment.roster.ids[0])
+        fig4(result)
+        fig5(result)
+        fig6(result)
+
+    def test_report_reproduces_byte_for_byte(self, chaos_quality_result):
+        days = 4
+        plan = _everything_campaign(days).generate()
+        cfg = MissionConfig(days=days, seed=13, events=None, fault_plan=plan)
+        again = run_mission(cfg)
+        assert again.quality.to_json() == chaos_quality_result.quality.to_json()

@@ -1,0 +1,133 @@
+"""Fixtures for the quality-gate tests: one tiny mission, reused.
+
+The gate tests corrupt *copies* of the dataset, so a single simulated
+mission (2 crew, 3 days, 60 s frames -> 840 frames per badge-day) can
+back the whole package, including the property-based suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.analytics.dataset import MissionSensing
+from repro.badges.pipeline import PairwiseDay
+from repro.core.config import MissionConfig
+from repro.experiments.mission import run_mission
+from repro.quality.gate import ALL_CHANNELS
+
+#: The fixed profile the tier-1 property suite runs under: derandomized
+#: (every CI run explores the identical example sequence) and capped, so
+#: the suite's cost and outcome are deterministic.
+settings.register_profile(
+    "quality-tier1",
+    derandomize=True,
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="package")
+def small_cfg() -> MissionConfig:
+    return MissionConfig(days=3, crew_size=2, frame_dt=60.0, seed=5, events=None)
+
+
+@pytest.fixture(scope="package")
+def small_sensing(small_cfg):
+    return run_mission(small_cfg).sensing
+
+
+def mutable_copy(sensing: MissionSensing) -> MissionSensing:
+    """A deep-enough copy whose arrays can be corrupted freely."""
+    new = MissionSensing(
+        cfg=sensing.cfg, plan=sensing.plan, assignment=sensing.assignment
+    )
+    for key, summary in sensing.summaries.items():
+        arrays = {name: getattr(summary, name).copy() for name in ALL_CHANNELS}
+        if summary.true_room is not None:
+            arrays["true_room"] = summary.true_room.copy()
+        new.summaries[key] = dataclasses.replace(summary, **arrays)
+    for day, pairwise in sensing.pairwise.items():
+        copy = PairwiseDay(day=pairwise.day)
+        copy.ir_contact = {k: v.copy() for k, v in pairwise.ir_contact.items()}
+        copy.subghz_rssi = {k: v.copy() for k, v in pairwise.subghz_rssi.items()}
+        new.pairwise[day] = copy
+    return new
+
+
+def run_every_analysis(sensing: MissionSensing) -> dict[str, object]:
+    """Exercise every public analytics entry point on one dataset.
+
+    Returns ``{name: result}`` so callers can make further assertions
+    (coverage bounds, determinism).  Any uncaught exception is the
+    test failure — the point of the quality gate is that no dataset it
+    serves can crash an analysis.
+    """
+    from repro.analytics.anomalies import (
+        badge_swap_suspicions,
+        machine_speech_share,
+        quiet_days,
+        unplanned_gatherings,
+    )
+    from repro.analytics.centrality import company_and_authority
+    from repro.analytics.environment import daily_ambient_noise, quiet_noise_days
+    from repro.analytics.interactions import (
+        company_seconds,
+        ir_contact_seconds,
+        pair_copresence_seconds,
+        pair_meeting_seconds,
+        pairwise_matrix,
+        private_talk_seconds,
+    )
+    from repro.analytics.meetings import detect_meetings, whole_crew_meetings
+    from repro.analytics.occupancy import (
+        room_occupancy_seconds,
+        stay_durations_by_room,
+        typical_stay_hours,
+    )
+    from repro.analytics.reports import deployment_stats, table1
+    from repro.analytics.speakers import enroll_profiles, sex_classification_report
+    from repro.analytics.speech import daily_speech_fraction, mission_speech_fraction
+    from repro.analytics.timeline import day_timeline
+    from repro.analytics.transitions import top_transitions, transition_matrix
+    from repro.analytics.walking import daily_walking_fraction, mission_walking_fraction
+
+    results: dict[str, object] = {}
+    results["occupancy.stays"] = stay_durations_by_room(sensing)
+    results["occupancy.seconds"] = room_occupancy_seconds(sensing)
+    results["occupancy.typical"] = typical_stay_hours(sensing, "kitchen")
+    names, counts = transition_matrix(sensing)
+    results["transitions.matrix"] = transition_matrix(sensing)
+    results["transitions.top"] = top_transitions(names, counts)
+    results["interactions.company"] = company_seconds(sensing)
+    pairs = pair_copresence_seconds(sensing)
+    results["interactions.copresence"] = pairs
+    results["interactions.private"] = private_talk_seconds(sensing)
+    results["interactions.meeting"] = pair_meeting_seconds(sensing)
+    results["interactions.ir"] = ir_contact_seconds(sensing)
+    results["interactions.matrix"] = pairwise_matrix(
+        pairs, tuple(sensing.assignment.roster.ids))
+    results["walking.daily"] = daily_walking_fraction(sensing)
+    results["walking.mission"] = mission_walking_fraction(sensing)
+    results["speech.daily"] = daily_speech_fraction(sensing)
+    results["speech.mission"] = mission_speech_fraction(sensing)
+    results["speakers.profiles"] = enroll_profiles(sensing)
+    results["speakers.sex"] = sex_classification_report(sensing)
+    results["centrality"] = company_and_authority(sensing)
+    results["environment.noise"] = daily_ambient_noise(sensing)
+    results["environment.quiet"] = quiet_noise_days(sensing)
+    results["anomalies.quiet_days"] = quiet_days(sensing)
+    results["anomalies.swaps"] = badge_swap_suspicions(sensing)
+    results["anomalies.machine"] = machine_speech_share(sensing)
+    results["reports.table1"] = table1(sensing)
+    results["reports.deployment"] = deployment_stats(sensing)
+    for day in sensing.cfg.instrumented_days:
+        results[f"meetings.day{day}"] = detect_meetings(sensing, day)
+        results[f"meetings.crew.day{day}"] = whole_crew_meetings(sensing, day)
+        results[f"anomalies.gatherings.day{day}"] = unplanned_gatherings(
+            sensing, day, scheduled_windows=[])
+        results[f"timeline.day{day}"] = day_timeline(sensing, day)
+    return results

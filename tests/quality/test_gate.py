@@ -1,0 +1,303 @@
+"""Unit tests for the validating ingest gate."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DataError
+from repro.quality import (
+    VERDICT_OK,
+    VERDICT_QUARANTINED,
+    VERDICT_REPAIRED,
+    QualityPolicy,
+    gate_sensing,
+    validate_sensing,
+)
+
+from tests.quality.conftest import mutable_copy
+
+
+def crew_key(sensing):
+    """A (badge_id, day) belonging to a crew badge (not the reference)."""
+    ref = sensing.assignment.reference_id
+    return min(k for k in sensing.summaries if k[0] != ref)
+
+
+class TestCleanDataset:
+    def test_every_verdict_ok(self, small_sensing):
+        report = validate_sensing(small_sensing)
+        assert report.all_ok
+        assert report.n_ok == len(small_sensing.summaries)
+        assert report.n_repaired == 0 and report.n_quarantined == 0
+
+    def test_coverage_is_exactly_one(self, small_sensing):
+        assert validate_sensing(small_sensing).coverage() == 1.0
+
+    def test_gate_serves_the_same_objects(self, small_sensing):
+        gated, report = gate_sensing(small_sensing)
+        assert report.all_ok
+        for key, summary in small_sensing.summaries.items():
+            assert gated.summaries[key] is summary
+        for day, pairwise in small_sensing.pairwise.items():
+            assert gated.pairwise[day] is pairwise
+
+    def test_report_attached_to_gated_dataset(self, small_sensing):
+        gated, report = gate_sensing(small_sensing)
+        assert gated.quality is report
+
+    def test_report_json_is_reproducible(self, small_sensing):
+        a = validate_sensing(small_sensing).to_json()
+        b = validate_sensing(small_sensing).to_json()
+        assert a == b
+
+    def test_validate_does_not_mutate(self, small_sensing):
+        key = crew_key(small_sensing)
+        before = small_sensing.summaries[key].accel_rms.copy()
+        validate_sensing(small_sensing)
+        np.testing.assert_array_equal(small_sensing.summaries[key].accel_rms, before)
+
+
+class TestRepairs:
+    def corrupt(self, small_sensing, **channel_edits):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        summary = sensing.summaries[key]
+        for name, edit in channel_edits.items():
+            edit(getattr(summary, name))
+        return sensing, key
+
+    def test_nan_run_is_masked_not_served(self, small_sensing):
+        def edit(accel):
+            accel[100:160] = np.nan
+
+        sensing, key = self.corrupt(small_sensing, accel_rms=edit)
+        # Only frames that were recording count as corrupt.
+        expected = int(sensing.summaries[key].active[100:160].sum())
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert verdict.verdict == VERDICT_REPAIRED
+        assert {i.kind for i in verdict.issues} == {"nan-in-active"}
+        assert verdict.repairs["masked-nan"] == expected
+        assert not gated.summaries[key].active[100:160].any()
+        assert verdict.coverage < 1.0
+
+    def test_impossible_values_masked(self, small_sensing):
+        def edit(accel):
+            accel[:50] = -5.0
+
+        sensing, key = self.corrupt(small_sensing, accel_rms=edit)
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert verdict.verdict == VERDICT_REPAIRED
+        assert verdict.repairs["masked-impossible"] == 50
+        assert not gated.summaries[key].active[:50].any()
+        assert (gated.summaries[key].room[:50] == -1).all()
+
+    def test_stuck_sensor_masked(self, small_sensing):
+        def edit_accel(accel):
+            accel[200:400] = 0.123
+
+        def edit_active(active):
+            active[200:400] = True
+
+        sensing, key = self.corrupt(
+            small_sensing, accel_rms=edit_accel, active=edit_active)
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert "stuck-values" in {i.kind for i in verdict.issues}
+        assert verdict.repairs["masked-stuck"] >= 200
+
+    def test_duplicated_frames_dropped(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        dupe = {
+            name: np.concatenate([getattr(s, name), getattr(s, name)[:100]])
+            for name in ("active", "worn", "room", "x", "y", "accel_rms",
+                         "voice_db", "dominant_pitch_hz", "pitch_stability",
+                         "sound_db")
+        }
+        if s.true_room is not None:
+            dupe["true_room"] = np.concatenate([s.true_room, s.true_room[:100]])
+        sensing.summaries[key] = dataclasses.replace(s, **dupe)
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert verdict.verdict == VERDICT_REPAIRED
+        assert verdict.repairs["deduplicated"] == 100
+        expected = sensing.cfg.frames_per_day
+        assert gated.summaries[key].n_frames == expected
+        # Dropping surplus frames loses nothing that was expected.
+        assert verdict.coverage == 1.0
+
+    def test_truncated_day_padded_inactive(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        keep = s.n_frames // 2
+        cut = {
+            name: getattr(s, name)[:keep]
+            for name in ("active", "worn", "room", "x", "y", "accel_rms",
+                         "voice_db", "dominant_pitch_hz", "pitch_stability",
+                         "sound_db")
+        }
+        if s.true_room is not None:
+            cut["true_room"] = s.true_room[:keep]
+        sensing.summaries[key] = dataclasses.replace(s, **cut)
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert verdict.verdict == VERDICT_REPAIRED
+        assert verdict.repairs["padded"] == s.n_frames - keep
+        padded = gated.summaries[key]
+        assert padded.n_frames == sensing.cfg.frames_per_day
+        assert not padded.active[keep:].any()
+        assert verdict.coverage == pytest.approx(keep / s.n_frames)
+
+    def test_clock_skew_reset(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        sensing.summaries[key] = dataclasses.replace(s, t0=s.t0 + 7200.0)
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert verdict.verdict == VERDICT_REPAIRED
+        assert verdict.repairs["clock-reset"] == 1
+        assert gated.summaries[key].t0 == s.t0
+
+    def test_out_of_range_room_cleared(self, small_sensing):
+        def edit(room):
+            room[10:20] = 99
+
+        sensing, key = self.corrupt(small_sensing, room=edit)
+        gated, report = gate_sensing(sensing)
+        assert report.verdict_for(*key).repairs["room-cleared"] == 10
+        assert (gated.summaries[key].room[10:20] == -1).all()
+
+    def test_out_of_bounds_coords_clamped(self, small_sensing):
+        def edit(x):
+            x[5:15] = 1e6
+
+        sensing, key = self.corrupt(small_sensing, x=edit)
+        gated, report = gate_sensing(sensing)
+        assert report.verdict_for(*key).repairs["clamped"] >= 1
+        policy = QualityPolicy.for_sensing(sensing)
+        assert float(np.nanmax(gated.summaries[key].x)) <= policy.bounds[2]
+
+    def test_wrong_dtype_recast(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        sensing.summaries[key] = dataclasses.replace(
+            s, active=s.active.astype(np.int8))
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert verdict.verdict == VERDICT_REPAIRED
+        assert verdict.repairs["recast"] == 1
+        assert gated.summaries[key].active.dtype == np.bool_
+        # Recasting loses no frames.
+        assert verdict.coverage == 1.0
+
+
+class TestQuarantine:
+    def test_foreign_badge_quarantined(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries.pop(key)
+        sensing.summaries[(77, key[1])] = dataclasses.replace(s, badge_id=77)
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(77, key[1])
+        assert verdict.verdict == VERDICT_QUARANTINED
+        assert verdict.issues[0].kind == "foreign-badge-day"
+        assert (77, key[1]) not in gated.summaries
+
+    def test_broken_clock_quarantined(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        sensing.summaries[key] = dataclasses.replace(s, dt=s.dt * 2)
+        gated, report = gate_sensing(sensing)
+        assert report.verdict_for(*key).verdict == VERDICT_QUARANTINED
+        assert key not in gated.summaries
+
+    def test_empty_badge_day_quarantined(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        empty = {
+            name: getattr(s, name)[:0]
+            for name in ("active", "worn", "room", "x", "y", "accel_rms",
+                         "voice_db", "dominant_pitch_hz", "pitch_stability",
+                         "sound_db")
+        }
+        if s.true_room is not None:
+            empty["true_room"] = s.true_room[:0]
+        sensing.summaries[key] = dataclasses.replace(s, **empty)
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert verdict.verdict == VERDICT_QUARANTINED
+        assert verdict.frames_usable == 0
+
+    def test_mostly_corrupt_day_quarantined(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        s.active[:] = True
+        s.accel_rms[:] = np.nan
+        gated, report = gate_sensing(sensing)
+        verdict = report.verdict_for(*key)
+        assert verdict.verdict == VERDICT_QUARANTINED
+        assert "mostly-corrupt" in {i.kind for i in verdict.issues}
+        assert key not in gated.summaries
+
+    def test_quarantine_zeroes_day_coverage(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        sensing.summaries[key] = dataclasses.replace(s, dt=s.dt * 2)
+        report = validate_sensing(sensing)
+        assert report.coverage() < 1.0
+        assert report.verdict_for(*key).coverage == 0.0
+
+    def test_strict_raises_on_quarantine(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        s = sensing.summaries[key]
+        sensing.summaries[key] = dataclasses.replace(s, dt=s.dt * 2)
+        with pytest.raises(DataError):
+            gate_sensing(sensing, strict=True)
+
+    def test_strict_passes_clean_data(self, small_sensing):
+        gated, report = gate_sensing(small_sensing, strict=True)
+        assert report.all_ok
+
+
+class TestPairwiseGate:
+    def test_pairs_of_quarantined_badge_dropped(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        key = crew_key(sensing)
+        badge, day = key
+        s = sensing.summaries[key]
+        sensing.summaries[key] = dataclasses.replace(s, dt=s.dt * 2)
+        n_pairs = sum(
+            1 for (i, j) in sensing.pairwise[day].ir_contact if badge in (i, j)
+        )
+        assert n_pairs > 0
+        gated, report = gate_sensing(sensing)
+        assert report.pairwise_dropped == n_pairs
+        assert all(
+            badge not in pair for pair in gated.pairwise[day].ir_contact
+        )
+
+    def test_ragged_contact_stream_repaired(self, small_sensing):
+        sensing = mutable_copy(small_sensing)
+        day = small_sensing.days[0]
+        pair = min(sensing.pairwise[day].ir_contact)
+        contact = sensing.pairwise[day].ir_contact[pair]
+        sensing.pairwise[day].ir_contact[pair] = contact[: len(contact) // 2]
+        gated, report = gate_sensing(sensing)
+        assert report.pairwise_repaired == 1
+        fixed = gated.pairwise[day].ir_contact[pair]
+        assert fixed.shape[0] == sensing.cfg.frames_per_day
+        assert not fixed[len(contact) // 2:].any()

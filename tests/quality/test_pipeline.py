@@ -1,0 +1,165 @@
+"""Acceptance tests: the full sensing→gate→analysis path on dirty data.
+
+The PR's contract, end to end:
+
+* a seeded corruption :class:`~repro.faults.campaign.FaultCampaign` run
+  through :func:`run_mission` and **all** Figure 2–6 / Table I analyses
+  completes without an uncaught exception, reports coverage below 1,
+  and the same seed reproduces the identical
+  :class:`~repro.quality.report.DataQualityReport` byte for byte;
+* a clean mission passes the gate with every verdict ``ok``, coverage
+  exactly 1.0, and analytics outputs bit-identical to the ungated run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import MissionConfig
+from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6
+from repro.experiments.mission import run_mission
+from repro.faults.campaign import FaultCampaign
+from repro.quality import validate_sensing
+
+from tests.quality.conftest import run_every_analysis
+
+
+def corrupted_config(seed: int = 0) -> MissionConfig:
+    campaign = FaultCampaign.corruption(days=3, seed=seed, n_badges=2)
+    return MissionConfig(
+        days=3, crew_size=2, frame_dt=60.0, seed=5, events=None,
+        fault_plan=campaign.generate(),
+    )
+
+
+@pytest.fixture(scope="module")
+def corrupted_result():
+    return run_mission(corrupted_config())
+
+
+class TestCorruptionCampaign:
+    def test_gate_engaged_and_found_damage(self, corrupted_result):
+        report = corrupted_result.quality
+        assert report is not None
+        assert report.n_repaired + report.n_quarantined > 0
+        assert corrupted_result.sensing.quality is report
+
+    def test_coverage_below_one(self, corrupted_result):
+        assert corrupted_result.quality.coverage() < 1.0
+
+    def test_every_analysis_completes_with_partial_coverage(
+            self, corrupted_result):
+        results = run_every_analysis(corrupted_result.sensing)
+        coverages = [getattr(r, "coverage", 1.0) for r in results.values()]
+        assert all(0.0 <= c <= 1.0 for c in coverages)
+        # The damage is visible, not silently absorbed: the mission-wide
+        # analyses all report the same sub-1 usable-data fraction.
+        assert min(coverages) < 1.0
+
+    def test_all_figures_complete(self, corrupted_result):
+        names, counts = fig2(corrupted_result)
+        assert counts.shape == (len(names), len(names))
+        fig3(corrupted_result, corrupted_result.assignment.roster.ids[0])
+        fig4(corrupted_result)
+        fig5(corrupted_result)
+        fig6(corrupted_result)
+
+    def test_table1_reports_its_coverage(self, corrupted_result):
+        from repro.analytics.reports import table1
+
+        table = table1(corrupted_result.sensing)
+        assert table.coverage < 1.0
+        assert "of the expected data" in table.to_text()
+        assert table.to_dict()["coverage"] == table.coverage
+
+    def test_same_seed_reproduces_report_byte_for_byte(self, corrupted_result):
+        again = run_mission(corrupted_config())
+        assert again.quality.to_json() == corrupted_result.quality.to_json()
+
+    def test_different_campaign_seed_differs(self, corrupted_result):
+        other = run_mission(corrupted_config(seed=1))
+        assert other.quality.to_json() != corrupted_result.quality.to_json()
+
+    def test_quality_surfaces_in_mission_result(self, corrupted_result):
+        assert corrupted_result.to_dict()["quality"]["coverage"] < 1.0
+        assert "data quality:" in corrupted_result.to_text()
+
+
+class TestCleanMission:
+    @pytest.fixture(scope="class")
+    def clean_cfg(self):
+        return MissionConfig(days=3, crew_size=2, frame_dt=60.0, seed=5,
+                             events=None)
+
+    def test_auto_mode_skips_the_gate_when_nothing_is_dirty(self, clean_cfg):
+        result = run_mission(clean_cfg)
+        assert result.quality is None
+        assert result.sensing.quality is None
+
+    def test_gated_clean_mission_all_ok(self, clean_cfg):
+        result = run_mission(clean_cfg, quality="gate")
+        assert result.quality is not None
+        assert result.quality.all_ok
+        assert result.quality.coverage() == 1.0
+
+    def test_strict_mode_passes_clean_data(self, clean_cfg):
+        result = run_mission(clean_cfg, quality="strict")
+        assert result.quality.all_ok
+
+    def test_gated_analytics_bit_identical_to_ungated(self, clean_cfg):
+        ungated = run_mission(clean_cfg, quality="off")
+        gated = run_mission(clean_cfg, quality="gate")
+        for key, summary in ungated.sensing.summaries.items():
+            twin = gated.sensing.summaries[key]
+            for name in ("active", "worn", "room", "x", "y", "accel_rms",
+                         "voice_db", "sound_db"):
+                import numpy as np
+                np.testing.assert_array_equal(
+                    getattr(summary, name), getattr(twin, name))
+        a = run_every_analysis(ungated.sensing)
+        b = run_every_analysis(gated.sensing)
+        for name in a:
+            assert repr(a[name]) == repr(b[name]), name
+
+    def test_invalid_quality_mode_rejected(self, clean_cfg):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_mission(clean_cfg, quality="paranoid")
+
+
+class TestObsWiring:
+    def test_gate_counts_and_spans_surface_in_telemetry(self):
+        from repro import obs
+
+        obs.enable()
+        try:
+            result = run_mission(corrupted_config())
+        finally:
+            telemetry = obs.export.to_dict()
+            obs.disable()
+        metrics = telemetry["metrics"]
+        assert metrics["quality.badge_days"]["type"] == "counter"
+        verdicts = {
+            s["labels"]["verdict"]: s["value"]
+            for s in metrics["quality.badge_days"]["series"]
+        }
+        assert sum(verdicts.values()) == len(result.quality.verdicts)
+        assert "faults.data_events" in metrics
+        assert "quality.repairs" in metrics
+        spans = {s["name"] for s in telemetry["spans"]}
+        assert "quality.gate" in spans
+        assert result.quality is not None
+
+
+class TestStandaloneValidate:
+    def test_validate_matches_mission_gate_verdicts(self, corrupted_result):
+        """validate_sensing on the pre-gate dataset reproduces the
+        verdicts run_mission attached (same gate, same policy)."""
+        cfg = corrupted_config()
+        ungated = run_mission(
+            dataclasses.replace(cfg), quality="off").sensing
+        report = validate_sensing(ungated)
+        assert report.to_json() == corrupted_result.quality.to_json()

@@ -1,0 +1,205 @@
+"""Property-based tests: random corruption cannot crash the pipeline.
+
+Hypothesis drives arbitrary sequences of the damage a real deployment
+produces (garbage values, truncation, duplication, dtype drift, clock
+skew, dead badge-days) into a copy of a clean dataset, then asserts the
+system-level contract:
+
+* :func:`validate_sensing` renders a legal verdict for every badge-day
+  it saw, with coverage in ``[0, 1]``, and reports byte-identically on
+  repeated inspection;
+* :func:`gate_sensing` serves a dataset on which **every** analytics
+  entry point completes without an uncaught exception, each result's
+  coverage within ``[0, 1]``;
+* a gated dataset re-enters the gate with every verdict ``ok``
+  (repairs converge — the gate never ping-pongs).
+
+Runs under the fixed ``quality-tier1`` profile (derandomized, capped
+examples) so tier-1 cost and outcome are deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality import VERDICTS, gate_sensing, validate_sensing
+from repro.quality.gate import FLOAT_CHANNELS
+
+from tests.quality.conftest import mutable_copy, run_every_analysis
+
+FIXED = settings.get_profile("quality-tier1")
+
+#: Values bit-rot plausibly writes into a float stream.
+GARBAGE = (float("nan"), float("inf"), float("-inf"), -1e12, 1e12, -5.0)
+
+CORRUPTION_KINDS = (
+    "garbage", "bad-room", "truncate", "duplicate", "empty",
+    "clock-skew", "break-dt", "recast", "force-active", "drop",
+)
+
+
+@st.composite
+def corruptions(draw):
+    """One corruption op: ``(victim index, kind, parameters)``."""
+    kind = draw(st.sampled_from(CORRUPTION_KINDS))
+    victim = draw(st.integers(min_value=0, max_value=31))
+    start = draw(st.floats(0.0, 0.9))
+    length = draw(st.floats(0.01, 1.0))
+    channel = draw(st.sampled_from(FLOAT_CHANNELS))
+    garbage = draw(st.sampled_from(GARBAGE))
+    return (victim, kind, start, length, channel, garbage)
+
+
+def corrupt(sensing, ops):
+    """Apply corruption ops to (a mutable copy of) a clean dataset."""
+    keys = sorted(sensing.summaries)
+    for victim, kind, start, length, channel, garbage in ops:
+        key = keys[victim % len(keys)]
+        if key not in sensing.summaries:  # dropped by an earlier op
+            continue
+        summary = sensing.summaries[key]
+        n = summary.n_frames
+        if n == 0 and kind not in ("drop", "clock-skew", "break-dt"):
+            continue
+        s = int(start * n)
+        e = min(n, s + max(1, int(length * n)))
+        if kind == "garbage":
+            getattr(summary, channel)[s:e] = garbage
+        elif kind == "bad-room":
+            summary.room[s:e] = 119
+        elif kind == "truncate":
+            arrays = {
+                name: getattr(summary, name)[:s]
+                for name in ("active", "worn", "room") + FLOAT_CHANNELS
+            }
+            if summary.true_room is not None:
+                arrays["true_room"] = summary.true_room[:s]
+            sensing.summaries[key] = dataclasses.replace(summary, **arrays)
+        elif kind == "duplicate":
+            arrays = {}
+            for name in ("active", "worn", "room") + FLOAT_CHANNELS:
+                a = getattr(summary, name)
+                arrays[name] = np.concatenate([a, a[s:e]])
+            if summary.true_room is not None:
+                arrays["true_room"] = np.concatenate(
+                    [summary.true_room, summary.true_room[s:e]])
+            sensing.summaries[key] = dataclasses.replace(summary, **arrays)
+        elif kind == "empty":
+            arrays = {
+                name: getattr(summary, name)[:0]
+                for name in ("active", "worn", "room") + FLOAT_CHANNELS
+            }
+            if summary.true_room is not None:
+                arrays["true_room"] = summary.true_room[:0]
+            sensing.summaries[key] = dataclasses.replace(summary, **arrays)
+        elif kind == "clock-skew":
+            sensing.summaries[key] = dataclasses.replace(
+                summary, t0=summary.t0 + (garbage if np.isfinite(garbage) else 7200.0))
+        elif kind == "break-dt":
+            sensing.summaries[key] = dataclasses.replace(
+                summary, dt=summary.dt * 3)
+        elif kind == "recast":
+            sensing.summaries[key] = dataclasses.replace(
+                summary,
+                active=summary.active.astype(np.int8),
+                **{channel: getattr(summary, channel).astype(np.float64)},
+            )
+        elif kind == "force-active":
+            summary.active[s:e] = True
+        elif kind == "drop":
+            del sensing.summaries[key]
+    return sensing
+
+
+class TestProperties:
+    @FIXED
+    @given(ops=st.lists(corruptions(), min_size=0, max_size=6))
+    def test_verdicts_are_legal_and_coverage_bounded(self, small_sensing, ops):
+        corrupted = corrupt(mutable_copy(small_sensing), ops)
+        report = validate_sensing(corrupted)
+        assert len(report.verdicts) == len(corrupted.summaries)
+        for verdict in report.verdicts:
+            assert verdict.verdict in VERDICTS
+            assert 0.0 <= verdict.coverage <= 1.0
+            assert 0 <= verdict.frames_usable <= verdict.frames_expected
+        assert 0.0 <= report.coverage() <= 1.0
+
+    @FIXED
+    @given(ops=st.lists(corruptions(), min_size=0, max_size=6))
+    def test_report_is_reproducible(self, small_sensing, ops):
+        corrupted = corrupt(mutable_copy(small_sensing), ops)
+        assert validate_sensing(corrupted).to_json() \
+            == validate_sensing(corrupted).to_json()
+
+    @FIXED
+    @given(ops=st.lists(corruptions(), min_size=1, max_size=6))
+    def test_every_analysis_survives_gated_corruption(self, small_sensing, ops):
+        corrupted = corrupt(mutable_copy(small_sensing), ops)
+        gated, report = gate_sensing(corrupted)
+        results = run_every_analysis(gated)
+        for name, result in results.items():
+            coverage = getattr(result, "coverage", 1.0)
+            assert 0.0 <= coverage <= 1.0, f"{name}: coverage {coverage}"
+
+    @FIXED
+    @given(ops=st.lists(corruptions(), min_size=1, max_size=6))
+    def test_gate_is_idempotent(self, small_sensing, ops):
+        """Repairs converge: a gated dataset re-enters the gate all-ok."""
+        corrupted = corrupt(mutable_copy(small_sensing), ops)
+        gated, _ = gate_sensing(corrupted)
+        second = validate_sensing(gated)
+        assert second.all_ok, [
+            (v.badge_id, v.day, [i.kind for i in v.issues])
+            for v in second.verdicts if v.verdict != "ok"
+        ]
+
+    @FIXED
+    @given(ops=st.lists(corruptions(), min_size=1, max_size=6))
+    def test_gate_never_mutates_its_input(self, small_sensing, ops):
+        corrupted = corrupt(mutable_copy(small_sensing), ops)
+        before = {
+            key: {name: getattr(s, name).copy()
+                  for name in ("active", "room", "accel_rms")}
+            for key, s in corrupted.summaries.items()
+        }
+        gate_sensing(corrupted)
+        for key, channels in before.items():
+            for name, arr in channels.items():
+                np.testing.assert_array_equal(
+                    getattr(corrupted.summaries[key], name), arr)
+
+
+class TestCleanRegression:
+    """A clean dataset is bit-identical through the gate, analytics
+    included — the gate must be free on the happy path."""
+
+    def test_clean_analytics_bit_identical(self, small_sensing):
+        gated, report = gate_sensing(small_sensing)
+        assert report.all_ok
+        plain = run_every_analysis(small_sensing)
+        through_gate = run_every_analysis(gated)
+        assert set(plain) == set(through_gate)
+        for name in plain:
+            a, b = plain[name], through_gate[name]
+            if isinstance(a, (dict, list, tuple, float, int)):
+                assert _equal(a, b), name
+            else:
+                assert repr(a) == repr(b), name
+        for result in through_gate.values():
+            assert getattr(result, "coverage", 1.0) == 1.0
+
+
+def _equal(a, b):
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray):
+        return np.array_equal(a, b, equal_nan=True)
+    if isinstance(a, float) and np.isnan(a):
+        return isinstance(b, float) and np.isnan(b)
+    return a == b
