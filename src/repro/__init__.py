@@ -29,6 +29,14 @@ from repro.experiments.tables import (
     build_table1,
 )
 from repro.habitat.floorplan import lunares_floorplan
+from repro.reliability import (
+    ReliabilityModel,
+    ReliabilityPrediction,
+    ValidationResult,
+    sweep_regimes,
+    validate_campaign,
+    worst_case_campaigns,
+)
 
 __version__ = "1.0.0"
 
@@ -39,8 +47,11 @@ __all__ = [
     "MissionCache",
     "MissionConfig",
     "MissionResult",
+    "ReliabilityModel",
+    "ReliabilityPrediction",
     "ReliabilityReport",
     "ScriptedEventsConfig",
+    "ValidationResult",
     "__version__",
     "build_deployment_stats",
     "build_section5_claims",
@@ -56,4 +67,7 @@ __all__ = [
     "run_mission",
     "run_support_scenario",
     "simulate_mission",
+    "sweep_regimes",
+    "validate_campaign",
+    "worst_case_campaigns",
 ]

@@ -6,8 +6,9 @@ Commands:
     save       simulate and persist the sensing dataset to a directory
     analyze    re-run all analyses on a previously saved dataset
     telemetry  run a short instrumented mission, print the telemetry report
-    faults     run a faulted mission under a seeded chaos campaign
+    faults     run a faulted mission under seeded chaos campaign(s)
     quality    run a data-corruption campaign and print the quality report
+    reliability  analytic CTMC model: predict, validate, worst-case search
 """
 
 from __future__ import annotations
@@ -148,33 +149,131 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
 def cmd_faults(args: argparse.Namespace) -> int:
     import dataclasses
     import json
+    import pathlib
 
     from repro.faults import FaultCampaign
 
-    cfg = _config(args)
-    campaign = FaultCampaign.reference(
-        days=cfg.days, seed=args.campaign_seed,
-        n_beacons=cfg.n_beacons, n_badges=cfg.crew_size,
-    )
-    plan = campaign.generate()
-    cfg = dataclasses.replace(cfg, fault_plan=plan)
-    print(f"campaign seed {args.campaign_seed}: {len(plan.events)} fault events "
-          f"({len(plan.bus_events())} bus, {len(plan.sensing_events())} sensing, "
-          f"{len(plan.data_events())} data)")
-    result = run_mission(cfg, execution=_execution(args), quality=args.quality)
-    print()
-    print(result.reliability.to_text())
-    if result.quality is not None:
+    base_cfg = _config(args)
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    collected: dict[str, dict] = {}
+    for i, campaign_seed in enumerate(args.campaign_seed):
+        if i:
+            print()
+        campaign = FaultCampaign.reference(
+            days=base_cfg.days, seed=campaign_seed,
+            n_beacons=base_cfg.n_beacons, n_badges=base_cfg.crew_size,
+        )
+        plan = campaign.generate()
+        cfg = dataclasses.replace(base_cfg, fault_plan=plan)
+        print(f"campaign seed {campaign_seed}: {len(plan.events)} fault events "
+              f"({len(plan.bus_events())} bus, {len(plan.sensing_events())} sensing, "
+              f"{len(plan.data_events())} data)")
+        result = run_mission(cfg, execution=_execution(args), quality=args.quality)
         print()
-        print(result.quality.to_text())
-    print()
-    print(f"badge-days sensed: {len(result.sensing.summaries)}, "
-          f"SD-card total: {result.sdcard.total_gib():.1f} GiB, "
-          f"cards over capacity: {result.sdcard.over_capacity() or 'none'}")
+        print(result.reliability.to_text())
+        if result.quality is not None:
+            print()
+            print(result.quality.to_text())
+        print()
+        print(f"badge-days sensed: {len(result.sensing.summaries)}, "
+              f"SD-card total: {result.sdcard.total_gib():.1f} GiB, "
+              f"cards over capacity: {result.sdcard.over_capacity() or 'none'}")
+        report_dict = result.reliability.to_dict()
+        collected[str(campaign_seed)] = report_dict
+        if out_dir is not None:
+            path = out_dir / f"faults-seed-{campaign_seed}.json"
+            path.write_text(json.dumps(report_dict, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {path}")
     if args.json:
         print()
-        print(json.dumps(result.reliability.to_dict(), indent=2, sort_keys=True))
+        if len(args.campaign_seed) == 1:
+            print(json.dumps(collected[str(args.campaign_seed[0])],
+                             indent=2, sort_keys=True))
+        else:
+            print(json.dumps(collected, indent=2, sort_keys=True))
     return 0
+
+
+def cmd_reliability(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.core.config import MissionConfig
+    from repro.faults.campaign import FaultCampaign
+    from repro.reliability import (
+        ReliabilityModel,
+        sweep_regimes,
+        validate_campaign,
+    )
+
+    def _campaign(seed: int) -> FaultCampaign:
+        return FaultCampaign.reference(days=args.days, seed=seed)
+
+    cfg = MissionConfig(days=args.days, seed=args.seed)
+
+    if args.rel_command == "predict":
+        model = ReliabilityModel(_campaign(args.campaign_seed),
+                                 earth_link_delay_s=cfg.earth_link_delay_s)
+        prediction = model.predict(args.confidence)
+        print(prediction.to_text())
+        if args.json:
+            print()
+            print(json.dumps(prediction.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.rel_command == "validate":
+        result, report = validate_campaign(
+            _campaign(args.campaign_seed), cfg, confidence=args.confidence)
+        print(result.to_text())
+        print()
+        print(report.to_text())
+        if args.json:
+            print()
+            print(json.dumps(
+                {"validation": result.to_dict(), "report": report.to_dict()},
+                indent=2, sort_keys=True))
+        return 0 if result.all_inside else 1
+
+    # search
+    regimes = sweep_regimes(
+        base=_campaign(0), n_regimes=args.regimes, seed=args.sweep_seed,
+        top_k=args.top, earth_link_delay_s=cfg.earth_link_delay_s)
+    print(f"swept {args.regimes} regimes analytically; "
+          f"top {args.top} predicted-worst:")
+    for regime in regimes:
+        print(f"  {regime.to_text()}")
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for regime in regimes:
+        model = ReliabilityModel(regime.campaign,
+                                 earth_link_delay_s=cfg.earth_link_delay_s)
+        artifact = {
+            "regime": regime.to_dict(),
+            "prediction": model.predict(args.confidence).to_dict(),
+        }
+        if args.empirical:
+            result, report = validate_campaign(
+                regime.campaign, cfg, confidence=args.confidence)
+            print()
+            print(f"=== regime #{regime.rank} (campaign seed "
+                  f"{regime.campaign.seed}) ===")
+            print(result.to_text())
+            artifact["validation"] = result.to_dict()
+            artifact["report"] = report.to_dict()
+            if not result.all_inside:
+                failures += 1
+        if out_dir is not None:
+            path = out_dir / f"regime-{regime.rank}.json"
+            path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {path}")
+    if args.json:
+        print()
+        print(json.dumps([r.to_dict() for r in regimes], indent=2, sort_keys=True))
+    return 1 if failures else 0
 
 
 def cmd_quality(args: argparse.Namespace) -> int:
@@ -244,11 +343,69 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_mission_args(p_flt)
     p_flt.set_defaults(days=3)  # short chaos mission by default; --days overrides
-    p_flt.add_argument("--campaign-seed", type=int, default=0,
-                       help="seed of the randomized fault campaign")
+    p_flt.add_argument("--campaign-seed", type=int, default=[0], nargs="+",
+                       metavar="SEED",
+                       help="seed(s) of the randomized fault campaign; "
+                            "multiple seeds run a sweep")
     p_flt.add_argument("--json", action="store_true",
-                       help="also dump the reliability report as JSON")
+                       help="also dump the reliability report(s) as JSON")
+    p_flt.add_argument("--out", default=None, metavar="DIR",
+                       help="archive each seed's reliability report as "
+                            "DIR/faults-seed-<seed>.json (for CI diffing)")
     p_flt.set_defaults(func=cmd_faults)
+
+    p_rel = sub.add_parser(
+        "reliability",
+        help="analytic CTMC reliability model: predict, validate, search",
+    )
+    rel_sub = p_rel.add_subparsers(dest="rel_command", required=True)
+
+    def _add_reliability_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--days", type=int, default=14,
+                       help="campaign horizon in days (default: 14)")
+        p.add_argument("--seed", type=int, default=7,
+                       help="mission seed for empirical runs")
+        p.add_argument("--confidence", type=float, default=0.998,
+                       help="two-sided band confidence (default: 0.998)")
+        p.add_argument("--json", action="store_true",
+                       help="also dump results as JSON")
+
+    p_pred = rel_sub.add_parser(
+        "predict", help="closed-form reliability forecast for a campaign")
+    _add_reliability_args(p_pred)
+    p_pred.add_argument("--campaign-seed", type=int, default=0,
+                        help="seed of the reference fault campaign")
+    p_pred.set_defaults(func=cmd_reliability)
+
+    p_val = rel_sub.add_parser(
+        "validate",
+        help="run a seeded campaign empirically, check it against the "
+             "model's confidence bands (exit 1 if any metric is outside)",
+    )
+    _add_reliability_args(p_val)
+    p_val.add_argument("--campaign-seed", type=int, default=0,
+                       help="seed of the reference fault campaign")
+    p_val.set_defaults(func=cmd_reliability)
+
+    p_srch = rel_sub.add_parser(
+        "search",
+        help="sweep the fault-rate space analytically, emit the top-K "
+             "predicted-worst regimes as seeded campaigns",
+    )
+    _add_reliability_args(p_srch)
+    p_srch.add_argument("--regimes", type=int, default=64,
+                        help="number of sampled regimes to score (default: 64)")
+    p_srch.add_argument("--top", type=int, default=3,
+                        help="how many worst regimes to emit (default: 3)")
+    p_srch.add_argument("--sweep-seed", type=int, default=0,
+                        help="seed of the regime sampler")
+    p_srch.add_argument("--empirical", action="store_true",
+                        help="also run each emitted regime empirically and "
+                             "validate it against the model")
+    p_srch.add_argument("--out", default=None, metavar="DIR",
+                        help="write per-regime prediction/validation JSON "
+                             "artifacts to DIR (for CI upload)")
+    p_srch.set_defaults(func=cmd_reliability)
 
     p_an = sub.add_parser("analyze", help="analyze a saved dataset")
     p_an.add_argument("path", help="directory written by 'save'")

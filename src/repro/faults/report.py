@@ -25,9 +25,15 @@ class ReliabilityReport:
     horizon_s: float
     #: Per-node fraction of the horizon spent up (1.0 = never down).
     availability: dict[str, float] = field(default_factory=dict)
-    #: Mean time to repair across closed outages (None if no outage).
+    #: Mean time to repair across *closed* outages (None if no closed
+    #: outage).  Outages still open at the horizon are right-censored:
+    #: their downtime counts against availability, but no repair was
+    #: observed, so they are excluded here and surfaced in
+    #: :attr:`n_censored_outages` instead of silently biasing the mean.
     mttr_s: Optional[float] = None
     n_outages: int = 0
+    #: Outages that had not repaired when the horizon ended.
+    n_censored_outages: int = 0
     #: Per message kind: sent/acked/dead/success over all reliable senders.
     delivery: dict[str, dict] = field(default_factory=dict)
     retries: int = 0
@@ -45,10 +51,15 @@ class ReliabilityReport:
     faults_injected: int = 0
     faults_skipped: int = 0
 
-    def delivery_success(self, kind: str) -> float:
+    def delivery_success(self, kind: str) -> Optional[float]:
+        """Acked fraction of reliable sends of ``kind``.
+
+        Returns ``None`` when no message of that kind was ever sent —
+        "no traffic" is not the same claim as "perfect delivery".
+        """
         entry = self.delivery.get(kind)
         if entry is None or entry["sent"] == 0:
-            return 1.0
+            return None
         return entry["acked"] / entry["sent"]
 
     def takeovers(self) -> list[float]:
@@ -64,6 +75,7 @@ class ReliabilityReport:
             "availability": {k: self.availability[k] for k in sorted(self.availability)},
             "mttr_s": self.mttr_s,
             "n_outages": self.n_outages,
+            "n_censored_outages": self.n_censored_outages,
             "delivery": {k: dict(self.delivery[k]) for k in sorted(self.delivery)},
             "retries": self.retries,
             "duplicates_suppressed": self.duplicates_suppressed,
@@ -92,13 +104,19 @@ class ReliabilityReport:
                 f"{node}={self.availability[node]:.4f}"
                 for node in sorted(self.availability)
             ) + f" (worst: {worst})")
-        if self.mttr_s is not None:
-            lines.append(f"  outages: {self.n_outages}, MTTR {self.mttr_s:.0f} s")
+        if self.n_outages or self.n_censored_outages:
+            mttr = f"MTTR {self.mttr_s:.0f} s" if self.mttr_s is not None \
+                else "MTTR n/a"
+            censored = f", {self.n_censored_outages} still open at horizon" \
+                if self.n_censored_outages else ""
+            lines.append(f"  outages: {self.n_outages} closed, {mttr}{censored}")
         for kind in sorted(self.delivery):
             entry = self.delivery[kind]
+            success = self.delivery_success(kind)
+            rendered = f"{success:.1%}" if success is not None else "n/a"
             lines.append(
                 f"  delivery[{kind}]: {entry['acked']}/{entry['sent']} acked "
-                f"({self.delivery_success(kind):.1%}), {entry['dead']} dead-lettered"
+                f"({rendered}), {entry['dead']} dead-lettered"
             )
         lines.append(
             f"  retries: {self.retries}, duplicates suppressed: "
@@ -150,23 +168,35 @@ def aggregate_delivery(network: Network) -> tuple[dict[str, dict], ReliableStats
 
 
 def availability_from_downtime(
-    downtime: dict[str, list[tuple[float, float]]],
+    downtime: dict[str, list[tuple[float, Optional[float]]]],
     nodes: list[str],
     horizon_s: float,
-) -> tuple[dict[str, float], Optional[float], int]:
-    """Compute per-node availability and MTTR from closed outage intervals.
+) -> tuple[dict[str, float], Optional[float], int, int]:
+    """Compute per-node availability and MTTR from outage intervals.
 
-    Returns ``(availability, mttr_s, n_outages)``; nodes without outages
-    report availability 1.0.
+    Intervals may be open (``end`` is ``None``) or extend past the
+    horizon (the recovery fired during the post-horizon queue drain);
+    both are **right-censored**: their downtime up to the horizon counts
+    against availability, but no within-horizon repair was observed, so
+    they are excluded from the MTTR mean and the closed-outage count and
+    reported separately.
+
+    Returns ``(availability, mttr_s, n_outages, n_censored)``; nodes
+    without outages report availability 1.0.
     """
     availability: dict[str, float] = {}
     repairs: list[float] = []
-    n_outages = 0
+    n_censored = 0
     for node in nodes:
-        intervals = downtime.get(node, [])
-        down = sum(end - start for start, end in intervals)
+        down = 0.0
+        for start, end in downtime.get(node, []):
+            start = min(start, horizon_s)
+            if end is None or end >= horizon_s:
+                n_censored += 1
+                down += horizon_s - start
+            else:
+                repairs.append(end - start)
+                down += end - start
         availability[node] = max(0.0, 1.0 - down / horizon_s) if horizon_s > 0 else 1.0
-        n_outages += len(intervals)
-        repairs.extend(end - start for start, end in intervals)
     mttr = sum(repairs) / len(repairs) if repairs else None
-    return availability, mttr, n_outages
+    return availability, mttr, len(repairs), n_censored

@@ -114,8 +114,11 @@ def _build_report(
     injector: FaultInjector,
 ) -> ReliabilityReport:
     delivery, totals, duplicates, dead_letters, pending = aggregate_delivery(network)
-    availability, mttr, n_outages = availability_from_downtime(
-        injector.closed_downtime(horizon), network.nodes(), horizon
+    # Raw intervals, open ends intact: outages that never repaired within
+    # the horizon (including recoveries that only fired during the
+    # post-horizon drain) are right-censored, not fake short repairs.
+    availability, mttr, n_outages, n_censored = availability_from_downtime(
+        injector.downtime, network.nodes(), horizon
     )
     transitions = sorted(
         [(t, replica.name, what)
@@ -130,6 +133,7 @@ def _build_report(
         availability=availability,
         mttr_s=mttr,
         n_outages=n_outages,
+        n_censored_outages=n_censored,
         delivery=delivery,
         retries=totals.retries,
         duplicates_suppressed=duplicates,

@@ -1,0 +1,64 @@
+"""repro.reliability: analytic CTMC reliability model + model-guided search.
+
+The fault campaigns in :mod:`repro.faults` measure reliability
+*empirically* — run the seeded campaign, read the
+:class:`~repro.faults.report.ReliabilityReport`.  This package is the
+matching *analytic* side:
+
+- :mod:`repro.reliability.ctmc` — CTMC machinery: generic generator
+  matrices, the up/down two-state chain every fault class reduces to,
+  and the finite-horizon sampling distributions (compound
+  Poisson-Erlang downtime) the confidence bands come from;
+- :mod:`repro.reliability.model` — :class:`ReliabilityModel`, which
+  derives transition rates *mechanically* from a
+  :class:`~repro.faults.campaign.FaultCampaign` and predicts
+  availability, MTTR, outage counts, and reliable-delivery success in
+  closed form;
+- :mod:`repro.reliability.validate` — runs a seeded campaign through
+  the real support stack and asserts the measured report lands inside
+  the model's bands (bands from the horizon's own sampling
+  distribution, not hand-tuned tolerances);
+- :mod:`repro.reliability.search` — sweeps the rate space cheaply in
+  closed form and emits the top-K predicted-worst regimes as concrete
+  seeded campaigns for the tier-2 chaos suite.
+
+Usage::
+
+    from repro.faults.campaign import FaultCampaign
+    from repro.reliability import ReliabilityModel, validate_campaign
+
+    campaign = FaultCampaign.reference(days=14, seed=0)
+    prediction = ReliabilityModel(campaign).predict()
+    result, report = validate_campaign(campaign)
+    assert result.all_inside
+"""
+
+from repro.reliability.ctmc import CTMC, TwoStateChain
+from repro.reliability.model import DEFAULT_CONFIDENCE, ReliabilityModel
+from repro.reliability.prediction import (
+    Band,
+    DeliveryPrediction,
+    Regime,
+    ReliabilityPrediction,
+    ValidationCheck,
+    ValidationResult,
+)
+from repro.reliability.search import sweep_regimes, worst_case_campaigns
+from repro.reliability.validate import compare_report, validate_campaign
+
+__all__ = [
+    "Band",
+    "CTMC",
+    "DEFAULT_CONFIDENCE",
+    "DeliveryPrediction",
+    "Regime",
+    "ReliabilityModel",
+    "ReliabilityPrediction",
+    "TwoStateChain",
+    "ValidationCheck",
+    "ValidationResult",
+    "compare_report",
+    "sweep_regimes",
+    "validate_campaign",
+    "worst_case_campaigns",
+]

@@ -1,0 +1,323 @@
+"""Continuous-time Markov chain machinery for the reliability model.
+
+Three layers, all pure NumPy and fully deterministic:
+
+- :class:`CTMC` — a generic finite-state chain over an explicit
+  generator matrix ``Q``: steady-state distribution by linear solve,
+  transient distribution by uniformization (no matrix exponential
+  dependency), and Kronecker-sum composition of independent chains.
+- :class:`TwoStateChain` — the up/down special case every fault class
+  reduces to, with the textbook closed forms: steady-state availability
+  ``mu / (lambda + mu)``, the transient ``A(t)``, and the expected
+  availability over a finite horizon (what a campaign actually samples).
+- Finite-horizon *distributions*: a fault class injects a Poisson number
+  of outage windows whose durations are (shifted) exponentials, so total
+  downtime is compound Poisson with Erlang summands.  Its CDF is closed
+  form (:func:`compound_downtime_cdf`), which is where the model's
+  confidence bands come from — quantiles of the horizon's own sampling
+  distribution, not hand-tuned tolerances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+__all__ = [
+    "CTMC",
+    "TwoStateChain",
+    "compound_downtime_cdf",
+    "compound_downtime_quantile",
+    "erlang_cdf",
+    "poisson_pmf",
+    "poisson_quantile",
+    "sample_mean_quantile",
+]
+
+
+# ---------------------------------------------------------------------------
+# Generic finite-state CTMC
+# ---------------------------------------------------------------------------
+
+
+class CTMC:
+    """A finite-state continuous-time Markov chain.
+
+    ``states`` names the state space; ``Q`` is the generator matrix
+    (off-diagonal rates non-negative, rows summing to zero).
+    """
+
+    def __init__(self, states: tuple[str, ...], Q: np.ndarray):
+        Q = np.asarray(Q, dtype=float)
+        n = len(states)
+        if Q.shape != (n, n):
+            raise ConfigError(f"generator must be {n}x{n}, got {Q.shape}")
+        off = Q.copy()
+        np.fill_diagonal(off, 0.0)
+        if (off < 0.0).any():
+            raise ConfigError("off-diagonal generator rates must be non-negative")
+        if not np.allclose(Q.sum(axis=1), 0.0, atol=1e-9):
+            raise ConfigError("generator rows must sum to zero")
+        self.states = tuple(states)
+        self.Q = Q
+
+    def index(self, state: str) -> int:
+        return self.states.index(state)
+
+    def steady_state(self) -> np.ndarray:
+        """The stationary distribution ``pi`` solving ``pi Q = 0``."""
+        n = len(self.states)
+        # Append the normalization constraint and least-squares solve.
+        a = np.vstack([self.Q.T, np.ones((1, n))])
+        b = np.zeros(n + 1)
+        b[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    def transient(self, p0: np.ndarray, t: float, tol: float = 1e-12) -> np.ndarray:
+        """State distribution at time ``t`` from ``p0``, by uniformization.
+
+        ``P(t) = sum_k e^{-qt} (qt)^k / k! * p0 P_hat^k`` with the
+        uniformized jump matrix ``P_hat = I + Q / q``; the Poisson series
+        is truncated once the accumulated mass exceeds ``1 - tol``.
+        """
+        p0 = np.asarray(p0, dtype=float)
+        if t < 0:
+            raise ConfigError("t must be non-negative")
+        q = float(np.max(-np.diag(self.Q)))
+        if q <= 0.0 or t == 0.0:
+            return p0.copy()
+        p_hat = np.eye(len(self.states)) + self.Q / q
+        qt = q * t
+        # Iterate the Poisson(qt) weights in log space for stability.
+        log_w = -qt  # k = 0
+        weight = math.exp(log_w)
+        acc = weight * p0
+        vec = p0.copy()
+        total = weight
+        k = 0
+        while total < 1.0 - tol and k < 100_000:
+            k += 1
+            vec = vec @ p_hat
+            log_w += math.log(qt) - math.log(k)
+            weight = math.exp(log_w)
+            acc = acc + weight * vec
+            total += weight
+        return acc / total
+
+    def compose(self, other: "CTMC", sep: str = "|") -> "CTMC":
+        """The joint chain of two independent CTMCs (Kronecker sum)."""
+        n, m = len(self.states), len(other.states)
+        Q = np.kron(self.Q, np.eye(m)) + np.kron(np.eye(n), other.Q)
+        states = tuple(
+            f"{a}{sep}{b}" for a in self.states for b in other.states
+        )
+        return CTMC(states, Q)
+
+
+# ---------------------------------------------------------------------------
+# The up/down two-state chain (closed forms)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TwoStateChain:
+    """An up/down chain: failure rate ``lam`` (1/s), repair rate ``mu``.
+
+    ``lam`` is the rate at which failures strike *while up*; ``mu`` is
+    the reciprocal mean outage duration.  ``lam = 0`` models an
+    unfaulted component (always up).
+    """
+
+    lam: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        if self.lam < 0.0:
+            raise ConfigError("failure rate must be non-negative")
+        if self.mu <= 0.0:
+            raise ConfigError("repair rate must be positive")
+
+    @property
+    def steady_state_availability(self) -> float:
+        return self.mu / (self.lam + self.mu)
+
+    @property
+    def steady_state_unavailability(self) -> float:
+        return self.lam / (self.lam + self.mu)
+
+    @property
+    def mean_downtime_s(self) -> float:
+        return 1.0 / self.mu
+
+    def availability_at(self, t: float) -> float:
+        """P(up at ``t``), starting up at 0 (transient closed form)."""
+        theta = self.lam + self.mu
+        a_inf = self.steady_state_availability
+        return a_inf + (1.0 - a_inf) * math.exp(-theta * t)
+
+    def expected_availability(self, horizon_s: float) -> float:
+        """Expected fraction of ``[0, horizon]`` spent up, starting up.
+
+        The time integral of :meth:`availability_at`:
+        ``A_bar(T) = A + U (1 - e^{-theta T}) / (theta T)``.
+        """
+        if horizon_s <= 0.0:
+            raise ConfigError("horizon must be positive")
+        theta = self.lam + self.mu
+        if theta == 0.0:
+            return 1.0
+        a_inf = self.steady_state_availability
+        u_inf = 1.0 - a_inf
+        return a_inf + u_inf * (1.0 - math.exp(-theta * horizon_s)) / (theta * horizon_s)
+
+    def expected_outages(self, horizon_s: float) -> float:
+        """Expected completed up->down transitions over the horizon.
+
+        The renewal rate of the alternating process: one outage per mean
+        cycle ``1/lam + 1/mu`` (slightly below ``lam * T`` because no new
+        failure can strike while already down — exactly the injector's
+        overlapping-window collapse).
+        """
+        if self.lam == 0.0:
+            return 0.0
+        return horizon_s / (1.0 / self.lam + 1.0 / self.mu)
+
+    def to_ctmc(self, up: str = "up", down: str = "down") -> CTMC:
+        """The explicit 2-state generator (for composition / cross-checks)."""
+        return CTMC(
+            (up, down),
+            np.array([[-self.lam, self.lam], [self.mu, -self.mu]]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Finite-horizon sampling distributions (confidence bands)
+# ---------------------------------------------------------------------------
+
+
+def poisson_pmf(k: int, mean: float) -> float:
+    if mean <= 0.0:
+        return 1.0 if k == 0 else 0.0
+    return math.exp(k * math.log(mean) - mean - math.lgamma(k + 1))
+
+
+def poisson_quantile(q: float, mean: float) -> int:
+    """Smallest ``k`` with ``P(N <= k) >= q`` for ``N ~ Poisson(mean)``."""
+    if not 0.0 < q < 1.0:
+        raise ConfigError("q must be in (0, 1)")
+    if mean <= 0.0:
+        return 0
+    acc = 0.0
+    k = 0
+    bound = int(mean + 20.0 * math.sqrt(mean) + 50.0)
+    while k <= bound:
+        acc += poisson_pmf(k, mean)
+        if acc >= q:
+            return k
+        k += 1
+    return bound
+
+
+def erlang_cdf(x: float, n: int, scale: float) -> float:
+    """P(Gamma(n, scale) <= x) for integer shape ``n`` (closed form)."""
+    if n < 0:
+        raise ConfigError("shape must be non-negative")
+    if n == 0:
+        return 1.0 if x >= 0.0 else 0.0
+    if x <= 0.0:
+        return 0.0
+    z = x / scale
+    # 1 - e^{-z} sum_{k<n} z^k / k!, accumulated in log space.
+    log_term = -z  # k = 0
+    acc = math.exp(log_term)
+    for k in range(1, n):
+        log_term += math.log(z) - math.log(k)
+        acc += math.exp(log_term)
+    return max(0.0, 1.0 - acc)
+
+
+def compound_downtime_cdf(
+    x: float,
+    n_windows_mean: float,
+    mean_duration_s: float,
+    shift_s: float = 0.0,
+    n_max: int | None = None,
+) -> float:
+    """CDF of total downtime from a Poisson number of outage windows.
+
+    ``N ~ Poisson(n_windows_mean)`` windows, each lasting
+    ``shift_s + Exp(mean_duration_s)`` (the campaign draws exactly this
+    shape), summed: ``P(D_total <= x) = sum_n P(N = n) *
+    ErlangCDF(x - n * shift; n, mean)``.  This is the *horizon's own*
+    sampling distribution of downtime, so band widths inherit the
+    skewness of rare-event campaigns instead of assuming normality.
+    """
+    if x < 0.0:
+        return 0.0
+    if n_windows_mean <= 0.0:
+        return 1.0
+    if n_max is None:
+        n_max = poisson_quantile(1.0 - 1e-12, n_windows_mean) + 1
+    acc = 0.0
+    for n in range(n_max + 1):
+        w = poisson_pmf(n, n_windows_mean)
+        if w <= 0.0:
+            continue
+        acc += w * erlang_cdf(x - n * shift_s, n, mean_duration_s)
+    return min(1.0, acc)
+
+
+def _bisect_quantile(cdf, q: float, lo: float, hi: float, iters: int = 200) -> float:
+    for _ in range(iters):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < q:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-9 * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)
+
+
+def compound_downtime_quantile(
+    q: float,
+    n_windows_mean: float,
+    mean_duration_s: float,
+    shift_s: float = 0.0,
+) -> float:
+    """Quantile of the compound-Poisson downtime distribution."""
+    if not 0.0 < q < 1.0:
+        raise ConfigError("q must be in (0, 1)")
+    if n_windows_mean <= 0.0:
+        return 0.0
+    if compound_downtime_cdf(0.0, n_windows_mean, mean_duration_s, shift_s) >= q:
+        return 0.0
+    n_hi = poisson_quantile(1.0 - 1e-9, n_windows_mean) + 1
+    hi = n_hi * (shift_s + 40.0 * mean_duration_s) + 1.0
+    return _bisect_quantile(
+        lambda x: compound_downtime_cdf(x, n_windows_mean, mean_duration_s, shift_s),
+        q, 0.0, hi,
+    )
+
+
+def sample_mean_quantile(q: float, n: int, mean_s: float, shift_s: float = 0.0) -> float:
+    """Quantile of the mean of ``n`` draws of ``shift + Exp(mean)``.
+
+    The sample mean of ``n`` exponentials is ``Gamma(n, mean/n)``; used
+    for the MTTR band, conditioned on the observed closed-outage count.
+    """
+    if n < 1:
+        raise ConfigError("n must be >= 1")
+    if not 0.0 < q < 1.0:
+        raise ConfigError("q must be in (0, 1)")
+    hi = shift_s + mean_s * (40.0 / math.sqrt(n) + 1.0)
+    return _bisect_quantile(
+        lambda x: erlang_cdf(max(0.0, x - shift_s), n, mean_s / n),
+        q, 0.0, hi,
+    )

@@ -1,0 +1,135 @@
+"""Empirical validation of the CTMC model against seeded campaigns.
+
+:func:`validate_campaign` generates the campaign's concrete fault plan,
+runs it through the real support stack
+(:func:`~repro.faults.scenario.run_support_scenario`), and checks that
+every measured :class:`~repro.faults.report.ReliabilityReport` metric —
+per-node availability, MTTR, closed-outage count, per-kind delivery
+success — lands inside the model's finite-horizon confidence bands.
+The whole pipeline is seeded, so a given ``(campaign, cfg)`` pair
+produces a byte-identical :class:`ValidationResult` every run; that is
+what the tier-1 reference-campaign tests pin.
+
+Model-vs-empirical residuals are exported through :mod:`repro.obs`
+(``reliability.model.delta`` gauges, ``reliability.validations``
+counter) so long-running deployments can watch the analytic model drift
+away from the measured system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import MissionConfig
+from repro.faults.campaign import FaultCampaign
+from repro.faults.report import ReliabilityReport
+from repro.faults.scenario import run_support_scenario
+from repro.obs import _state as _obs
+from repro.obs import metrics as _metrics
+from repro.obs import span
+from repro.reliability.model import DEFAULT_CONFIDENCE, ReliabilityModel
+from repro.reliability.prediction import ValidationCheck, ValidationResult
+
+
+def compare_report(
+    model: ReliabilityModel,
+    report: ReliabilityReport,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> ValidationResult:
+    """Check one measured report against the model's bands.
+
+    Pure function of ``(model, report)`` — no simulation, so it can also
+    grade archived reports.
+    """
+    checks: list[ValidationCheck] = []
+
+    for node in sorted(report.availability):
+        band = model.availability_band(node, confidence)
+        value = report.availability[node]
+        checks.append(ValidationCheck(
+            metric=f"availability[{node}]",
+            empirical=value,
+            band=band,
+            inside=band.contains(value),
+        ))
+
+    # MTTR: conditioned on the number of repairs the campaign actually
+    # observed — the band is the sampling distribution of a mean of
+    # n_outages (shifted) exponential repair draws.
+    mttr_band = model.mttr_band(confidence, n_outages=max(1, report.n_outages))
+    if mttr_band is not None:
+        checks.append(ValidationCheck(
+            metric="mttr_s",
+            empirical=report.mttr_s,
+            band=mttr_band,
+            inside=mttr_band.contains(report.mttr_s),
+        ))
+
+    if model.node_chains:
+        outage_band = model.n_outages_band(confidence)
+        total_outages = float(report.n_outages + report.n_censored_outages)
+        checks.append(ValidationCheck(
+            metric="n_outages",
+            empirical=total_outages,
+            band=outage_band,
+            inside=outage_band.contains(total_outages),
+        ))
+
+    for kind in ("submit", "status"):
+        prediction = model.delivery_prediction(kind, confidence)
+        value = report.delivery_success(kind)
+        checks.append(ValidationCheck(
+            metric=f"delivery[{kind}]",
+            empirical=value,
+            band=prediction.success,
+            inside=prediction.success.contains(value),
+        ))
+
+    return ValidationResult(
+        campaign_seed=model.campaign.seed,
+        horizon_s=model.horizon_s,
+        confidence=confidence,
+        checks=tuple(checks),
+    )
+
+
+def _export_deltas(result: ValidationResult) -> None:
+    if not _obs.enabled:
+        return
+    gauge = _metrics.gauge(
+        "reliability.model.delta",
+        "empirical minus predicted, by validation metric",
+    )
+    for check in result.checks:
+        if check.delta is not None:
+            gauge.set(check.delta, metric=check.metric)
+    _metrics.counter(
+        "reliability.validations",
+        "model validations run, by outcome",
+    ).inc(outcome="pass" if result.all_inside else "fail")
+
+
+def validate_campaign(
+    campaign: FaultCampaign,
+    cfg: Optional[MissionConfig] = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> tuple[ValidationResult, ReliabilityReport]:
+    """Run ``campaign`` empirically and grade it against the model.
+
+    Returns ``(validation, report)``; the mission config defaults to one
+    matching the campaign's horizon (the scenario only reads ``days``,
+    ``seed``, and the Earth-link delay from it).
+    """
+    if cfg is None:
+        # The support scenario only reads days/seed/earth-link from the
+        # config; badges and scripted events play no part, so short
+        # campaign horizons must not trip their validation.
+        cfg = MissionConfig(days=max(1, round(campaign.days)), seed=7,
+                            badges_from_day=1, events=None)
+    model = ReliabilityModel(campaign, earth_link_delay_s=cfg.earth_link_delay_s)
+    with span("reliability.validate", seed=campaign.seed, days=campaign.days):
+        plan = campaign.generate()
+        report = run_support_scenario(cfg, plan)
+        result = compare_report(model, report, confidence)
+    _export_deltas(result)
+    return result, report

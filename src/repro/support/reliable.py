@@ -156,11 +156,15 @@ class ReliableStats:
     def record_dead(self, kind: str) -> None:
         self.dead[kind] = self.dead.get(kind, 0) + 1
 
-    def delivery_success(self, kind: str) -> float:
-        """Acked fraction of reliable sends of ``kind`` (1.0 if none)."""
+    def delivery_success(self, kind: str) -> Optional[float]:
+        """Acked fraction of reliable sends of ``kind``.
+
+        ``None`` when nothing of that kind was sent: "no traffic" must
+        stay distinguishable from genuine perfect delivery.
+        """
         sent = self.sent.get(kind, 0)
         if sent == 0:
-            return 1.0
+            return None
         return self.acked.get(kind, 0) / sent
 
     def kinds(self) -> list[str]:

@@ -1,0 +1,18 @@
+"""Fixtures for the fault-layer tests.
+
+Registers the fixed hypothesis profile the tier-1 property suite runs
+under: derandomized (every CI run explores the identical example
+sequence) and capped, so the suite's cost and outcome are deterministic.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "faults-tier1",
+    derandomize=True,
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

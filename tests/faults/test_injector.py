@@ -134,16 +134,47 @@ class TestLinkAndLossy:
 class TestAvailability:
     def test_availability_and_mttr(self):
         downtime = {"x": [(10.0, 30.0), (50.0, 60.0)]}
-        availability, mttr, n = availability_from_downtime(downtime, ["x", "y"], 100.0)
+        availability, mttr, n, censored = availability_from_downtime(
+            downtime, ["x", "y"], 100.0)
         assert availability["x"] == pytest.approx(0.7)
         assert availability["y"] == 1.0
         assert mttr == pytest.approx(15.0)
         assert n == 2
+        assert censored == 0
 
     def test_no_outages_no_mttr(self):
-        availability, mttr, n = availability_from_downtime({}, ["x"], 100.0)
+        availability, mttr, n, censored = availability_from_downtime({}, ["x"], 100.0)
         assert availability == {"x": 1.0}
-        assert mttr is None and n == 0
+        assert mttr is None and n == 0 and censored == 0
+
+    def test_open_outage_counts_downtime_but_not_mttr(self):
+        """Right-censoring: an outage still open at the horizon charges
+        availability for its observed downtime without polluting MTTR."""
+        downtime = {"x": [(10.0, 20.0), (80.0, None)]}
+        availability, mttr, n, censored = availability_from_downtime(
+            downtime, ["x"], 100.0)
+        assert availability["x"] == pytest.approx(0.7)  # 10 closed + 20 open
+        assert mttr == pytest.approx(10.0)              # closed outage only
+        assert n == 1
+        assert censored == 1
+
+    def test_recovery_past_horizon_is_censored(self):
+        """A repair observed only during the post-horizon drain is not a
+        within-horizon repair; downtime is clamped at the horizon."""
+        downtime = {"x": [(90.0, 130.0)]}
+        availability, mttr, n, censored = availability_from_downtime(
+            downtime, ["x"], 100.0)
+        assert availability["x"] == pytest.approx(0.9)
+        assert mttr is None
+        assert n == 0
+        assert censored == 1
+
+    def test_all_censored_availability_floor(self):
+        downtime = {"x": [(0.0, None)]}
+        availability, mttr, n, censored = availability_from_downtime(
+            downtime, ["x"], 100.0)
+        assert availability["x"] == 0.0
+        assert mttr is None and n == 0 and censored == 1
 
 
 class TestScenario:

@@ -1,0 +1,118 @@
+"""Property-based tests: campaign generation and reporting invariants.
+
+Hypothesis drives arbitrary (seeded) fault campaigns through plan
+generation and — for a 1-day horizon — the full support scenario, then
+asserts the contracts everything downstream leans on:
+
+* ``FaultCampaign.generate()`` is a pure function of the campaign: the
+  same seed yields a byte-identical plan, a different seed a different
+  draw (for any campaign that draws at all);
+* every generated event lies inside the horizon with a positive (>= the
+  1 s floor) duration where one applies;
+* a :class:`ReliabilityReport` from any seeded run keeps availability in
+  ``[0, 1]``, MTTR positive when present, censored counts non-negative,
+  and conserves messages: per-kind ``sent == acked + dead`` up to the
+  globally reported pending count, and bus ``sent == delivered +
+  dropped``.
+
+Runs under the fixed ``faults-tier1`` profile (derandomized, capped
+examples) so tier-1 cost and outcome are deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MissionConfig
+from repro.faults.campaign import FaultCampaign
+from repro.faults.scenario import run_support_scenario
+
+FIXED = settings.get_profile("faults-tier1")
+
+DURATION_ACTIONS = {"crash", "link-down", "lossy", "blackout", "beacon-outage"}
+
+
+@st.composite
+def campaigns(draw):
+    """A small seeded campaign with randomized rates (1-day horizon)."""
+    base = FaultCampaign.reference(
+        days=1,
+        seed=draw(st.integers(min_value=0, max_value=2 ** 31 - 1)),
+    )
+    return dataclasses.replace(
+        base,
+        crashes_per_day=draw(st.floats(0.0, 6.0)),
+        flaps_per_day=draw(st.floats(0.0, 6.0)),
+        lossy_windows_per_day=draw(st.floats(0.0, 4.0)),
+        lossy_prob=draw(st.floats(0.0, 0.9)),
+        blackouts_per_day=draw(st.floats(0.0, 3.0)),
+        mean_downtime_s=draw(st.floats(10.0, 7200.0)),
+    )
+
+
+class TestPlanGeneration:
+    @FIXED
+    @given(campaign=campaigns())
+    def test_generation_is_byte_stable(self, campaign):
+        assert campaign.generate() == campaign.generate()
+
+    @FIXED
+    @given(campaign=campaigns(), other_seed=st.integers(0, 2 ** 31 - 1))
+    def test_seed_controls_the_draw(self, campaign, other_seed):
+        reseeded = dataclasses.replace(campaign, seed=other_seed)
+        plan, other = campaign.generate(), reseeded.generate()
+        if reseeded.seed != campaign.seed and plan.events and other.events:
+            # Two empty draws are legitimately equal; two non-empty ones
+            # from different seeds never are (times are continuous).
+            assert plan != other
+
+    @FIXED
+    @given(campaign=campaigns())
+    def test_events_lie_inside_horizon(self, campaign):
+        for event in campaign.generate().events:
+            assert 0.0 <= event.time_s <= campaign.horizon_s
+            if event.action in DURATION_ACTIONS:
+                assert event.duration_s >= 1.0  # the campaign's floor
+
+
+class TestReportInvariants:
+    @FIXED
+    @given(
+        campaign_seed=st.integers(min_value=0, max_value=2 ** 16),
+        mission_seed=st.integers(min_value=0, max_value=2 ** 16),
+    )
+    def test_report_invariants_hold(self, campaign_seed, mission_seed):
+        campaign = FaultCampaign.reference(days=1, seed=campaign_seed)
+        cfg = MissionConfig(days=1, seed=mission_seed,
+                            badges_from_day=1, events=None)
+        report = run_support_scenario(cfg, campaign.generate())
+
+        for node, value in report.availability.items():
+            assert 0.0 <= value <= 1.0, node
+        if report.mttr_s is not None:
+            assert report.mttr_s > 0.0
+        assert report.n_outages >= 0
+        assert report.n_censored_outages >= 0
+        if report.n_outages == 0:
+            assert report.mttr_s is None
+
+        # Message conservation: what was sent is acked, dead-lettered,
+        # or still pending — per kind up to the global pending count,
+        # exactly in aggregate.
+        gap = 0
+        for kind, entry in report.delivery.items():
+            assert entry["sent"] >= entry["acked"] + entry["dead"], kind
+            gap += entry["sent"] - entry["acked"] - entry["dead"]
+            success = report.delivery_success(kind)
+            if entry["sent"] == 0:
+                assert success is None
+            else:
+                assert 0.0 <= success <= 1.0
+        assert gap == report.pending
+        assert report.bus_sent == report.bus_delivered + report.bus_dropped
+
+        # The dict form round-trips deterministically.
+        assert report.to_dict() == report.to_dict()

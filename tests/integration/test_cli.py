@@ -68,3 +68,59 @@ class TestQualityCli:
         capsys.readouterr()
         assert main(["analyze", path, "--gate", "off"]) == 0
         assert "company" in capsys.readouterr().out
+
+
+class TestFaultsCli:
+    def test_seed_sweep_archives_reports(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "reports"
+        args = ["faults", "--days", "2", "--seed", "21", "--no-events",
+                "--campaign-seed", "0", "1", "--out", str(out_dir), "--json"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("campaign seed") >= 2
+        for seed in (0, 1):
+            payload = json.loads((out_dir / f"faults-seed-{seed}.json").read_text())
+            assert payload["horizon_s"] == 2 * 86400.0
+            assert "availability" in payload
+        # Multi-seed --json dumps a seed-keyed map.
+        tail = out[out.rindex("\n{"):]
+        assert set(json.loads(tail)) == {"0", "1"}
+
+
+class TestReliabilityCli:
+    def test_predict_prints_bands_and_json(self, capsys):
+        import json
+
+        args = ["reliability", "predict", "--days", "3",
+                "--campaign-seed", "0", "--json"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "CTMC reliability prediction" in out
+        payload = json.loads(out[out.index("\n{"):])
+        assert payload["confidence"] == 0.998
+        assert "relay" in payload["availability"]
+
+    def test_validate_reference_campaign_passes(self, capsys):
+        args = ["reliability", "validate", "--days", "2", "--campaign-seed", "0"]
+        assert main(args) == 0  # exit 1 would mean a metric left its band
+        out = capsys.readouterr().out
+        assert "model validation" in out and "PASS" in out
+        assert "fault campaign over" in out  # the empirical report too
+
+    def test_search_emits_ranked_regimes(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "regimes"
+        args = ["reliability", "search", "--days", "2", "--regimes", "8",
+                "--top", "2", "--out", str(out_dir), "--json"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "predicted-worst" in out
+        for rank in (1, 2):
+            payload = json.loads((out_dir / f"regime-{rank}.json").read_text())
+            assert payload["regime"]["rank"] == rank
+            assert "prediction" in payload
+        regimes = json.loads(out[out.rindex("\n["):])
+        assert [r["rank"] for r in regimes] == [1, 2]

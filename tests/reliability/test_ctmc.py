@@ -1,0 +1,155 @@
+"""Unit tests for the CTMC machinery: generators, closed forms, bands."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.reliability.ctmc import (
+    CTMC,
+    TwoStateChain,
+    compound_downtime_cdf,
+    compound_downtime_quantile,
+    erlang_cdf,
+    poisson_pmf,
+    poisson_quantile,
+    sample_mean_quantile,
+)
+
+
+class TestCTMC:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigError, match="generator must be"):
+            CTMC(("a", "b"), np.zeros((3, 3)))
+
+    def test_rejects_negative_off_diagonal(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            CTMC(("a", "b"), np.array([[1.0, -1.0], [2.0, -2.0]]))
+
+    def test_rejects_rows_not_summing_to_zero(self):
+        with pytest.raises(ConfigError, match="sum to zero"):
+            CTMC(("a", "b"), np.array([[-1.0, 2.0], [2.0, -2.0]]))
+
+    def test_steady_state_matches_two_state_closed_form(self):
+        lam, mu = 0.3, 1.7
+        chain = TwoStateChain(lam, mu).to_ctmc()
+        pi = chain.steady_state()
+        assert pi[chain.index("up")] == pytest.approx(mu / (lam + mu))
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_transient_matches_closed_form(self):
+        two = TwoStateChain(0.4, 1.1)
+        chain = two.to_ctmc()
+        p0 = np.array([1.0, 0.0])  # start up
+        for t in (0.1, 1.0, 5.0):
+            p = chain.transient(p0, t)
+            assert p[0] == pytest.approx(two.availability_at(t), abs=1e-9)
+
+    def test_transient_at_zero_is_initial(self):
+        chain = TwoStateChain(0.4, 1.1).to_ctmc()
+        p0 = np.array([0.25, 0.75])
+        assert np.allclose(chain.transient(p0, 0.0), p0)
+
+    def test_transient_rejects_negative_time(self):
+        chain = TwoStateChain(0.4, 1.1).to_ctmc()
+        with pytest.raises(ConfigError):
+            chain.transient(np.array([1.0, 0.0]), -1.0)
+
+    def test_compose_is_kronecker_sum(self):
+        a = TwoStateChain(0.2, 1.0).to_ctmc()
+        b = TwoStateChain(0.5, 2.0).to_ctmc()
+        joint = a.compose(b)
+        assert len(joint.states) == 4
+        assert joint.states[0] == "up|up"
+        # Independent chains: joint steady state is the product of
+        # marginals.
+        pi = joint.steady_state()
+        pa, pb = a.steady_state(), b.steady_state()
+        expected = np.kron(pa, pb)
+        assert np.allclose(pi, expected, atol=1e-9)
+
+
+class TestTwoStateChain:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigError):
+            TwoStateChain(-0.1, 1.0)
+        with pytest.raises(ConfigError):
+            TwoStateChain(0.1, 0.0)
+
+    def test_unfaulted_component_is_always_up(self):
+        chain = TwoStateChain(0.0, 1.0)
+        assert chain.steady_state_availability == 1.0
+        assert chain.expected_availability(100.0) == 1.0
+        assert chain.expected_outages(100.0) == 0.0
+
+    def test_expected_availability_between_transient_and_steady(self):
+        chain = TwoStateChain(1e-5, 1e-3)
+        a_ss = chain.steady_state_availability
+        # Starting up, the horizon average decays from 1 toward steady
+        # state and is always between the two.
+        for horizon in (10.0, 1e3, 1e5, 1e7):
+            a_bar = chain.expected_availability(horizon)
+            assert a_ss <= a_bar <= 1.0
+        assert chain.expected_availability(1e9) == pytest.approx(a_ss, rel=1e-3)
+
+    def test_expected_availability_rejects_bad_horizon(self):
+        with pytest.raises(ConfigError):
+            TwoStateChain(0.1, 1.0).expected_availability(0.0)
+
+    def test_expected_outages_is_renewal_rate(self):
+        chain = TwoStateChain(0.01, 0.1)
+        # One outage per mean cycle 1/lam + 1/mu = 110 s.
+        assert chain.expected_outages(1100.0) == pytest.approx(10.0)
+        # Always below the naive lam * T (no failure strikes while down).
+        assert chain.expected_outages(1100.0) < 0.01 * 1100.0
+
+
+class TestDistributions:
+    def test_poisson_pmf_normalizes(self):
+        total = sum(poisson_pmf(k, 3.7) for k in range(60))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_poisson_quantile_brackets_mean(self):
+        assert poisson_quantile(0.001, 10.0) < 10 < poisson_quantile(0.999, 10.0)
+        assert poisson_quantile(0.5, 0.0) == 0
+
+    def test_erlang_cdf_n1_is_exponential(self):
+        assert erlang_cdf(2.0, 1, 2.0) == pytest.approx(1.0 - math.exp(-1.0))
+        assert erlang_cdf(-1.0, 3, 1.0) == 0.0
+        assert erlang_cdf(5.0, 0, 1.0) == 1.0
+
+    def test_compound_cdf_no_windows_is_point_mass_at_zero(self):
+        assert compound_downtime_cdf(0.0, 0.0, 100.0) == 1.0
+        assert compound_downtime_quantile(0.999, 0.0, 100.0) == 0.0
+
+    def test_compound_cdf_monotone(self):
+        xs = [0.0, 50.0, 200.0, 1000.0, 5000.0]
+        cdfs = [compound_downtime_cdf(x, 2.0, 300.0, shift_s=1.0) for x in xs]
+        assert cdfs == sorted(cdfs)
+        assert cdfs[0] == pytest.approx(math.exp(-2.0), abs=1e-9)  # P(N=0)
+
+    def test_compound_quantile_inverts_cdf(self):
+        q = compound_downtime_quantile(0.9, 2.0, 300.0, shift_s=1.0)
+        assert compound_downtime_cdf(q, 2.0, 300.0, shift_s=1.0) == pytest.approx(
+            0.9, abs=1e-6)
+
+    def test_sample_mean_quantile_n1_median(self):
+        # Median of shift + Exp(mean) is shift + mean ln 2.
+        q = sample_mean_quantile(0.5, 1, 100.0, shift_s=1.0)
+        assert q == pytest.approx(1.0 + 100.0 * math.log(2.0), rel=1e-6)
+
+    def test_sample_mean_quantile_tightens_with_n(self):
+        spread_small = (sample_mean_quantile(0.99, 2, 100.0)
+                        - sample_mean_quantile(0.01, 2, 100.0))
+        spread_large = (sample_mean_quantile(0.99, 50, 100.0)
+                        - sample_mean_quantile(0.01, 50, 100.0))
+        assert spread_large < spread_small / 3.0
+
+    def test_quantile_argument_validation(self):
+        with pytest.raises(ConfigError):
+            poisson_quantile(1.5, 1.0)
+        with pytest.raises(ConfigError):
+            compound_downtime_quantile(0.0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            sample_mean_quantile(0.5, 0, 1.0)

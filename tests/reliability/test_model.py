@@ -1,0 +1,151 @@
+"""Unit tests for the ReliabilityModel: mechanical rate derivation,
+workload accounting, band shapes, and the search-scoring fast path."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.units import DAY
+from repro.faults.campaign import FaultCampaign
+from repro.faults.scenario import BATCH_PERIOD_S, STATUS_PERIOD_S
+from repro.reliability.model import (
+    DEFAULT_CONFIDENCE,
+    DURATION_SHIFT_S,
+    ReliabilityModel,
+    _normal_quantile,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign() -> FaultCampaign:
+    return FaultCampaign.reference(days=14, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(campaign) -> ReliabilityModel:
+    return ReliabilityModel(campaign)
+
+
+class TestRateDerivation:
+    def test_node_rates_are_mechanical(self, campaign, model):
+        """lam = crashes_per_day / n_nodes / DAY; mu = 1/(mean + shift) —
+        straight from the campaign's parameters, no free knobs."""
+        chain = model.node_chains["relay"]
+        assert chain.lam == pytest.approx(
+            campaign.crashes_per_day / len(campaign.nodes) / DAY)
+        assert chain.mu == pytest.approx(
+            1.0 / (campaign.mean_downtime_s + DURATION_SHIFT_S))
+        assert set(model.node_chains) == set(campaign.nodes)
+
+    def test_link_rates_are_mechanical(self, campaign, model):
+        link = next(iter(model.link_chains))
+        chain = model.link_chains[link]
+        assert chain.lam == pytest.approx(
+            campaign.flaps_per_day / len(campaign.links) / DAY)
+        assert chain.mu == pytest.approx(
+            1.0 / (campaign.mean_flap_s + DURATION_SHIFT_S))
+
+    def test_campaign_without_nodes_has_no_chains(self, campaign):
+        bare = dataclasses.replace(campaign, nodes=(), links=())
+        model = ReliabilityModel(bare)
+        assert not model.node_chains
+        assert not model.link_chains
+        assert model.mttr_band(DEFAULT_CONFIDENCE) is None
+        assert model.system_availability() == 1.0
+
+
+class TestWorkload:
+    def test_n_sent_matches_scenario_schedule(self, model):
+        """The model counts messages exactly as the scenario schedules
+        them: np.arange(period, horizon, period)."""
+        horizon = model.horizon_s
+        assert model.n_sent("submit") == len(
+            np.arange(BATCH_PERIOD_S, horizon, BATCH_PERIOD_S))
+        assert model.n_sent("status") == len(
+            np.arange(STATUS_PERIOD_S, horizon, STATUS_PERIOD_S))
+
+    def test_unknown_kind_raises(self, model):
+        with pytest.raises(KeyError):
+            model.delivery_components("telemetry")
+
+
+class TestBands:
+    def test_bands_are_ordered(self, model):
+        prediction = model.predict()
+        for band in prediction.availability.values():
+            assert band.lo <= band.mean <= band.hi
+        assert prediction.mttr_s.lo <= prediction.mttr_s.mean <= prediction.mttr_s.hi
+        assert prediction.n_outages.lo <= prediction.n_outages.hi
+        for d in prediction.delivery.values():
+            assert 0.0 <= d.success.lo <= d.success.hi <= 1.0
+
+    def test_unfaulted_node_band_is_degenerate(self, model):
+        band = model.availability_band("earth", DEFAULT_CONFIDENCE)
+        assert (band.mean, band.lo, band.hi) == (1.0, 1.0, 1.0)
+
+    def test_bands_narrow_with_confidence(self, model):
+        wide = model.availability_band("relay", 0.998)
+        narrow = model.availability_band("relay", 0.8)
+        assert narrow.hi - narrow.lo < wide.hi - wide.lo
+
+    def test_mttr_band_tightens_with_observed_outages(self, model):
+        few = model.mttr_band(DEFAULT_CONFIDENCE, n_outages=2)
+        many = model.mttr_band(DEFAULT_CONFIDENCE, n_outages=40)
+        assert many.hi - many.lo < few.hi - few.lo
+        assert few.mean == many.mean  # conditioning moves spread, not mean
+
+    def test_expected_dead_capped_at_sent(self, campaign):
+        drowned = dataclasses.replace(
+            campaign, blackouts_per_day=500.0, mean_blackout_s=4 * 3600.0)
+        model = ReliabilityModel(drowned)
+        assert model.expected_dead("status") == float(model.n_sent("status"))
+        prediction = model.delivery_prediction("status", DEFAULT_CONFIDENCE)
+        assert prediction.success.mean == 0.0
+
+
+class TestSystemChain:
+    def test_system_ctmc_composes_all_nodes(self, model):
+        chain = model.system_ctmc()
+        assert len(chain.states) == 2 ** len(model.node_chains)
+        # Kronecker-composed steady state agrees with the closed-form
+        # product expression used by system_availability.
+        pi = chain.steady_state()
+        operational = sum(
+            p for state, p in zip(chain.states, pi)
+            if "relay:down" not in state
+            and not all(f"{n}:down" in state for n in ("svc-a", "svc-b"))
+        )
+        assert operational == pytest.approx(
+            model.system_availability(steady=True), abs=1e-9)
+
+    def test_transient_system_availability_above_steady(self, model):
+        # Starting all-up, the horizon average sits above the limit.
+        assert model.system_availability() >= model.system_availability(steady=True)
+
+
+class TestScore:
+    def test_score_shape_and_bounds(self, model):
+        badness, min_avail, delivery_loss = model.score()
+        assert badness > 0.0
+        assert 0.0 < min_avail <= 1.0
+        assert 0.0 <= delivery_loss <= 1.0
+
+    def test_score_monotone_in_crash_rate(self, campaign):
+        mild = ReliabilityModel(campaign).score()[0]
+        harsh = ReliabilityModel(
+            dataclasses.replace(campaign, crashes_per_day=8.0)).score()[0]
+        assert harsh > mild
+
+
+class TestNormalQuantile:
+    def test_symmetry_and_known_values(self):
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _normal_quantile(0.975) == pytest.approx(1.95996, abs=1e-3)
+        assert _normal_quantile(0.025) == pytest.approx(-1.95996, abs=1e-3)
+        # Tail branch.
+        assert _normal_quantile(0.999) == pytest.approx(3.0902, abs=1e-3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)

@@ -222,9 +222,15 @@ class TestCircuitBreaker:
 
 
 class TestStats:
-    def test_delivery_success_defaults_to_one(self):
+    def test_delivery_success_none_without_traffic(self):
+        """No traffic is not a delivery claim: n/a, not a perfect 1.0."""
         stats = ReliableStats()
-        assert stats.delivery_success("never-sent") == 1.0
+        assert stats.delivery_success("never-sent") is None
+
+    def test_delivery_success_one_with_traffic(self):
+        stats = ReliableStats()
+        stats.record_sent("job"); stats.record_acked("job")
+        assert stats.delivery_success("job") == 1.0
 
     def test_merge_into(self):
         one, two, total = ReliableStats(), ReliableStats(), ReliableStats()
