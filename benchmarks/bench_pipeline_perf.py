@@ -1,8 +1,10 @@
 """Performance benchmarks of the pipeline's hot paths.
 
 These are conventional micro/meso benchmarks (what pytest-benchmark is
-for): one simulated day of crew behavior, one badge-day of sensing, one
-badge-day of localization, and the speech detector.
+for): one simulated day of crew behavior, one fleet-day of sensing, one
+fleet-day of localization, the full day-compute path (the unit the
+perf-regression guard in ``benchmarks/perf_guard.py`` budgets), and the
+speech detector.
 """
 
 import numpy as np
@@ -15,6 +17,7 @@ from repro.badges.sdcard import SdCardAccountant
 from repro.core.config import MissionConfig
 from repro.core.rng import RngRegistry
 from repro.crew.behavior import simulate_mission
+from repro.exec.executor import compute_day
 from repro.localization.pipeline import Localizer
 
 
@@ -48,18 +51,40 @@ def test_perf_sense_day(benchmark, one_day_cfg, one_day_truth):
     benchmark.pedantic(run, rounds=3, iterations=1)
 
 
-def test_perf_localize_day(benchmark, one_day_cfg, one_day_truth):
+def test_perf_localize_fleet(benchmark, one_day_cfg, one_day_truth):
     assignment = BadgeAssignment(cfg=one_day_cfg, roster=one_day_truth.roster)
     models = SensingModels.default(one_day_cfg, one_day_truth.plan)
     rngs = RngRegistry(3)
     fleet = make_fleet(assignment, rngs)
     observations, __ = sense_day(one_day_truth, 2, assignment, models, fleet, rngs,
                                  SdCardAccountant())
-    obs = observations[0]
+    badge_ids = list(observations)
     localizer = Localizer(one_day_truth.plan, models.beacons)
 
-    result = benchmark(localizer.localize_day, obs.ble_rssi, obs.active)
-    assert result.known_fraction() > 0.9
+    results = benchmark(
+        localizer.localize_fleet,
+        [observations[b].ble_rssi for b in badge_ids],
+        [observations[b].active for b in badge_ids],
+    )
+    assert results[0].known_fraction() > 0.9
+
+
+def test_perf_day_compute(benchmark, one_day_cfg, one_day_truth):
+    """The whole per-day unit of work the executor fans out."""
+    assignment = BadgeAssignment(cfg=one_day_cfg, roster=one_day_truth.roster)
+    models = SensingModels.default(one_day_cfg, one_day_truth.plan)
+    localizer = Localizer(one_day_truth.plan, models.beacons)
+
+    def run():
+        rngs = RngRegistry(3)
+        fleet = make_fleet(assignment, rngs)
+        return compute_day(
+            one_day_cfg, one_day_truth, 2, assignment, models, localizer,
+            fleet, rngs, SdCardAccountant(), None,
+        )
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.summaries
 
 
 def test_perf_speech_detector(benchmark):

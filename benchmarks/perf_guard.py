@@ -1,0 +1,125 @@
+"""Day-compute performance regression guard.
+
+The fleet-batched sensing API bought a >5x speedup of the per-day hot
+path (``compute_day``: wear + sensor synthesis + localization + summary
+reduction); this guard keeps it.  It measures
+
+1. a fixed numpy **calibration workload** (pins the machine's array
+   throughput), and
+2. the **day-compute** path on the standard one-day benchmark mission
+   (``MissionConfig(days=2, seed=13, events=None)``, day 2),
+
+then compares the machine-normalized ratio ``day_compute / calibration``
+against the checked-in budget (``benchmarks/perf_budget.json``).  A run
+more than ``headroom`` (25%) over budget exits non-zero, and every run
+writes its raw measurements to ``benchmarks/output/day_compute_guard.json``
+for artifact upload and cross-run diffing.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/perf_guard.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BUDGET_PATH = Path(__file__).parent / "perf_budget.json"
+REPORT_PATH = Path(__file__).parent / "output" / "day_compute_guard.json"
+
+
+def calibration_seconds(rounds: int = 3) -> float:
+    """Best-of-``rounds`` timing of a fixed array workload.
+
+    Three passes of sqrt/log10/column-cumsum over a 2000x2000 float64
+    matrix — a mix of elementwise transcendental and strided traffic
+    that tracks how fast this machine runs the pipeline's own numpy
+    kernels.  Normalizing by it makes the budget portable between a
+    laptop and a CI runner.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.random((2000, 2000))
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(3):
+            b = np.sqrt(a)
+            b += np.log10(a + 1.0)
+            b = np.cumsum(b, axis=0)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def day_compute_seconds(rounds: int = 3) -> float:
+    """Best-of-``rounds`` timing of one full instrumented day."""
+    from repro.badges.assignment import BadgeAssignment
+    from repro.badges.pipeline import SensingModels, make_fleet
+    from repro.badges.sdcard import SdCardAccountant
+    from repro.core.config import MissionConfig
+    from repro.core.rng import RngRegistry
+    from repro.crew.behavior import simulate_mission
+    from repro.exec.executor import compute_day
+    from repro.localization.pipeline import Localizer
+
+    cfg = MissionConfig(days=2, seed=13, events=None)
+    truth = simulate_mission(cfg)
+    assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
+    models = SensingModels.default(cfg, truth.plan)
+    localizer = Localizer(truth.plan, models.beacons)
+    best = float("inf")
+    for _ in range(rounds):
+        rngs = RngRegistry(3)
+        fleet = make_fleet(assignment, rngs)
+        t0 = time.perf_counter()
+        compute_day(
+            cfg, truth, 2, assignment, models, localizer, fleet, rngs,
+            SdCardAccountant(), None,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_guard(rounds: int = 3) -> dict:
+    """Measure, compare against the budget, and write the report."""
+    budget = json.loads(BUDGET_PATH.read_text())
+    calibration_s = calibration_seconds(rounds)
+    day_compute_s = day_compute_seconds(rounds)
+    ratio = day_compute_s / calibration_s
+    limit = budget["day_compute_per_calibration"] * (1.0 + budget["headroom"])
+    report = {
+        "calibration_s": round(calibration_s, 4),
+        "day_compute_s": round(day_compute_s, 4),
+        "day_compute_per_calibration": round(ratio, 3),
+        "budget_per_calibration": budget["day_compute_per_calibration"],
+        "headroom": budget["headroom"],
+        "limit_per_calibration": round(limit, 3),
+        "ok": ratio <= limit,
+    }
+    REPORT_PATH.parent.mkdir(exist_ok=True)
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> int:
+    report = run_guard()
+    print(json.dumps(report, indent=2))
+    if not report["ok"]:
+        print(
+            f"PERF REGRESSION: day-compute is "
+            f"{report['day_compute_per_calibration']:.2f}x the calibration "
+            f"workload, limit {report['limit_per_calibration']:.2f}x "
+            f"(budget {report['budget_per_calibration']:.2f}x + "
+            f"{report['headroom']:.0%} headroom)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

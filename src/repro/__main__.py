@@ -33,8 +33,10 @@ def _add_mission_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-events", action="store_true",
                         help="disable the scripted mission events")
     parser.add_argument("--workers", default="serial", metavar="N",
-                        help="badge-day workers: an integer or 'serial' "
-                             "(default; results are identical either way)")
+                        help="badge-day workers: an integer, 'serial' "
+                             "(default), or 'auto' (serial on <=2 cores, "
+                             "one worker per core otherwise; results are "
+                             "identical either way)")
     parser.add_argument("--cache", default=None, metavar="DIR",
                         help="content-addressed result cache directory "
                              "(reruns with an unchanged config load from it)")
@@ -62,7 +64,7 @@ def _config(args: argparse.Namespace) -> MissionConfig:
 
 
 def _execution(args: argparse.Namespace) -> ExecutionConfig:
-    workers = args.workers if args.workers == "serial" else int(args.workers)
+    workers = args.workers if args.workers in ("serial", "auto") else int(args.workers)
     return ExecutionConfig(n_workers=workers, cache_dir=args.cache,
                            checkpoint_dir=args.checkpoint, resume=args.resume)
 

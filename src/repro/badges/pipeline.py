@@ -130,6 +130,120 @@ def sense_day(
         return _sense_day(truth, day, assignment, models, fleet, rngs, sdcard)
 
 
+def sense_day_badgewise(
+    truth: MissionTruth,
+    day: int,
+    assignment: BadgeAssignment,
+    models: SensingModels,
+    fleet: dict[int, Badge],
+    rngs: RngRegistry,
+    sdcard: SdCardAccountant | None = None,
+) -> tuple[dict[int, BadgeDayObservations], PairwiseDay]:
+    """Legacy per-badge driver kept for one release alongside the wrappers.
+
+    Runs the same synthesis as :func:`sense_day` but through the
+    deprecated batch-of-one model methods, one badge at a time.  Output
+    is bit-identical to the fleet-batched path (the golden test in
+    ``tests/integration/test_batched_equivalence.py`` enforces this);
+    the only reason to call it is to cross-check that invariant.
+    """
+    cfg = truth.cfg
+    plan = models.plan
+    wear_model = WearModel(cfg, plan, battery=models.battery)
+    timesync = TimeSyncSimulator(station_xy=wear_model.station_xy)
+    n = cfg.frames_per_day
+    t0 = cfg.daytime_start_s
+    dt = cfg.frame_dt
+    t_abs = (day - 1) * DAY + t0 + np.arange(n) * dt
+    wall_matrix = plan.wall_matrix()
+    noise_floors = np.array(
+        [models.env.noise_floor_db(room.name) for room in plan.rooms]
+    )
+    sources = SpeechSources.from_truth(truth, day)
+
+    mapping = assignment.actual(day)
+    observations: dict[int, BadgeDayObservations] = {}
+    wear_days: dict[int, WearDay] = {}
+
+    for badge_id, astro in sorted(mapping.items()):
+        badge = fleet[badge_id]
+        if not badge.alive_on(day):
+            continue
+        trace = truth.trace(astro, day)
+        rng = rngs.get(badge_day_stream(badge_id, day))
+        wear = wear_model.simulate_day(
+            trace, rng, diligence=truth.roster.profile(astro).wear_diligence
+        )
+        wear_days[badge_id] = wear
+        badge.clock.correct(reference_local=t0, own_local=badge.clock.local_time(t0))
+        clock_errors, sync_events = timesync.run_day(
+            badge.clock, wear.badge_xy, wear.active, t0, dt
+        )
+        ble_rssi = models.ble.scan(
+            plan, models.beacons, wear.badge_xy, wear.badge_room, wear.active, rng
+        )
+        accel = models.accelerometer.synthesize(
+            trace.walking, wear.worn, wear.active, trace.activity, rng
+        )
+        gyro, heading = models.imu.synthesize(trace.walking, wear.worn, wear.active, rng)
+        mic = models.microphone.synthesize(
+            sources, wear.badge_xy, wear.badge_room, wear.active,
+            wall_matrix, noise_floors, rng,
+        )
+        temp, pressure, light = models.env_sensors.synthesize(
+            models.env, plan, wear.badge_room, wear.worn, wear.active, t_abs, rng
+        )
+        bytes_recorded = 0.0
+        if sdcard is not None:
+            bytes_recorded = sdcard.record_day(badge_id, day, float(wear.active.sum()) * dt)
+        observations[badge_id] = BadgeDayObservations(
+            badge_id=badge_id, day=day, t0=t0, dt=dt,
+            active=wear.active, worn=wear.worn,
+            ble_rssi=ble_rssi,
+            accel_rms=accel, gyro_rms=gyro, heading_rad=heading,
+            voice_db=mic.voice_db, dominant_pitch_hz=mic.dominant_pitch_hz,
+            pitch_stability=mic.pitch_stability, sound_db=mic.sound_db,
+            temperature_c=temp, pressure_hpa=pressure, light_lux=light,
+            clock_error_s=clock_errors, sync_events=sync_events,
+            bytes_recorded=bytes_recorded,
+            true_room=wear.badge_room,
+        )
+
+    ref_id = assignment.reference_id
+    ref_rng = rngs.get(badge_day_stream(ref_id, day))
+    ref_active = np.ones(n, dtype=bool)
+    ref_xy = np.tile(np.float32(wear_model.station_xy), (n, 1))
+    ref_room = np.full(n, wear_model.station_room, dtype=np.int8)
+    ref_worn = np.zeros(n, dtype=bool)
+    ref_mic = models.microphone.synthesize(
+        sources, ref_xy, ref_room, ref_active, wall_matrix, noise_floors, ref_rng
+    )
+    ref_temp, ref_pressure, ref_light = models.env_sensors.synthesize(
+        models.env, plan, ref_room, ref_worn, ref_active, t_abs, ref_rng
+    )
+    ref_bytes = (
+        sdcard.record_day(ref_id, day, float(n) * dt) if sdcard is not None else 0.0
+    )
+    observations[ref_id] = BadgeDayObservations(
+        badge_id=ref_id, day=day, t0=t0, dt=dt,
+        active=ref_active, worn=ref_worn,
+        ble_rssi=models.ble.scan(plan, models.beacons, ref_xy, ref_room, ref_active, ref_rng),
+        accel_rms=models.accelerometer.synthesize(
+            np.zeros(n, dtype=bool), ref_worn, ref_active, np.zeros(n, dtype=np.int8), ref_rng
+        ),
+        gyro_rms=np.full(n, 0.01, dtype=np.float32),
+        heading_rad=np.zeros(n, dtype=np.float32),
+        voice_db=ref_mic.voice_db, dominant_pitch_hz=ref_mic.dominant_pitch_hz,
+        pitch_stability=ref_mic.pitch_stability, sound_db=ref_mic.sound_db,
+        temperature_c=ref_temp, pressure_hpa=ref_pressure, light_lux=ref_light,
+        clock_error_s=np.zeros(n), sync_events=[],
+        bytes_recorded=ref_bytes,
+    )
+
+    pairwise = _pairwise_day(truth, day, mapping, wear_days, models, rngs)
+    return observations, pairwise
+
+
 def _sense_day(
     truth: MissionTruth,
     day: int,
@@ -157,6 +271,15 @@ def _sense_day(
     observations: dict[int, BadgeDayObservations] = {}
     wear_days: dict[int, WearDay] = {}
 
+    # Phase 1 -- per badge: wear state and clock evolution.  Both are
+    # inherently sequential per badge (data-dependent draw counts, a
+    # mutating clock), and the wear draws must come first on each
+    # badge-day stream to preserve the stream order contract
+    # (wear -> ble -> accel -> imu -> mic -> env).
+    live: list[tuple[int, str]] = []
+    traces = []
+    badge_rngs = []
+    clock_results = []
     for badge_id, astro in sorted(mapping.items()):
         badge = fleet[badge_id]
         if not badge.alive_on(day):
@@ -182,27 +305,48 @@ def _sense_day(
                 clock_errors, sync_events = timesync.run_day(
                     badge.clock, wear.badge_xy, wear.active, t0, dt
                 )
+        live.append((badge_id, astro))
+        traces.append(trace)
+        badge_rngs.append(rng)
+        clock_results.append((clock_errors, sync_events))
 
-            with span("sensing.ble", badge=badge_id, day=day):
-                ble_rssi = models.ble.scan(
-                    plan, models.beacons, wear.badge_xy, wear.badge_room, wear.active, rng
-                )
-            with span("sensing.motion", badge=badge_id, day=day):
-                accel = models.accelerometer.synthesize(
-                    trace.walking, wear.worn, wear.active, trace.activity, rng
-                )
-                gyro, heading = models.imu.synthesize(
-                    trace.walking, wear.worn, wear.active, rng
-                )
-            with span("sensing.microphone", badge=badge_id, day=day):
-                mic: MicrophoneOutput = models.microphone.synthesize(
-                    sources, wear.badge_xy, wear.badge_room, wear.active,
-                    wall_matrix, noise_floors, rng,
-                )
-            with span("sensing.environment", badge=badge_id, day=day):
-                temp, pressure, light = models.env_sensors.synthesize(
-                    models.env, plan, wear.badge_room, wear.worn, wear.active, t_abs, rng
-                )
+    # Phase 2 -- fleet-batched sensor synthesis: inputs are stacked once
+    # and each model runs a single batched call over (badges, frames)
+    # arrays.  Draws stay per badge on the streams gathered above, so
+    # each badge's row is bit-identical to a batch-of-one wrapper call.
+    if live:
+        wear_list = [wear_days[badge_id] for badge_id, _ in live]
+        fleet_xy = np.stack([w.badge_xy for w in wear_list])
+        fleet_room = np.stack([w.badge_room for w in wear_list])
+        fleet_active = np.stack([w.active for w in wear_list])
+        fleet_worn = np.stack([w.worn for w in wear_list])
+        fleet_walking = np.stack([t.walking for t in traces])
+        fleet_activity = np.stack([t.activity for t in traces])
+        with span("sensing.ble", day=day, badges=len(live)):
+            ble_all = models.ble.scan_fleet(
+                plan, models.beacons, fleet_xy, fleet_room, fleet_active, badge_rngs
+            )
+        with span("sensing.motion", day=day, badges=len(live)):
+            accel_all = models.accelerometer.synthesize_fleet(
+                fleet_walking, fleet_worn, fleet_active, fleet_activity, badge_rngs
+            )
+            gyro_all, heading_all = models.imu.synthesize_fleet(
+                fleet_walking, fleet_worn, fleet_active, badge_rngs
+            )
+        with span("sensing.microphone", day=day, badges=len(live)):
+            mic_all: MicrophoneOutput = models.microphone.synthesize_fleet(
+                sources, fleet_xy, fleet_room, fleet_active,
+                wall_matrix, noise_floors, badge_rngs,
+            )
+        with span("sensing.environment", day=day, badges=len(live)):
+            temp_all, pressure_all, light_all = models.env_sensors.synthesize_fleet(
+                models.env, plan, fleet_room, fleet_worn, fleet_active, t_abs, badge_rngs
+            )
+
+    # Phase 3 -- per badge: SD-card accounting, metrics, assembly.
+    for b, (badge_id, astro) in enumerate(live):
+        wear = wear_days[badge_id]
+        clock_errors, sync_events = clock_results[b]
         bytes_recorded = 0.0
         if sdcard is not None:
             bytes_recorded = sdcard.record_day(badge_id, day, float(wear.active.sum()) * dt)
@@ -220,11 +364,11 @@ def _sense_day(
         observations[badge_id] = BadgeDayObservations(
             badge_id=badge_id, day=day, t0=t0, dt=dt,
             active=wear.active, worn=wear.worn,
-            ble_rssi=ble_rssi,
-            accel_rms=accel, gyro_rms=gyro, heading_rad=heading,
-            voice_db=mic.voice_db, dominant_pitch_hz=mic.dominant_pitch_hz,
-            pitch_stability=mic.pitch_stability, sound_db=mic.sound_db,
-            temperature_c=temp, pressure_hpa=pressure, light_lux=light,
+            ble_rssi=ble_all[b],
+            accel_rms=accel_all[b], gyro_rms=gyro_all[b], heading_rad=heading_all[b],
+            voice_db=mic_all.voice_db[b], dominant_pitch_hz=mic_all.dominant_pitch_hz[b],
+            pitch_stability=mic_all.pitch_stability[b], sound_db=mic_all.sound_db[b],
+            temperature_c=temp_all[b], pressure_hpa=pressure_all[b], light_lux=light_all[b],
             clock_error_s=clock_errors, sync_events=sync_events,
             bytes_recorded=bytes_recorded,
             true_room=wear.badge_room,

@@ -9,6 +9,7 @@ walking analysis (paper Fig. 4) thresholds this feature.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -68,3 +69,26 @@ class AccelerometerModel:
         out[moving] = rng.normal(self.walk_mean, self.walk_sigma, int(moving.sum()))
         np.clip(out, 0.0, None, out=out)
         return out
+
+    def synthesize_fleet(
+        self,
+        walking: np.ndarray,
+        worn: np.ndarray,
+        active: np.ndarray,
+        activity: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Fleet-batched synthesis over ``(badges, frames)`` inputs.
+
+        The draw counts are data-dependent per badge (desk/still/walk
+        partitions differ), so each badge's draws necessarily come from
+        its own stream in sequence; batching across badges cannot change
+        any per-stream draw order.
+
+        Returns:
+            ``(badges, frames)`` float32 RMS acceleration.
+        """
+        return np.stack([
+            self.synthesize(walking[b], worn[b], active[b], activity[b], rngs[b])
+            for b in range(active.shape[0])
+        ])

@@ -11,6 +11,7 @@ wearer moves.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -53,3 +54,28 @@ class ImuModel:
         heading = np.mod(np.cumsum(steps), 2.0 * np.pi).astype(np.float32)
         heading[~active] = np.nan
         return gyro, heading
+
+    def synthesize_fleet(
+        self,
+        walking: np.ndarray,
+        worn: np.ndarray,
+        active: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fleet-batched synthesis over ``(badges, frames)`` inputs.
+
+        Heading is a per-badge cumulative random walk, so each badge's
+        draws stay sequential on its own stream; batching across badges
+        cannot change any per-stream draw order.
+
+        Returns:
+            ``(gyro_rms, heading_rad)``, each ``(badges, frames)``.
+        """
+        results = [
+            self.synthesize(walking[b], worn[b], active[b], rngs[b])
+            for b in range(active.shape[0])
+        ]
+        return (
+            np.stack([gyro for gyro, _ in results]),
+            np.stack([heading for _, heading in results]),
+        )

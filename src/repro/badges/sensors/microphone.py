@@ -13,6 +13,7 @@ level.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -115,6 +116,10 @@ class MicrophoneModel:
     ) -> MicrophoneOutput:
         """Compute one badge-day of microphone features.
 
+        Deprecated thin wrapper (batch of 1) around
+        :meth:`synthesize_fleet`; prefer the fleet call when synthesizing
+        several badges.
+
         Args:
             sources: the day's speech sources.
             badge_xy: ``(frames, 2)`` badge positions.
@@ -124,24 +129,73 @@ class MicrophoneModel:
             noise_floor_by_room: ``(rooms,)`` ambient floor per room, dB.
             rng: random stream.
         """
-        n = badge_xy.shape[0]
-        power = np.zeros(n, dtype=np.float64)
-        best_level = np.full(n, -np.inf, dtype=np.float64)
-        best_src = np.full(n, -1, dtype=np.int32)
-        in_room = badge_room >= 0
+        fleet = self.synthesize_fleet(
+            sources, badge_xy[None], badge_room[None], active[None],
+            wall_matrix, noise_floor_by_room, (rng,),
+        )
+        return MicrophoneOutput(
+            voice_db=fleet.voice_db[0],
+            dominant_pitch_hz=fleet.dominant_pitch_hz[0],
+            pitch_stability=fleet.pitch_stability[0],
+            sound_db=fleet.sound_db[0],
+        )
+
+    def synthesize_fleet(
+        self,
+        sources: SpeechSources,
+        badge_xy: np.ndarray,
+        badge_room: np.ndarray,
+        active: np.ndarray,
+        wall_matrix: np.ndarray,
+        noise_floor_by_room: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> MicrophoneOutput:
+        """Microphone features for a whole badge fleet in one call.
+
+        The source-accumulation sweep runs once over the flattened
+        ``badges x frames`` grid; the draws stay per badge, in the order
+        pitch normals, stability normals, noise-floor normals, so a batch
+        of one is bit-identical to the same badge's row in a larger
+        batch.
+
+        Args:
+            sources: the day's speech sources.
+            badge_xy: ``(badges, frames, 2)`` badge positions.
+            badge_room: ``(badges, frames)`` badge room indices.
+            active: ``(badges, frames)`` recording masks.
+            wall_matrix: ``(rooms, rooms)`` wall counts.
+            noise_floor_by_room: ``(rooms,)`` ambient floor per room, dB.
+            rngs: one random stream per badge, aligned with axis 0.
+
+        Returns:
+            :class:`MicrophoneOutput` of ``(badges, frames)`` arrays.
+        """
+        n_badges, n = badge_room.shape
+        total = n_badges * n
+        xy_flat = np.ascontiguousarray(badge_xy).reshape(total, 2)
+        room_flat = np.ascontiguousarray(badge_room).reshape(total)
+        active_flat = np.ascontiguousarray(active).reshape(total)
+        power = np.zeros(total, dtype=np.float64)
+        best_level = np.full(total, -np.inf, dtype=np.float64)
+        best_src = np.full(total, -1, dtype=np.int32)
+        in_room = room_flat >= 0
+        base = active & (badge_room >= 0)
 
         for s in range(sources.xy.shape[0]):
-            speaking = sources.speaking[s] & active & in_room & (sources.room[s] >= 0)
-            idx = np.flatnonzero(speaking)
+            speaking = (sources.speaking[s] & (sources.room[s] >= 0))[None, :] & base
+            idx = np.flatnonzero(speaking.reshape(total))
             if idx.size == 0:
                 continue
-            dx = badge_xy[idx, 0] - sources.xy[s, idx, 0]
-            dy = badge_xy[idx, 1] - sources.xy[s, idx, 1]
-            d = np.maximum(np.hypot(dx, dy), MIN_SOURCE_DISTANCE_M)
-            walls = wall_matrix[badge_room[idx], sources.room[s, idx]]
+            fidx = idx % n
+            dx = xy_flat[idx, 0] - sources.xy[s, fidx, 0]
+            dy = xy_flat[idx, 1] - sources.xy[s, fidx, 1]
+            d2 = np.maximum(
+                dx * dx + dy * dy, MIN_SOURCE_DISTANCE_M * MIN_SOURCE_DISTANCE_M
+            )
+            walls = wall_matrix[room_flat[idx], sources.room[s, fidx]]
             level = (
-                sources.loudness[s, idx].astype(np.float64)
-                - 20.0 * np.log10(d)
+                sources.loudness[s, fidx].astype(np.float64)
+                - 10.0 * np.log10(d2)
                 - walls * self.wall_db
             )
             power[idx] += 10.0 ** (level / 10.0)
@@ -151,32 +205,37 @@ class MicrophoneModel:
 
         with np.errstate(divide="ignore"):
             voice_db = 10.0 * np.log10(power)
-        voice_db[~active] = np.nan
+        voice_db[~active_flat] = np.nan
 
-        pitch = np.full(n, np.nan, dtype=np.float32)
-        stability = np.full(n, np.nan, dtype=np.float32)
-        audible = active & (best_level >= PITCH_FLOOR_DB)
-        idx = np.flatnonzero(audible)
-        if idx.size:
-            src = best_src[idx]
-            pitch[idx] = sources.pitch_hz[src] + rng.normal(0.0, 6.0, idx.size)
-            machine = sources.is_machine[src]
-            stability[idx] = np.where(
-                machine,
-                rng.normal(TTS_STABILITY_MEAN, TTS_STABILITY_SIGMA, idx.size),
-                rng.normal(HUMAN_STABILITY_MEAN, HUMAN_STABILITY_SIGMA, idx.size),
-            ).astype(np.float32)
-            np.clip(stability, 0.0, 1.0, out=stability)
+        pitch = np.full(total, np.nan, dtype=np.float32)
+        stability = np.full(total, np.nan, dtype=np.float32)
+        audible = active_flat & (best_level >= PITCH_FLOOR_DB)
+        floor_db = np.where(
+            in_room, noise_floor_by_room[np.maximum(room_flat, 0)], 30.0
+        )
+        for b in range(n_badges):
+            rng = rngs[b]
+            lo = b * n
+            idx = np.flatnonzero(audible[lo:lo + n]) + lo
+            if idx.size:
+                src = best_src[idx]
+                pitch[idx] = sources.pitch_hz[src] + rng.normal(0.0, 6.0, idx.size)
+                machine = sources.is_machine[src]
+                values = np.where(
+                    machine,
+                    rng.normal(TTS_STABILITY_MEAN, TTS_STABILITY_SIGMA, idx.size),
+                    rng.normal(HUMAN_STABILITY_MEAN, HUMAN_STABILITY_SIGMA, idx.size),
+                ).astype(np.float32)
+                stability[idx] = np.clip(values, 0.0, 1.0)
+            floor_db[lo:lo + n] += rng.normal(0.0, 1.0, n)
 
-        floor_db = np.where(in_room, noise_floor_by_room[np.maximum(badge_room, 0)], 30.0)
-        floor_db = floor_db + rng.normal(0.0, 1.0, n)
         total_power = power + 10.0 ** (floor_db / 10.0)
         sound_db = 10.0 * np.log10(total_power)
-        sound_db[~active] = np.nan
+        sound_db[~active_flat] = np.nan
 
         return MicrophoneOutput(
-            voice_db=voice_db.astype(np.float32),
-            dominant_pitch_hz=pitch,
-            pitch_stability=stability,
-            sound_db=sound_db.astype(np.float32),
+            voice_db=voice_db.astype(np.float32).reshape(n_badges, n),
+            dominant_pitch_hz=pitch.reshape(n_badges, n),
+            pitch_stability=stability.reshape(n_badges, n),
+            sound_db=sound_db.astype(np.float32).reshape(n_badges, n),
         )

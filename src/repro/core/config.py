@@ -8,6 +8,7 @@ described in the paper; tests shrink ``days`` for speed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
@@ -75,6 +76,8 @@ class ExecutionConfig:
             (or ``1``) runs everything in-process, the historical
             behaviour and the fallback whenever parallel execution is
             not applicable (sensing-fault plans, unpicklable overrides).
+            ``"auto"`` picks for the machine: serial when
+            ``os.cpu_count() <= 2``, else one worker per core.
         cache_dir: directory of the content-addressed mission cache, or
             ``None`` for no caching.
         cache_enabled: master switch; with ``False`` the cache directory
@@ -114,13 +117,15 @@ class ExecutionConfig:
 
     def __post_init__(self) -> None:
         if isinstance(self.n_workers, str):
-            if self.n_workers != "serial":
+            if self.n_workers not in ("serial", "auto"):
                 raise ConfigError(
-                    f"n_workers must be a positive int or 'serial', got {self.n_workers!r}"
+                    "n_workers must be a positive int, 'serial', or 'auto', "
+                    f"got {self.n_workers!r}"
                 )
         elif not isinstance(self.n_workers, int) or self.n_workers < 1:
             raise ConfigError(
-                f"n_workers must be a positive int or 'serial', got {self.n_workers!r}"
+                "n_workers must be a positive int, 'serial', or 'auto', "
+                f"got {self.n_workers!r}"
             )
         if self.cache_dir is not None and not str(self.cache_dir):
             raise ConfigError("cache_dir must be a non-empty path or None")
@@ -139,8 +144,18 @@ class ExecutionConfig:
 
     @property
     def worker_count(self) -> int:
-        """Resolved pool size (``"serial"`` counts as one worker)."""
-        return 1 if self.n_workers == "serial" else int(self.n_workers)
+        """Resolved pool size (``"serial"`` counts as one worker).
+
+        ``"auto"`` sizes the pool to the machine: serial on boxes with
+        two or fewer cores (a pool would just add pickling overhead
+        there), one worker per core otherwise.
+        """
+        if self.n_workers == "serial":
+            return 1
+        if self.n_workers == "auto":
+            cores = os.cpu_count() or 1
+            return 1 if cores <= 2 else cores
+        return int(self.n_workers)
 
     @property
     def parallel(self) -> bool:

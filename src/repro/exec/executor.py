@@ -111,10 +111,17 @@ def compute_day(
         if plan is not None else frozenset()
     )
     outcome = DayOutcome(day=day, pairwise=pairwise)
-    for badge_id, obs in observations.items():
-        if plan is not None:
+    if plan is not None:
+        for obs in observations.values():
             degrade_day(cfg, plan, obs, sdcard)
-        loc = localizer.localize_day(obs.ble_rssi, obs.active, dead_beacons=dead)
+    badge_ids = list(observations)
+    locs = localizer.localize_fleet(
+        [observations[b].ble_rssi for b in badge_ids],
+        [observations[b].active for b in badge_ids],
+        dead_beacons=dead,
+    )
+    for badge_id, loc in zip(badge_ids, locs):
+        obs = observations[badge_id]
         obs.drop_ble()
         summary = BadgeDaySummary.from_observations(obs, loc)
         outcome.summaries[badge_id] = summary

@@ -23,7 +23,6 @@ never silent.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -162,30 +161,6 @@ class MissionResult:
             lines.append("")
             lines.append(self.telemetry.to_text())
         return "\n".join(lines)
-
-    # -- deprecated aliases (one release) ------------------------------
-
-    def telemetry_report(self) -> str:
-        """Deprecated: use ``result.telemetry.to_text()`` (via :meth:`to_text`)."""
-        warnings.warn(
-            "MissionResult.telemetry_report() is deprecated; "
-            "use result.telemetry.to_text()",
-            DeprecationWarning, stacklevel=2,
-        )
-        if self.telemetry is None:
-            return "(telemetry was disabled for this run)"
-        return self.telemetry.to_text()
-
-    def reliability_report(self) -> str:
-        """Deprecated: use ``result.reliability.to_text()`` (via :meth:`to_text`)."""
-        warnings.warn(
-            "MissionResult.reliability_report() is deprecated; "
-            "use result.reliability.to_text()",
-            DeprecationWarning, stacklevel=2,
-        )
-        if self.reliability is None:
-            return "(no fault plan was configured for this run)"
-        return self.reliability.to_text()
 
 
 def run_mission(

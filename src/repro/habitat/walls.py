@@ -95,6 +95,60 @@ class WallModel:
         out[inside] = atten
         return out
 
+    def attenuation_db_matrix(
+        self,
+        plan: FloorPlan,
+        rx_xy: np.ndarray,
+        rx_room: np.ndarray,
+        tx_rooms: np.ndarray,
+    ) -> np.ndarray:
+        """Wall attenuation for many receivers against many transmitters.
+
+        The fleet-batched counterpart of :meth:`attenuation_db`: one call
+        covers every (receiver frame, transmitter) combination, with the
+        door-leak correction applied per doorway instead of per
+        transmitter.
+
+        Args:
+            plan: the floor plan (supplies topology and door positions).
+            rx_xy: ``(n, 2)`` receiver positions.
+            rx_room: ``(n,)`` receiver room indices (``OUTSIDE`` allowed).
+            tx_rooms: ``(k,)`` transmitter room indices.
+
+        Returns:
+            ``(n, k)`` attenuation in dB.
+        """
+        rx_xy = np.asarray(rx_xy, dtype=np.float64)
+        rx_room = np.asarray(rx_room, dtype=np.int64)
+        tx_rooms = np.asarray(tx_rooms, dtype=np.int64)
+        walls = plan.wall_matrix()
+
+        n_walls = walls[np.maximum(rx_room, 0)[:, None], np.maximum(tx_rooms, 0)[None, :]]
+        out = n_walls.astype(np.float64) * self.wall_db
+
+        # Door leakage, per doorway: receivers near the door that directly
+        # connects rooms (a, b) hear a-room transmitters from b and vice
+        # versa through the opening.
+        for room in plan.rooms:
+            for door in room.doors:
+                a, b = (plan.index_of(name) for name in door.connects)
+                if room.index not in (a, b):
+                    continue
+                other = b if a == room.index else a
+                cols = np.flatnonzero(tx_rooms == room.index)
+                if cols.size == 0:
+                    continue
+                near = self._near_door(rx_xy, door.position, door.leak_radius_m)
+                rows = np.flatnonzero(near & (rx_room == other))
+                if rows.size == 0:
+                    continue
+                region = np.ix_(rows, cols)
+                out[region] = np.maximum(out[region] - self.door_leak_db, 0.0)
+
+        out[rx_room == OUTSIDE, :] = self.outside_db
+        out[:, tx_rooms == OUTSIDE] = self.outside_db
+        return out
+
     @staticmethod
     def _near_door(points: np.ndarray, door_pos: Point, radius: float) -> np.ndarray:
         dx = points[:, 0] - door_pos[0]

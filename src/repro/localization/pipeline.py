@@ -9,7 +9,7 @@ its beacon messages into.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.habitat.beacons import Beacon, beacon_positions, beacon_rooms
 from repro.habitat.floorplan import FloorPlan
 from repro.localization.room_detector import RoomDetector
 from repro.localization.rssi import boxcar_smooth
-from repro.localization.trilateration import gauss_newton_batch, weighted_centroid
+from repro.localization.trilateration import localize_rooms
 from repro.obs import _state as _obs
 from repro.obs import metrics as _metrics
 from repro.obs import span
@@ -73,6 +73,10 @@ class Localizer:
     ) -> LocalizationResult:
         """Localize one badge-day.
 
+        Deprecated thin wrapper (batch of 1) around
+        :meth:`localize_fleet`; prefer the fleet call when localizing
+        several badge-days.
+
         Args:
             ble_rssi: ``(frames, n_beacons)`` scan matrix.
             active: ``(frames,)`` recording mask.
@@ -84,76 +88,113 @@ class Localizer:
         Returns:
             Room and position estimates per frame.
         """
-        with span("localization.day", frames=int(ble_rssi.shape[0])):
-            rssi = ble_rssi
+        return self.localize_fleet([ble_rssi], [active], dead_beacons=dead_beacons)[0]
+
+    def localize_fleet(
+        self,
+        scans: "Sequence[np.ndarray]",
+        actives: "Sequence[np.ndarray]",
+        dead_beacons: "Iterable[int] | None" = None,
+    ) -> list[LocalizationResult]:
+        """Localize a whole fleet's badge-days in one batched call.
+
+        Smoothing and room detection stay per badge (their windows must
+        not leak across badge-days), then all frames are stacked and the
+        position solve runs room-compacted over the whole fleet at once
+        (:func:`repro.localization.trilateration.localize_rooms`).  Every
+        per-frame estimate is row-independent, so each badge-day's result
+        is bit-identical to localizing it alone.
+
+        Args:
+            scans: per badge, ``(frames, n_beacons)`` scan matrices.
+            actives: per badge, ``(frames,)`` recording masks.
+            dead_beacons: beacon indices masked to NaN for every badge.
+
+        Returns:
+            One :class:`LocalizationResult` per input badge-day.
+        """
+        if len(scans) != len(actives):
+            raise ConfigError("scans and actives must align")
+        if not scans:
+            return []
+        total = int(sum(s.shape[0] for s in scans))
+        with span("localization.day", badges=len(scans), frames=total):
             masked: tuple[int, ...] = ()
             if dead_beacons:
                 masked = tuple(sorted(
                     b for b in {int(b) for b in dead_beacons}
-                    if 0 <= b < rssi.shape[1]
+                    if 0 <= b < scans[0].shape[1]
                 ))
-            if masked:
-                rssi = rssi.copy()
-                rssi[:, list(masked)] = np.nan
-                if _obs.enabled:
-                    _metrics.counter(
-                        "localization.dead_beacon_days",
-                        "badge-days localized with masked (dead) beacons",
-                    ).inc()
-            if self.smooth_window is not None and self.smooth_window > 1:
-                with span("localization.smooth"):
-                    rssi = boxcar_smooth(rssi, window=self.smooth_window)
-            with span("localization.room_detect"):
-                room = self.detector.detect(rssi, active)
-
-            # Restrict position estimation to the detected room's beacons.
-            in_room_mask = self.beacon_room[None, :] == room[:, None]
-            with span("localization.centroid"):
-                xy = weighted_centroid(
-                    rssi,
+            rooms = []
+            smoothed = []
+            with span("localization.room_detect", badges=len(scans)):
+                for rssi, active in zip(scans, actives):
+                    if masked:
+                        rssi = rssi.copy()
+                        rssi[:, list(masked)] = np.nan
+                        if _obs.enabled:
+                            _metrics.counter(
+                                "localization.dead_beacon_days",
+                                "badge-days localized with masked (dead) beacons",
+                            ).inc()
+                    if self.smooth_window is not None and self.smooth_window > 1:
+                        rssi = boxcar_smooth(rssi, window=self.smooth_window)
+                    smoothed.append(rssi)
+                    rooms.append(self.detector.detect(rssi, active))
+            room_all = np.concatenate(rooms)
+            rssi_all = smoothed[0] if len(smoothed) == 1 else np.concatenate(smoothed)
+            with span("localization.solve", badges=len(scans)):
+                # Weighted centroid + optional Gauss-Newton, compacted to
+                # each detected room's own beacon columns.  Range-based
+                # least squares recovers positions outside the beacons'
+                # convex hull (the centroid alone compresses the occupancy
+                # maps toward the room centers).
+                xy = localize_rooms(
+                    rssi_all,
+                    room_all,
                     self.beacon_xy,
-                    weight_mask=in_room_mask,
+                    self.beacon_room,
                     tx_power_dbm=self.tx_power_dbm,
                     path_loss_exponent=self.path_loss_exponent,
+                    refine=self.refine,
                 )
-            if self.refine:
-                # Range-based least squares recovers positions outside the
-                # beacons' convex hull (the centroid alone compresses the
-                # occupancy maps toward the room centers).
-                with span("localization.refine"):
-                    xy = gauss_newton_batch(
-                        xy, rssi, self.beacon_xy,
-                        weight_mask=in_room_mask,
-                        tx_power_dbm=self.tx_power_dbm,
-                        path_loss_exponent=self.path_loss_exponent,
-                    )
-            xy = self._clamp_to_rooms(xy, room)
-            result = LocalizationResult(
-                room=room.astype(np.int8),
-                x=xy[:, 0].astype(np.float32),
-                y=xy[:, 1].astype(np.float32),
-                masked_beacons=masked,
-            )
-            if _obs.enabled:
-                _metrics.counter(
-                    "localization.days", "badge-days localized"
-                ).inc()
-                _metrics.histogram(
-                    "localization.known_fraction", "fraction of frames with a room fix"
-                ).observe(result.known_fraction())
-            return result
+                xy = self._clamp_to_rooms(xy, room_all)
+            results = []
+            offset = 0
+            for rssi in scans:
+                n = rssi.shape[0]
+                sl = slice(offset, offset + n)
+                offset += n
+                result = LocalizationResult(
+                    room=room_all[sl].astype(np.int8),
+                    x=xy[sl, 0].astype(np.float32),
+                    y=xy[sl, 1].astype(np.float32),
+                    masked_beacons=masked,
+                )
+                results.append(result)
+                if _obs.enabled:
+                    _metrics.counter(
+                        "localization.days", "badge-days localized"
+                    ).inc()
+                    _metrics.histogram(
+                        "localization.known_fraction", "fraction of frames with a room fix"
+                    ).observe(result.known_fraction())
+            return results
 
     def _clamp_to_rooms(self, xy: np.ndarray, room: np.ndarray) -> np.ndarray:
         """Clamp estimates into the detected room's rectangle."""
-        out = xy.copy()
+        out = np.array(xy, copy=True)
         eps = 1e-6  # keep clamped points off shared walls
-        for room_idx in np.unique(room):
-            if room_idx < 0:
-                continue
-            rect = self.plan.rooms[int(room_idx)].rect
-            rows = room == room_idx
-            out[rows, 0] = np.clip(out[rows, 0], rect.x0 + eps, rect.x1 - eps)
-            out[rows, 1] = np.clip(out[rows, 1], rect.y0 + eps, rect.y1 - eps)
-        unknown = room < 0
-        out[unknown] = np.nan
+        dtype = out.dtype
+        bounds = np.array(
+            [
+                (r.rect.x0 + eps, r.rect.x1 - eps, r.rect.y0 + eps, r.rect.y1 - eps)
+                for r in self.plan.rooms
+            ],
+            dtype=dtype,
+        )
+        safe = np.maximum(room, 0)
+        out[:, 0] = np.clip(out[:, 0], bounds[safe, 0], bounds[safe, 1])
+        out[:, 1] = np.clip(out[:, 1], bounds[safe, 2], bounds[safe, 3])
+        out[room < 0] = np.nan
         return out

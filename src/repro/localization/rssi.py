@@ -53,31 +53,39 @@ def ema_smooth(rssi: np.ndarray, alpha: float = 0.4, max_gap: int = 5) -> np.nda
 def boxcar_smooth(rssi: np.ndarray, window: int = 5) -> np.ndarray:
     """NaN-aware centered moving average over a ``(frames, beacons)`` matrix.
 
-    Fully vectorized (cumulative sums), so it is the default smoother in
-    the localization pipeline; :func:`ema_smooth` remains available when
-    strictly causal filtering matters.  Cells with no finite sample in
-    their window stay NaN.
+    Fully vectorized (one shifted add per window offset), so it is the
+    default smoother in the localization pipeline; :func:`ema_smooth`
+    remains available when strictly causal filtering matters.  Cells
+    with no finite sample in their window stay NaN.  The input's float
+    dtype is preserved (the pipeline smooths float32 scans in float32).
     """
     if window < 1:
         raise ConfigError("window must be >= 1")
-    rssi = np.asarray(rssi, dtype=np.float64)
+    rssi = np.asarray(rssi)
+    if not np.issubdtype(rssi.dtype, np.floating):
+        rssi = rssi.astype(np.float64)
     if window == 1 or rssi.shape[0] == 0:
         return rssi.copy()
     n = rssi.shape[0]
     half = window // 2
     finite = np.isfinite(rssi)
-    values = np.where(finite, rssi, 0.0)
-    cum_values = np.zeros((n + 1,) + rssi.shape[1:])
-    cum_counts = np.zeros((n + 1,) + rssi.shape[1:])
-    np.cumsum(values, axis=0, out=cum_values[1:])
-    np.cumsum(finite, axis=0, out=cum_counts[1:])
-    lo = np.clip(np.arange(n) - half, 0, n)
-    hi = np.clip(np.arange(n) + half + 1, 0, n)
-    sums = cum_values[hi] - cum_values[lo]
-    counts = cum_counts[hi] - cum_counts[lo]
-    with np.errstate(invalid="ignore"):
+    values = np.where(finite, rssi, rssi.dtype.type(0))
+    counts_f = finite.astype(rssi.dtype)
+    # Shifted in-place accumulation: one aligned add per window offset
+    # (edges clip naturally), which beats a cumulative-sum formulation
+    # because axis-0 cumsum strides column-wise through the matrix.  The
+    # few-term sums also stay accurate in float32, so the input dtype is
+    # preserved end to end.
+    sums = np.zeros_like(values)
+    counts = np.zeros_like(values)
+    for off in range(-half, half + 1):
+        dst = slice(max(0, -off), n - max(0, off))
+        src = slice(max(0, off), n - max(0, -off))
+        sums[dst] += values[src]
+        counts[dst] += counts_f[src]
+    # Empty windows divide 0/0 and land on NaN directly — no fill pass.
+    with np.errstate(invalid="ignore", divide="ignore"):
         out = sums / counts
-    out[counts == 0] = np.nan
     return out
 
 
@@ -85,8 +93,9 @@ def strongest_beacon(rssi: np.ndarray) -> np.ndarray:
     """Index of the loudest beacon per frame; -1 where nothing is heard."""
     rssi = np.asarray(rssi)
     filled = np.where(np.isnan(rssi), -np.inf, rssi)
-    best = np.argmax(filled, axis=1)
-    silent = ~np.isfinite(filled).any(axis=1)
-    best = best.astype(np.int64)
+    best = np.argmax(filled, axis=1).astype(np.int64)
+    # A frame is silent iff even its argmax cell is -inf — one gather
+    # instead of a second full isfinite scan of the matrix.
+    silent = filled[np.arange(filled.shape[0]), best] == -np.inf
     best[silent] = -1
     return best

@@ -9,8 +9,7 @@ parallel mission worker) into this process's live stores.
 
 Naming note: ``to_dict()`` / ``to_text()`` are the uniform report
 surface shared with :class:`~repro.experiments.mission.MissionResult`
-and :class:`~repro.faults.report.ReliabilityReport`;
-``to_text_report()`` survives as a deprecated alias of ``to_text()``.
+and :class:`~repro.faults.report.ReliabilityReport`.
 """
 
 from __future__ import annotations
@@ -177,8 +176,3 @@ def to_text(snapshot: Optional[dict] = None, max_logs: int = 30) -> str:
         lines.append(f"[{sim}] {record['level'].upper():7s} {record['logger']}: {body}")
 
     return "\n".join(lines)
-
-
-def to_text_report(snapshot: Optional[dict] = None, max_logs: int = 30) -> str:
-    """Deprecated alias of :func:`to_text` (kept for one release)."""
-    return to_text(snapshot, max_logs=max_logs)

@@ -67,16 +67,18 @@ class IrModel:
             ``{(i, j): (frames,) bool}`` with ``i < j``.
         """
         out: dict[tuple[int, int], np.ndarray] = {}
+        # Each badge appears in many pairs: fold its own feasibility mask
+        # once instead of recomputing it per pair.
+        ready = {
+            b: worn[b] & ~walking[b] & (badge_room[b] >= 0)
+            & ~np.isnan(badge_xy[b]).any(axis=1)
+            for b in badge_xy
+        }
         for i, j in combinations(sorted(badge_xy), 2):
             xi, xj = badge_xy[i], badge_xy[j]
             n = xi.shape[0]
             contact = np.zeros(n, dtype=bool)
-            feasible = (
-                worn[i] & worn[j]
-                & ~walking[i] & ~walking[j]
-                & (badge_room[i] == badge_room[j]) & (badge_room[i] >= 0)
-                & ~np.isnan(xi).any(axis=1) & ~np.isnan(xj).any(axis=1)
-            )
+            feasible = ready[i] & ready[j] & (badge_room[i] == badge_room[j])
             idx = np.flatnonzero(feasible)
             if idx.size:
                 d = np.hypot(xi[idx, 0] - xj[idx, 0], xi[idx, 1] - xj[idx, 1])

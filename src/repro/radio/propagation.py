@@ -76,6 +76,52 @@ class PropagationModel:
         return rssi
 
 
+    def received_dbm_matrix(
+        self,
+        plan: FloorPlan,
+        tx_power_dbm: np.ndarray,
+        tx_xy: np.ndarray,
+        tx_rooms: np.ndarray,
+        rx_xy: np.ndarray,
+        rx_room: np.ndarray,
+    ) -> np.ndarray:
+        """Deterministic received power for many receivers x many transmitters.
+
+        The fleet-batched counterpart of :meth:`received_dbm`: one call
+        computes the full ``(receivers, transmitters)`` RSSI matrix with
+        no shadowing — callers add the shadowing draws themselves so they
+        control the per-badge RNG stream order (see
+        :meth:`repro.radio.ble.BleScanModel.scan_fleet`).
+
+        The distance term is evaluated as ``5 n log10(d^2)`` (squared
+        distances avoid the per-element ``hypot``), which is the same
+        quantity as ``10 n log10(d)`` up to floating-point rounding.
+
+        Args:
+            plan: floor plan.
+            tx_power_dbm: ``(k,)`` transmit powers at 1 m.
+            tx_xy: ``(k, 2)`` transmitter positions.
+            tx_rooms: ``(k,)`` transmitter room indices.
+            rx_xy: ``(n, 2)`` receiver positions.
+            rx_room: ``(n,)`` receiver room indices.
+
+        Returns:
+            ``(n, k)`` RSSI in dBm (no shadowing noise).
+        """
+        rx_xy = np.asarray(rx_xy, dtype=np.float64)
+        tx_xy = np.asarray(tx_xy, dtype=np.float64)
+        dx = rx_xy[:, 0][:, None] - tx_xy[:, 0][None, :]
+        dy = rx_xy[:, 1][:, None] - tx_xy[:, 1][None, :]
+        d2 = dx * dx
+        d2 += dy * dy
+        np.maximum(d2, self.min_distance_m * self.min_distance_m, out=d2)
+        loss = np.log10(d2)
+        loss *= 5.0 * self.path_loss_exponent
+        loss += self.reference_loss_db
+        loss += self.walls.attenuation_db_matrix(plan, rx_xy, rx_room, tx_rooms)
+        return np.asarray(tx_power_dbm, dtype=np.float64)[None, :] - loss
+
+
 #: Default band models.  868 MHz propagates a little better through the
 #: structure (lower exponent) than 2.4 GHz BLE — the paper exploits the
 #: "different signal attenuation properties" of the two radios.

@@ -51,23 +51,32 @@ class SubGhzModel:
             ``{(i, j): (frames,) float32}`` with ``i < j``; NaN = no contact.
         """
         out: dict[tuple[int, int], np.ndarray] = {}
+        walls = plan.wall_matrix()
+        # Each badge appears in many pairs: fold its own usability mask
+        # once instead of recomputing it per pair.
+        usable_solo = {
+            b: active[b] & ~np.isnan(badge_xy[b]).any(axis=1) for b in badge_xy
+        }
         for i, j in combinations(sorted(badge_xy), 2):
             xi, xj = badge_xy[i], badge_xy[j]
             n = xi.shape[0]
             rssi = np.full(n, np.nan, dtype=np.float32)
-            usable = (
-                active[i] & active[j]
-                & ~np.isnan(xi).any(axis=1) & ~np.isnan(xj).any(axis=1)
-            )
+            usable = usable_solo[i] & usable_solo[j]
             idx = np.flatnonzero(usable)
             if idx.size:
                 # Treat badge j as a set of transmitters heard by badge i.
                 # Pairwise links vary per frame, so compute frame-wise.
-                d = np.hypot(
-                    xi[idx, 0] - xj[idx, 0], xi[idx, 1] - xj[idx, 1]
-                )
-                loss = self.propagation.path_loss_db(d)
-                walls = plan.wall_matrix()
+                # ``5 n log10(d^2)`` == ``10 n log10(d)`` up to rounding,
+                # and squared distances skip the per-frame hypot.
+                ddx = xi[idx, 0] - xj[idx, 0]
+                ddy = xi[idx, 1] - xj[idx, 1]
+                d2 = ddx * ddx
+                d2 += ddy * ddy
+                min_d = self.propagation.min_distance_m
+                np.maximum(d2, min_d * min_d, out=d2)
+                loss = np.log10(d2)
+                loss *= 5.0 * self.propagation.path_loss_exponent
+                loss += self.propagation.reference_loss_db
                 ri = badge_room[i][idx]
                 rj = badge_room[j][idx]
                 inside = (ri >= 0) & (rj >= 0)

@@ -72,6 +72,7 @@ class TimeSyncSimulator:
         n = badge_xy.shape[0]
         errors = np.empty(n, dtype=np.float64)
         events: list[SyncEvent] = []
+        t = t0 + np.arange(n) * dt
         in_range = (
             active
             & ~np.isnan(badge_xy).any(axis=1)
@@ -83,16 +84,44 @@ class TimeSyncSimulator:
                 <= self.sync_range_m
             )
         )
+        # Event-driven walk: between syncs the clock parameters are
+        # constant, so whole segments evaluate vectorized; only the sync
+        # frames themselves need the sequential offset update.  Same
+        # frame-by-frame semantics (and bit-identical output) as the
+        # original per-frame loop.
+        candidates = np.flatnonzero(in_range)
+        t_cand = t[candidates]
         last_sync = -np.inf
-        for i in range(n):
-            t = t0 + i * dt
-            if in_range[i] and t - last_sync >= self.min_spacing_s:
-                before = clock.error_at(t)
-                clock.correct(reference_local=t, own_local=clock.local_time(t))
-                events.append(SyncEvent(time_s=t, error_before_s=before))
-                last_sync = t
-            errors[i] = clock.error_at(t)
+        seg_start = 0
+        pos = 0
+        while pos < candidates.size:
+            due = np.flatnonzero(t_cand[pos:] - last_sync >= self.min_spacing_s)
+            if due.size == 0:
+                break
+            pos += int(due[0])
+            i = int(candidates[pos])
+            ti = float(t_cand[pos])
+            self._fill_errors(errors, t, seg_start, i, clock)
+            before = clock.error_at(ti)
+            clock.correct(reference_local=ti, own_local=clock.local_time(ti))
+            events.append(SyncEvent(time_s=ti, error_before_s=before))
+            last_sync = ti
+            seg_start = i
+            pos += 1
+        self._fill_errors(errors, t, seg_start, n, clock)
         return errors, events
+
+    @staticmethod
+    def _fill_errors(
+        errors: np.ndarray, t: np.ndarray, start: int, stop: int, clock: ClockModel
+    ) -> None:
+        """Vectorized ``clock.error_at`` over ``t[start:stop]``."""
+        if start >= stop:
+            return
+        seg = t[start:stop]
+        errors[start:stop] = (
+            clock.offset_s + seg * (1.0 + clock.drift_ppm * 1e-6) - seg
+        )
 
 
 def apply_clock_skew(values: np.ndarray, errors_s: np.ndarray, dt: float) -> np.ndarray:

@@ -119,6 +119,19 @@ class TestExecutionConfig:
         with pytest.raises(ConfigError):
             ExecutionConfig(n_workers=bad)
 
+    def test_auto_workers_sizes_to_the_machine(self, monkeypatch):
+        import repro.core.config as config_mod
+
+        execution = ExecutionConfig(n_workers="auto")
+        monkeypatch.setattr(config_mod.os, "cpu_count", lambda: 2)
+        assert execution.worker_count == 1
+        assert not execution.parallel
+        monkeypatch.setattr(config_mod.os, "cpu_count", lambda: 8)
+        assert execution.worker_count == 8
+        assert execution.parallel
+        monkeypatch.setattr(config_mod.os, "cpu_count", lambda: None)
+        assert execution.worker_count == 1
+
     def test_empty_cache_dir_rejected(self):
         with pytest.raises(ConfigError):
             ExecutionConfig(cache_dir="")
@@ -156,10 +169,6 @@ class TestRedesignedApi:
         assert "3 days" in text
         assert "seed 5" in text
 
-    def test_deprecated_aliases_warn_and_delegate(self, serial_result):
-        with pytest.deprecated_call():
-            out = serial_result.telemetry_report()
-        assert out == "(telemetry was disabled for this run)"
-        with pytest.deprecated_call():
-            out = serial_result.reliability_report()
-        assert out == "(no fault plan was configured for this run)"
+    def test_deprecated_report_aliases_are_gone(self, serial_result):
+        assert not hasattr(serial_result, "telemetry_report")
+        assert not hasattr(serial_result, "reliability_report")

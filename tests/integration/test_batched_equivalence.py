@@ -1,0 +1,175 @@
+"""Golden test for the batched sensing API redesign.
+
+The fleet-batched hot path (:func:`repro.badges.pipeline.sense_day` +
+:meth:`repro.localization.pipeline.Localizer.localize_fleet`) must be
+**bit-identical** to driving every model through its legacy per-badge
+wrapper (:func:`repro.badges.pipeline.sense_day_badgewise` +
+:meth:`~repro.localization.pipeline.Localizer.localize_day`).  Per
+badge, each model consumes its day-scoped RNG stream in the documented
+order, so batching across badges may not move a single draw — this test
+is the contract's enforcement.
+
+Cache fingerprints are config-derived, so the redesign must also leave
+them untouched: a cache populated before the batched API landed still
+addresses the same artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.analytics.dataset import BadgeDaySummary
+from repro.badges.assignment import BadgeAssignment
+from repro.badges.pipeline import (
+    SensingModels,
+    make_fleet,
+    sense_day,
+    sense_day_badgewise,
+)
+from repro.badges.sdcard import SdCardAccountant
+from repro.core.config import MissionConfig
+from repro.core.rng import RngRegistry, mission_sensing_registry
+from repro.crew.behavior import simulate_mission
+from repro.exec import hashing
+from repro.localization.pipeline import Localizer
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MissionConfig(days=2, seed=13, events=None)
+
+
+@pytest.fixture(scope="module")
+def truth(cfg):
+    return simulate_mission(cfg)
+
+
+@pytest.fixture(scope="module")
+def mission_parts(cfg, truth):
+    assignment = BadgeAssignment(cfg=cfg, roster=truth.roster)
+    models = SensingModels.default(cfg, truth.plan)
+    localizer = Localizer(truth.plan, models.beacons)
+    return assignment, models, localizer
+
+
+def _summaries(cfg, truth, mission_parts, batched: bool):
+    """Run the instrumented days through one of the two paths."""
+    assignment, models, localizer = mission_parts
+    rngs = mission_sensing_registry(cfg.seed)
+    fleet = make_fleet(assignment, rngs)
+    sdcard = SdCardAccountant()
+    sensor = sense_day if batched else sense_day_badgewise
+    out: dict[tuple[int, int], BadgeDaySummary] = {}
+    pairwise: dict[int, object] = {}
+    for day in cfg.instrumented_days:
+        observations, pw = sensor(
+            truth, day, assignment, models, fleet, rngs, sdcard
+        )
+        pairwise[day] = pw
+        badge_ids = list(observations)
+        if batched:
+            locs = localizer.localize_fleet(
+                [observations[b].ble_rssi for b in badge_ids],
+                [observations[b].active for b in badge_ids],
+            )
+        else:
+            locs = [
+                localizer.localize_day(
+                    observations[b].ble_rssi, observations[b].active
+                )
+                for b in badge_ids
+            ]
+        for badge_id, loc in zip(badge_ids, locs):
+            obs = observations[badge_id]
+            out[(badge_id, day)] = BadgeDaySummary.from_observations(obs, loc)
+    return out, pairwise
+
+
+def _digest(summary: BadgeDaySummary) -> str:
+    """Byte-level digest of every field of one summary."""
+    h = hashlib.blake2b(digest_size=16)
+    for f in dataclasses.fields(summary):
+        value = getattr(summary, f.name)
+        h.update(f.name.encode())
+        if isinstance(value, np.ndarray):
+            h.update(str(value.dtype).encode())
+            h.update(value.tobytes())
+        else:
+            h.update(repr(value).encode())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def both_paths(cfg, truth, mission_parts):
+    batched = _summaries(cfg, truth, mission_parts, batched=True)
+    badgewise = _summaries(cfg, truth, mission_parts, batched=False)
+    return batched, badgewise
+
+
+class TestGoldenEquivalence:
+    def test_same_badge_days(self, both_paths):
+        (batched, _), (badgewise, _) = both_paths
+        assert set(batched) == set(badgewise)
+        assert batched  # a silent empty mission would vacuously pass
+
+    def test_summaries_byte_identical(self, both_paths):
+        (batched, _), (badgewise, _) = both_paths
+        for key in batched:
+            assert _digest(batched[key]) == _digest(badgewise[key]), key
+
+    def test_pairwise_byte_identical(self, both_paths):
+        (_, pw_batched), (_, pw_badgewise) = both_paths
+        for day in pw_batched:
+            a, b = pw_batched[day], pw_badgewise[day]
+            assert set(a.subghz_rssi) == set(b.subghz_rssi)
+            for pair in a.subghz_rssi:
+                assert (
+                    a.subghz_rssi[pair].tobytes() == b.subghz_rssi[pair].tobytes()
+                ), pair
+                assert (
+                    a.ir_contact[pair].tobytes() == b.ir_contact[pair].tobytes()
+                ), pair
+
+    def test_localize_day_wraps_localize_fleet(self, cfg, truth, mission_parts):
+        """A batch of one is the same bits as a row of a fleet batch."""
+        assignment, models, localizer = mission_parts
+        rngs = RngRegistry(cfg.seed)
+        fleet = make_fleet(assignment, rngs)
+        observations, _ = sense_day(
+            truth, 2, assignment, models, fleet, rngs, SdCardAccountant()
+        )
+        badge_ids = list(observations)
+        fleet_locs = localizer.localize_fleet(
+            [observations[b].ble_rssi for b in badge_ids],
+            [observations[b].active for b in badge_ids],
+        )
+        for badge_id, fleet_loc in zip(badge_ids, fleet_locs):
+            solo = localizer.localize_day(
+                observations[badge_id].ble_rssi, observations[badge_id].active
+            )
+            for field in ("room", "x", "y"):
+                assert (
+                    getattr(fleet_loc, field).tobytes()
+                    == getattr(solo, field).tobytes()
+                ), (badge_id, field)
+
+
+class TestCacheFingerprintsUnchanged:
+    """The API redesign must not move any config-derived cache key."""
+
+    def test_fingerprints_are_config_pure(self, cfg):
+        assert hashing.truth_fingerprint(cfg) == hashing.truth_fingerprint(
+            MissionConfig(days=2, seed=13, events=None)
+        )
+        assert hashing.sensing_fingerprint(cfg) == hashing.sensing_fingerprint(
+            MissionConfig(days=2, seed=13, events=None)
+        )
+
+    def test_schema_version_not_bumped_by_redesign(self):
+        # The batched path produces the same bits as the per-badge path,
+        # so cached artifacts stay valid and the schema stays at 1.
+        assert hashing.SCHEMA_VERSION == 1

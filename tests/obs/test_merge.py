@@ -108,6 +108,5 @@ class TestLogAndSnapshotMerge:
         assert "Stage breakdown" in snap.to_text()
         assert snap["span_breakdown"]["w.day"]["count"] == 1
 
-    def test_to_text_report_alias_still_works(self, on):
-        report = export.to_text_report()
-        assert "Telemetry report" in report
+    def test_to_text_report_alias_is_gone(self, on):
+        assert not hasattr(export, "to_text_report")
