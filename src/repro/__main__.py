@@ -199,26 +199,47 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_reliability(args: argparse.Namespace) -> int:
+    import dataclasses
     import json
     import pathlib
 
     from repro.core.config import MissionConfig
     from repro.faults.campaign import FaultCampaign
     from repro.reliability import (
+        CoverageModel,
         ReliabilityModel,
+        default_coverage_config,
+        sweep_coverage_regimes,
         sweep_regimes,
         validate_campaign,
+        validate_coverage_campaign,
     )
 
+    coverage = getattr(args, "coverage", False)
+
     def _campaign(seed: int) -> FaultCampaign:
+        if coverage:
+            return FaultCampaign.coverage_reference(days=args.days, seed=seed)
         return FaultCampaign.reference(days=args.days, seed=seed)
 
     cfg = MissionConfig(days=args.days, seed=args.seed)
 
+    def _model(campaign: FaultCampaign):
+        if coverage:
+            return CoverageModel(campaign)
+        return ReliabilityModel(campaign,
+                                earth_link_delay_s=cfg.earth_link_delay_s)
+
+    def _validate(campaign: FaultCampaign):
+        if coverage:
+            mission_cfg = dataclasses.replace(
+                default_coverage_config(campaign), seed=args.seed)
+            return validate_coverage_campaign(
+                campaign, mission_cfg, confidence=args.confidence)
+        return validate_campaign(campaign, cfg, confidence=args.confidence)
+
     if args.rel_command == "predict":
-        model = ReliabilityModel(_campaign(args.campaign_seed),
-                                 earth_link_delay_s=cfg.earth_link_delay_s)
-        prediction = model.predict(args.confidence)
+        prediction = _model(_campaign(args.campaign_seed)).predict(args.confidence)
         print(prediction.to_text())
         if args.json:
             print()
@@ -226,8 +247,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
         return 0
 
     if args.rel_command == "validate":
-        result, report = validate_campaign(
-            _campaign(args.campaign_seed), cfg, confidence=args.confidence)
+        result, report = _validate(_campaign(args.campaign_seed))
         print(result.to_text())
         print()
         print(report.to_text())
@@ -239,10 +259,16 @@ def cmd_reliability(args: argparse.Namespace) -> int:
         return 0 if result.all_inside else 1
 
     # search
-    regimes = sweep_regimes(
-        base=_campaign(0), n_regimes=args.regimes, seed=args.sweep_seed,
-        top_k=args.top, earth_link_delay_s=cfg.earth_link_delay_s)
-    print(f"swept {args.regimes} regimes analytically; "
+    if coverage:
+        regimes = sweep_coverage_regimes(
+            base=_campaign(0), n_regimes=args.regimes, seed=args.sweep_seed,
+            top_k=args.top)
+    else:
+        regimes = sweep_regimes(
+            base=_campaign(0), n_regimes=args.regimes, seed=args.sweep_seed,
+            top_k=args.top, earth_link_delay_s=cfg.earth_link_delay_s)
+    kind = "coverage" if coverage else "reliability"
+    print(f"swept {args.regimes} {kind} regimes analytically; "
           f"top {args.top} predicted-worst:")
     for regime in regimes:
         print(f"  {regime.to_text()}")
@@ -250,16 +276,14 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
+    prefix = "coverage-regime" if coverage else "regime"
     for regime in regimes:
-        model = ReliabilityModel(regime.campaign,
-                                 earth_link_delay_s=cfg.earth_link_delay_s)
         artifact = {
             "regime": regime.to_dict(),
-            "prediction": model.predict(args.confidence).to_dict(),
+            "prediction": _model(regime.campaign).predict(args.confidence).to_dict(),
         }
         if args.empirical:
-            result, report = validate_campaign(
-                regime.campaign, cfg, confidence=args.confidence)
+            result, report = _validate(regime.campaign)
             print()
             print(f"=== regime #{regime.rank} (campaign seed "
                   f"{regime.campaign.seed}) ===")
@@ -269,7 +293,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
             if not result.all_inside:
                 failures += 1
         if out_dir is not None:
-            path = out_dir / f"regime-{regime.rank}.json"
+            path = out_dir / f"{prefix}-{regime.rank}.json"
             path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
             print(f"wrote {path}")
     if args.json:
@@ -371,6 +395,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="two-sided band confidence (default: 0.998)")
         p.add_argument("--json", action="store_true",
                        help="also dump results as JSON")
+        p.add_argument("--coverage", action="store_true",
+                       help="use the sensing-level coverage model (data "
+                            "corruption, beacon outages, quality-gate "
+                            "verdicts) instead of the bus-level model")
 
     p_pred = rel_sub.add_parser(
         "predict", help="closed-form reliability forecast for a campaign")

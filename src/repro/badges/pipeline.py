@@ -9,6 +9,7 @@ analytics never see ground truth.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -147,6 +148,10 @@ def sense_day_badgewise(
     ``tests/integration/test_batched_equivalence.py`` enforces this);
     the only reason to call it is to cross-check that invariant.
     """
+    warnings.warn(
+        "sense_day_badgewise is deprecated; use sense_day",
+        DeprecationWarning, stacklevel=2,
+    )
     cfg = truth.cfg
     plan = models.plan
     wear_model = WearModel(cfg, plan, battery=models.battery)
@@ -394,7 +399,10 @@ def _sense_day(
     observations[ref_id] = BadgeDayObservations(
         badge_id=ref_id, day=day, t0=t0, dt=dt,
         active=ref_active, worn=ref_worn,
-        ble_rssi=models.ble.scan(plan, models.beacons, ref_xy, ref_room, ref_active, ref_rng),
+        ble_rssi=models.ble.scan_fleet(
+            plan, models.beacons, ref_xy[None], ref_room[None],
+            ref_active[None], (ref_rng,),
+        )[0],
         accel_rms=models.accelerometer.synthesize(
             np.zeros(n, dtype=bool), ref_worn, ref_active, np.zeros(n, dtype=np.int8), ref_rng
         ),

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, ClassVar, Optional
 
 from repro.core.errors import ConfigError
 from repro.core.units import DAY, HOUR, parse_hhmm
@@ -142,13 +142,21 @@ class ExecutionConfig:
         if self.pool_failure_limit < 1:
             raise ConfigError("pool_failure_limit must be >= 1")
 
+    #: ``"auto"`` only: pending missions smaller than this many
+    #: frame-badge units run serially even on a many-core box — pool
+    #: spin-up (fork + context pickling) costs more than the parallel
+    #: win on a mission this small.
+    AUTO_POOL_MIN_UNITS: ClassVar[int] = 1_000_000
+
     @property
     def worker_count(self) -> int:
         """Resolved pool size (``"serial"`` counts as one worker).
 
         ``"auto"`` sizes the pool to the machine: serial on boxes with
         two or fewer cores (a pool would just add pickling overhead
-        there), one worker per core otherwise.
+        there), one worker per core otherwise.  The mission driver
+        additionally keeps ``"auto"`` serial for small missions — see
+        :meth:`auto_serial`.
         """
         if self.n_workers == "serial":
             return 1
@@ -156,6 +164,17 @@ class ExecutionConfig:
             cores = os.cpu_count() or 1
             return 1 if cores <= 2 else cores
         return int(self.n_workers)
+
+    def auto_serial(self, work_units: float) -> bool:
+        """Whether ``"auto"`` keeps this much pending work serial.
+
+        ``work_units`` is the remaining frame-badge work of the mission
+        (frames per day x badges x days still to compute).  Explicit
+        integer pool sizes and ``"serial"`` are never second-guessed —
+        only ``"auto"`` weighs the mission against the pool's spin-up
+        cost.
+        """
+        return self.n_workers == "auto" and work_units < self.AUTO_POOL_MIN_UNITS
 
     @property
     def parallel(self) -> bool:

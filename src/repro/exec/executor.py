@@ -173,7 +173,13 @@ def degrade_day(
     budget_frames = int(max(0.0, budget) / (sdcard.total_rate_bps * cfg.frame_dt))
     active_idx = np.flatnonzero(obs.active)
     if len(active_idx) > budget_frames:
-        obs.active[active_idx[budget_frames:]] = False
+        # Clear ``worn`` along with ``active``, like the battery path:
+        # a card that stopped recording must not leave worn-but-silent
+        # frames behind, or the quality gate reads the executor's own
+        # day-masking as dirty data and downgrades the verdict.
+        cut_idx = active_idx[budget_frames:]
+        obs.active[cut_idx] = False
+        obs.worn[cut_idx] = False
         changed = True
     if changed:
         obs.bytes_recorded = sdcard.record_day(

@@ -349,8 +349,14 @@ def _compute_missing_days(
     # make workers (which re-derive everything from cfg + truth) and the
     # cache key inconsistent; such truths only ever take the serial path.
     exotic_truth = not truth_compatible(cfg, truth.cfg)
+    # "auto" weighs the pending work against the pool's spin-up cost:
+    # a mission small enough to finish in less time than fork + context
+    # pickling runs serially (the small-box 0.92x regression).
+    pending_units = len(missing) * cfg.frames_per_day * (cfg.crew_size + 1)
+    small_auto = execution.auto_serial(pending_units)
 
-    if execution.parallel and missing and sensing_plan is None and not exotic_truth:
+    if (execution.parallel and missing and not small_auto
+            and sensing_plan is None and not exotic_truth):
         mission_span = tracing.current_span()
         parent_id = mission_span.span_id if mission_span is not None else None
 
@@ -381,9 +387,14 @@ def _compute_missing_days(
                 replay_accounting(outcomes[day], sdcard)
             return
     elif execution.parallel and missing:
+        if small_auto:
+            reason = "auto-small-mission"
+        elif sensing_plan is not None:
+            reason = "sensing-fault-plan"
+        else:
+            reason = "exotic-truth"
         _signal_fallback(
-            "sensing-fault-plan" if sensing_plan is not None else "exotic-truth",
-            workers=execution.worker_count,
+            reason, workers=execution.worker_count, units=pending_units,
         )
 
     # Serial path: restored/cached/salvaged days replay their accounting

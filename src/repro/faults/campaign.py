@@ -213,6 +213,36 @@ class FaultCampaign:
         )
 
     @classmethod
+    def coverage_reference(cls, days: int = 14, seed: int = 0,
+                           n_beacons: int = 27,
+                           crew_size: int = 3) -> "FaultCampaign":
+        """The sensing-fault reference campaign for the coverage model.
+
+        Only the fault classes that degrade *data coverage* are active —
+        data corruption, battery depletion, SD-card caps, and beacon
+        outages; the bus classes are silenced so the quality gate is the
+        sole judge of the damage.  ``badge_ids`` are the primary badges
+        of a ``crew_size`` mission, so every drawn event strikes a
+        badge-day the mission actually assembles (the coverage model's
+        hit probability stays exact instead of estimated).
+        """
+        return cls(
+            seed=seed,
+            horizon_s=days * DAY,
+            n_beacons=n_beacons,
+            badge_ids=tuple(range(crew_size)),
+            crashes_per_day=0.0, flaps_per_day=0.0,
+            lossy_windows_per_day=0.0, blackouts_per_day=0.0,
+            beacon_outages_per_day=0.5,
+            battery_depletions=1, sdcard_exhaustions=1,
+            bitrot_days=max(1, days // 4),
+            truncated_days=max(1, days // 5),
+            duplicated_days=max(1, days // 7),
+            stuck_days=max(1, days // 5),
+            clock_desyncs=max(1, days // 7),
+        )
+
+    @classmethod
     def reference(cls, days: int = 14, seed: int = 0,
                   n_beacons: int = 27, n_badges: int = 7) -> "FaultCampaign":
         """The reference campaign used by benchmarks and the CLI.

@@ -8,6 +8,7 @@ its beacon messages into.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -88,6 +89,10 @@ class Localizer:
         Returns:
             Room and position estimates per frame.
         """
+        warnings.warn(
+            "Localizer.localize_day is deprecated; use localize_fleet",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.localize_fleet([ble_rssi], [active], dead_beacons=dead_beacons)[0]
 
     def localize_fleet(

@@ -148,6 +148,7 @@ class _BadgeDayInspector:
         self.changed = False
         self.padded = 0
         self.masked = 0
+        self.masked_channels: dict[str, int] = {}
         self.quarantine_reason: str | None = None
 
     # -- bookkeeping ---------------------------------------------------
@@ -331,6 +332,36 @@ class _BadgeDayInspector:
             np.clip(stability, 0.0, 1.0, out=self.writable("pitch_stability"))
 
         bad = nan_active | impossible | stuck
+        if bad.any():
+            # Attribute each masked frame to the channel(s) whose values
+            # triggered it, *before* the NaN scrub below destroys the
+            # evidence.  A frame corrupted on several channels counts
+            # once per channel; ``pitch_stability`` never masks (it is
+            # clamped, not masked), so it never appears here.
+            with np.errstate(invalid="ignore"):
+                per_channel = {
+                    "accel_rms": (
+                        (active & np.isnan(accel)) | (accel < 0)
+                        | (accel > p.accel_max) | np.isinf(accel) | stuck
+                    ),
+                    "sound_db": (
+                        (active & np.isnan(sound)) | np.isinf(sound)
+                        | (sound < p.level_min_db) | (sound > p.level_max_db)
+                    ),
+                    "voice_db": (
+                        (active & np.isnan(voice)) | np.isposinf(voice)
+                        | (voice > p.level_max_db)
+                    ),
+                    "x": np.isinf(x),
+                    "y": np.isinf(y),
+                    "dominant_pitch_hz": (
+                        np.isinf(pitch) | (pitch <= 0) | (pitch > p.pitch_max_hz)
+                    ),
+                }
+            for name, mask in per_channel.items():
+                count = int(mask.sum())
+                if count:
+                    self.masked_channels[name] = count
         worn_loose = a["worn"] & ~active
         if worn_loose.any():
             n = int(worn_loose.sum())
@@ -377,6 +408,7 @@ class _BadgeDayInspector:
                 badge_id=s.badge_id, day=s.day, verdict=VERDICT_QUARANTINED,
                 issues=tuple(self.issues), repairs=dict(self.repairs),
                 frames_expected=p.expected_frames, frames_usable=0,
+                masked_channels=dict(self.masked_channels),
             )
             return verdict, None
         if not self.issues and not self.changed and self.t0 == s.t0:
@@ -391,6 +423,7 @@ class _BadgeDayInspector:
             badge_id=s.badge_id, day=s.day, verdict=VERDICT_REPAIRED,
             issues=tuple(self.issues), repairs=dict(self.repairs),
             frames_expected=p.expected_frames, frames_usable=usable,
+            masked_channels=dict(self.masked_channels),
         )
         repaired = dataclasses.replace(
             s, t0=self.t0, true_room=self.true_room, **self.arrays

@@ -59,6 +59,10 @@ class BadgeDayVerdict:
         frames_expected: frames a complete day would have held.
         frames_usable: frames that survived validation and repair
             (0 for quarantined days).
+        masked_channels: channel name -> frames masked because *that*
+            channel's values were corrupt.  A frame corrupted on several
+            channels counts once per channel, so these may sum to more
+            than the day's total masked frames.
     """
 
     badge_id: int
@@ -68,6 +72,7 @@ class BadgeDayVerdict:
     repairs: dict[str, int] = field(default_factory=dict)
     frames_expected: int = 0
     frames_usable: int = 0
+    masked_channels: dict[str, int] = field(default_factory=dict)
 
     @property
     def coverage(self) -> float:
@@ -86,6 +91,7 @@ class BadgeDayVerdict:
             "frames_expected": self.frames_expected,
             "frames_usable": self.frames_usable,
             "coverage": round(self.coverage, 9),
+            "masked_channels": dict(sorted(self.masked_channels.items())),
         }
 
 
@@ -142,6 +148,19 @@ class DataQualityReport:
                 out[kind] = out.get(kind, 0) + count
         return dict(sorted(out.items()))
 
+    def masked_by_channel(self) -> dict[str, int]:
+        """Frames masked per corrupt channel, across all badge-days.
+
+        Quarantined days are included (their channel attribution records
+        what the repair *would* have masked), mirroring
+        :meth:`repairs_total`.
+        """
+        out: dict[str, int] = {}
+        for verdict in self.verdicts:
+            for name, count in verdict.masked_channels.items():
+                out[name] = out.get(name, 0) + count
+        return dict(sorted(out.items()))
+
     def issue_counts(self) -> dict[str, int]:
         """Badge-days affected per issue kind."""
         out: dict[str, int] = {}
@@ -178,6 +197,7 @@ class DataQualityReport:
             "coverage": round(self.coverage(), 9),
             "issues": self.issue_counts(),
             "repairs": self.repairs_total(),
+            "masked_channels": self.masked_by_channel(),
             "pairwise": {
                 "checked": self.pairwise_checked,
                 "repaired": self.pairwise_repaired,
@@ -208,6 +228,11 @@ class DataQualityReport:
             lines.append("repairs (frames / occurrences):")
             for kind, count in repairs.items():
                 lines.append(f"  {kind:<20} {count}")
+        masked = self.masked_by_channel()
+        if masked:
+            lines.append("masked frames by corrupt channel:")
+            for name, count in masked.items():
+                lines.append(f"  {name:<20} {count}")
         quarantined = self.by_verdict(VERDICT_QUARANTINED)
         if quarantined:
             lines.append("quarantined badge-days:")

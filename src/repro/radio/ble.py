@@ -8,6 +8,7 @@ weak signals fall below the receiver sensitivity.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -64,6 +65,10 @@ class BleScanModel:
         Returns:
             ``(frames, n_beacons)`` float32 RSSI matrix; NaN = not heard.
         """
+        warnings.warn(
+            "BleScanModel.scan is deprecated; use scan_fleet",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.scan_fleet(
             plan, beacons, badge_xy[None], badge_room[None], active[None], (rng,)
         )[0]

@@ -20,7 +20,12 @@ matching *analytic* side:
   distribution, not hand-tuned tolerances);
 - :mod:`repro.reliability.search` — sweeps the rate space cheaply in
   closed form and emits the top-K predicted-worst regimes as concrete
-  seeded campaigns for the tier-2 chaos suite.
+  seeded campaigns for the tier-2 chaos suite;
+- :mod:`repro.reliability.coverage` — :class:`CoverageModel`, the same
+  machinery for the *sensing*-level fault classes: closed-form
+  predictions of the quality gate's coverage metrics (verdict counts,
+  masked channels, repairs, dead beacon-days) with validation against
+  gated mission runs and a worst-*coverage* regime search.
 
 Usage::
 
@@ -33,22 +38,45 @@ Usage::
     assert result.all_inside
 """
 
+from repro.reliability.coverage import (
+    CoverageModel,
+    default_coverage_config,
+)
 from repro.reliability.ctmc import CTMC, TwoStateChain
-from repro.reliability.model import DEFAULT_CONFIDENCE, ReliabilityModel
+from repro.reliability.model import (
+    DEFAULT_CONFIDENCE,
+    ReliabilityModel,
+    expected_event_counts,
+)
 from repro.reliability.prediction import (
     Band,
+    CoveragePrediction,
+    CoverageRegime,
     DeliveryPrediction,
     Regime,
     ReliabilityPrediction,
     ValidationCheck,
     ValidationResult,
 )
-from repro.reliability.search import sweep_regimes, worst_case_campaigns
-from repro.reliability.validate import compare_report, validate_campaign
+from repro.reliability.search import (
+    sweep_coverage_regimes,
+    sweep_regimes,
+    worst_case_campaigns,
+    worst_coverage_campaigns,
+)
+from repro.reliability.validate import (
+    compare_quality_report,
+    compare_report,
+    validate_campaign,
+    validate_coverage_campaign,
+)
 
 __all__ = [
     "Band",
     "CTMC",
+    "CoverageModel",
+    "CoveragePrediction",
+    "CoverageRegime",
     "DEFAULT_CONFIDENCE",
     "DeliveryPrediction",
     "Regime",
@@ -57,8 +85,14 @@ __all__ = [
     "TwoStateChain",
     "ValidationCheck",
     "ValidationResult",
+    "compare_quality_report",
     "compare_report",
+    "default_coverage_config",
+    "expected_event_counts",
+    "sweep_coverage_regimes",
     "sweep_regimes",
     "validate_campaign",
+    "validate_coverage_campaign",
     "worst_case_campaigns",
+    "worst_coverage_campaigns",
 ]

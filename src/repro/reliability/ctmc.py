@@ -30,6 +30,8 @@ from repro.core.errors import ConfigError
 __all__ = [
     "CTMC",
     "TwoStateChain",
+    "binomial_pmf",
+    "binomial_quantile",
     "compound_downtime_cdf",
     "compound_downtime_quantile",
     "erlang_cdf",
@@ -222,6 +224,36 @@ def poisson_quantile(q: float, mean: float) -> int:
             return k
         k += 1
     return bound
+
+
+def binomial_pmf(k: int, n: int, p: float) -> float:
+    if k < 0 or k > n:
+        return 0.0
+    if p <= 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p >= 1.0:
+        return 1.0 if k == n else 0.0
+    log_comb = math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    return math.exp(log_comb + k * math.log(p) + (n - k) * math.log1p(-p))
+
+
+def binomial_quantile(q: float, n: int, p: float) -> int:
+    """Smallest ``k`` with ``P(X <= k) >= q`` for ``X ~ Binomial(n, p)``.
+
+    Used for the coverage model's quarantine and clock-reset bands,
+    where a fixed number of campaign draws each independently strikes
+    with a known probability.
+    """
+    if not 0.0 < q < 1.0:
+        raise ConfigError("q must be in (0, 1)")
+    if n < 0:
+        raise ConfigError("n must be non-negative")
+    acc = 0.0
+    for k in range(n + 1):
+        acc += binomial_pmf(k, n, p)
+        if acc >= q:
+            return k
+    return n
 
 
 def erlang_cdf(x: float, n: int, scale: float) -> float:

@@ -414,25 +414,10 @@ class ReliabilityModel:
     # -- the full forecast ------------------------------------------------
 
     def expected_faults(self) -> dict[str, float]:
-        c = self.campaign
-        out: dict[str, float] = {}
-        if c.nodes:
-            out["crash"] = c.crashes_per_day * self.days
-        if c.links:
-            out["link-flap"] = c.flaps_per_day * self.days
-        out["lossy"] = c.lossy_windows_per_day * self.days
-        out["blackout"] = c.blackouts_per_day * self.days
-        if c.n_beacons > 0:
-            out["beacon-outage"] = c.beacon_outages_per_day * self.days
-        if c.badge_ids:
-            out["badge-battery"] = float(c.battery_depletions)
-            out["sdcard-cap"] = float(c.sdcard_exhaustions)
-            out["data-corruption"] = float(
-                c.bitrot_days + c.truncated_days + c.duplicated_days
-                + c.stuck_days + c.clock_desyncs
-            )
-        out["worker-crash"] = float(c.worker_crashes)
-        return {k: v for k, v in out.items() if v > 0.0}
+        return {
+            kind: mean
+            for kind, (mean, _exact) in expected_event_counts(self.campaign).items()
+        }
 
     def predict(self, confidence: float = DEFAULT_CONFIDENCE) -> ReliabilityPrediction:
         availability = {
@@ -488,6 +473,57 @@ class ReliabilityModel:
         )
         badness = system_unavail + (1.0 - min_avail) + delivery_loss
         return badness, min_avail, delivery_loss
+
+
+#: Fault-class name -> the plan action its events carry, for counting a
+#: generated plan's actual draws against :func:`expected_event_counts`.
+EVENT_ACTIONS: dict[str, str] = {
+    "crash": "crash",
+    "link-flap": "link-down",
+    "lossy": "lossy",
+    "blackout": "blackout",
+    "beacon-outage": "beacon-outage",
+    "badge-battery": "badge-battery",
+    "sdcard-cap": "sdcard-cap",
+    "worker-crash": "worker-crash",
+    "data-bitrot": "data-bitrot",
+    "data-truncate": "data-truncate",
+    "data-duplicate": "data-duplicate",
+    "data-stuck": "data-stuck",
+    "data-clock-skew": "data-clock-skew",
+}
+
+
+def expected_event_counts(campaign) -> dict[str, tuple[float, bool]]:
+    """Per-kind ``(expected draws, exact?)`` for every active fault class.
+
+    ``exact`` is True for the whole-mission *count* parameters the
+    campaign draws verbatim (battery, SD-card, worker crashes, the five
+    data-corruption kinds) and False for the Poisson *rate* classes —
+    validation checks the former for equality and the latter against
+    Poisson bands.
+    """
+    c = campaign
+    days = c.days
+    out: dict[str, tuple[float, bool]] = {}
+    if c.nodes:
+        out["crash"] = (c.crashes_per_day * days, False)
+    if c.links:
+        out["link-flap"] = (c.flaps_per_day * days, False)
+    out["lossy"] = (c.lossy_windows_per_day * days, False)
+    out["blackout"] = (c.blackouts_per_day * days, False)
+    if c.n_beacons > 0:
+        out["beacon-outage"] = (c.beacon_outages_per_day * days, False)
+    if c.badge_ids:
+        out["badge-battery"] = (float(c.battery_depletions), True)
+        out["sdcard-cap"] = (float(c.sdcard_exhaustions), True)
+        out["data-bitrot"] = (float(c.bitrot_days), True)
+        out["data-truncate"] = (float(c.truncated_days), True)
+        out["data-duplicate"] = (float(c.duplicated_days), True)
+        out["data-stuck"] = (float(c.stuck_days), True)
+        out["data-clock-skew"] = (float(c.clock_desyncs), True)
+    out["worker-crash"] = (float(c.worker_crashes), True)
+    return {k: v for k, v in out.items() if v[0] > 0.0}
 
 
 def _normal_quantile(p: float) -> float:

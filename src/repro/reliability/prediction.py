@@ -154,6 +154,94 @@ class ReliabilityPrediction:
 
 
 @dataclass(frozen=True)
+class CoveragePrediction:
+    """Closed-form forecast of one campaign's DataQualityReport.
+
+    The sensing-level counterpart of :class:`ReliabilityPrediction`:
+    instead of bus availability it predicts what the quality gate will
+    say about the mission's assembled badge-days — verdict counts, the
+    coverage fraction, per-channel masked-frame counts, per-kind repair
+    counts — plus the localization degradation from dead-beacon days.
+    """
+
+    horizon_s: float
+    #: Confidence level of every band (two-sided), e.g. 0.998.
+    confidence: float
+    #: Badge-days the gate will see (exact: faults never add or remove
+    #: badge-days, they only damage their contents).
+    badge_days: int
+    #: Mean usable-frame fraction over all badge-days.
+    coverage: Band
+    #: Badge-day verdict counts (ok + repaired + quarantined = total).
+    n_ok: Band
+    n_repaired: Band
+    n_quarantined: Band
+    #: Frames masked per corrupt channel (``pitch_stability`` never
+    #: masks — garbage there is clamped — so it never appears).
+    masked_channels: dict[str, Band] = field(default_factory=dict)
+    #: Frames / occurrences per repair kind.
+    repairs: dict[str, Band] = field(default_factory=dict)
+    #: Instrumented (beacon, day) pairs with the beacon dead during the
+    #: day's sensing window — the localizer masks these columns.
+    dead_beacon_days: Optional[Band] = None
+    #: Expected injected events by fault class (informational).
+    expected_faults: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "horizon_s": self.horizon_s,
+            "confidence": self.confidence,
+            "badge_days": self.badge_days,
+            "coverage": self.coverage.to_dict(),
+            "n_ok": self.n_ok.to_dict(),
+            "n_repaired": self.n_repaired.to_dict(),
+            "n_quarantined": self.n_quarantined.to_dict(),
+            "masked_channels": {
+                k: self.masked_channels[k].to_dict()
+                for k in sorted(self.masked_channels)
+            },
+            "repairs": {
+                k: self.repairs[k].to_dict() for k in sorted(self.repairs)
+            },
+            "dead_beacon_days": (
+                self.dead_beacon_days.to_dict()
+                if self.dead_beacon_days is not None else None
+            ),
+            "expected_faults": {
+                k: self.expected_faults[k] for k in sorted(self.expected_faults)
+            },
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"coverage prediction over {self.horizon_s / 3600.0:.1f} h "
+            f"({self.confidence:.1%} bands), {self.badge_days} badge-days:",
+            f"  coverage: {self.coverage.mean:.4f} "
+            f"[{self.coverage.lo:.4f}, {self.coverage.hi:.4f}]",
+            f"  ok: {self.n_ok}",
+            f"  repaired: {self.n_repaired}",
+            f"  quarantined: {self.n_quarantined}",
+        ]
+        if self.dead_beacon_days is not None:
+            lines.append(f"  dead beacon-days: {self.dead_beacon_days}")
+        if self.masked_channels:
+            lines.append("  masked frames by channel:")
+            for name in sorted(self.masked_channels):
+                lines.append(f"    {name:<20} {self.masked_channels[name]}")
+        if self.repairs:
+            lines.append("  repairs:")
+            for name in sorted(self.repairs):
+                lines.append(f"    {name:<20} {self.repairs[name]}")
+        if self.expected_faults:
+            parts = ", ".join(
+                f"{k}={self.expected_faults[k]:.1f}"
+                for k in sorted(self.expected_faults)
+            )
+            lines.append(f"  expected fault events: {parts}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class ValidationCheck:
     """One model-vs-empirical comparison."""
 
@@ -258,5 +346,46 @@ class Regime:
             f"#{self.rank} score={self.score:.4f} "
             f"min_avail={self.min_availability:.4f} "
             f"delivery_loss={self.delivery_loss:.4f} "
+            f"seed={self.campaign.seed} [{parts}]"
+        )
+
+
+@dataclass(frozen=True)
+class CoverageRegime:
+    """One ranked point of the worst-*coverage* search."""
+
+    rank: int
+    score: float
+    #: Predicted drivers of the score.
+    coverage: float
+    expected_quarantined: float
+    #: The concrete seeded campaign reproducing this regime empirically.
+    campaign: "object"  # FaultCampaign; untyped to avoid an import cycle
+    #: The sampled overrides that define the regime.
+    overrides: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        import dataclasses
+
+        return {
+            "rank": self.rank,
+            "score": self.score,
+            "coverage": self.coverage,
+            "expected_quarantined": self.expected_quarantined,
+            "overrides": {k: self.overrides[k] for k in sorted(self.overrides)},
+            "campaign": {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in sorted(dataclasses.asdict(self.campaign).items())
+            },
+        }
+
+    def to_text(self) -> str:
+        parts = ", ".join(
+            f"{k}={self.overrides[k]:.4g}" for k in sorted(self.overrides)
+        )
+        return (
+            f"#{self.rank} score={self.score:.4f} "
+            f"coverage={self.coverage:.4f} "
+            f"quarantined={self.expected_quarantined:.2f} "
             f"seed={self.campaign.seed} [{parts}]"
         )

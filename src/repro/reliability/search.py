@@ -26,10 +26,19 @@ import numpy as np
 from repro.core.errors import ConfigError
 from repro.faults.campaign import FaultCampaign
 from repro.obs import span
+from repro.reliability.coverage import CoverageModel
 from repro.reliability.model import ReliabilityModel
-from repro.reliability.prediction import Regime
+from repro.reliability.prediction import CoverageRegime, Regime
 
-__all__ = ["SWEPT_FIELDS", "sweep_regimes", "worst_case_campaigns"]
+__all__ = [
+    "COVERAGE_SWEPT_COUNTS",
+    "COVERAGE_SWEPT_FIELDS",
+    "SWEPT_FIELDS",
+    "sweep_coverage_regimes",
+    "sweep_regimes",
+    "worst_case_campaigns",
+    "worst_coverage_campaigns",
+]
 
 #: Campaign fields the sweep perturbs, with the (log-uniform) multiplier
 #: range applied to each.  Rates and durations both scale up to 8x and
@@ -105,6 +114,94 @@ def sweep_regimes(
         )
         for rank, (badness, min_avail, delivery_loss, overrides, campaign)
         in enumerate(scored[:top_k], start=1)
+    ]
+
+
+#: Sensing-level rate/duration fields the coverage sweep perturbs
+#: (log-uniform multipliers, like the bus sweep).
+COVERAGE_SWEPT_FIELDS: dict[str, tuple[float, float]] = {
+    "beacon_outages_per_day": (0.25, 8.0),
+    "mean_beacon_outage_s": (0.25, 8.0),
+}
+
+#: Whole-mission *count* fields the coverage sweep perturbs; the
+#: multiplier is applied to the base count and rounded (minimum 0).
+COVERAGE_SWEPT_COUNTS: tuple[str, ...] = (
+    "bitrot_days",
+    "truncated_days",
+    "duplicated_days",
+    "stuck_days",
+    "clock_desyncs",
+    "battery_depletions",
+)
+
+
+def sweep_coverage_regimes(
+    base: Optional[FaultCampaign] = None,
+    n_regimes: int = 64,
+    seed: int = 0,
+    top_k: int = 3,
+) -> list[CoverageRegime]:
+    """Sweep sensing-fault regimes analytically, rank by coverage loss.
+
+    The coverage counterpart of :func:`sweep_regimes`: each regime
+    perturbs the ``base`` campaign (default:
+    :meth:`FaultCampaign.coverage_reference`) over the data-corruption
+    counts, battery depletions, and beacon-outage rates, scores it with
+    the closed-form :class:`CoverageModel`, and keeps the ``top_k``
+    worst by predicted data destruction (coverage loss + quarantined
+    fraction + dead-beacon-column fraction).
+    """
+    if base is None:
+        base = FaultCampaign.coverage_reference()
+    if n_regimes < 1:
+        raise ConfigError("n_regimes must be >= 1")
+    if not 1 <= top_k <= n_regimes:
+        raise ConfigError("top_k must be in [1, n_regimes]")
+
+    rng = np.random.default_rng(seed)
+    scored: list[tuple[float, float, float, dict[str, float], FaultCampaign]] = []
+    with span("reliability.sweep_coverage", n_regimes=n_regimes, seed=seed):
+        for i in range(n_regimes):
+            overrides: dict[str, float] = {}
+            for name, (lo, hi) in COVERAGE_SWEPT_FIELDS.items():
+                mult = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+                overrides[name] = float(getattr(base, name)) * mult
+            for name in COVERAGE_SWEPT_COUNTS:
+                mult = float(np.exp(rng.uniform(np.log(0.25), np.log(8.0))))
+                overrides[name] = int(round(getattr(base, name) * mult))
+            campaign = _regime_campaign(base, overrides, seed * 100_000 + i)
+            badness, coverage, quarantined = CoverageModel(campaign).score()
+            scored.append((badness, coverage, quarantined, overrides, campaign))
+
+    # Descending badness; ties broken by campaign seed for determinism.
+    scored.sort(key=lambda entry: (-entry[0], entry[4].seed))
+    return [
+        CoverageRegime(
+            rank=rank,
+            score=badness,
+            coverage=coverage,
+            expected_quarantined=quarantined,
+            campaign=campaign,
+            overrides={k: float(v) for k, v in overrides.items()},
+        )
+        for rank, (badness, coverage, quarantined, overrides, campaign)
+        in enumerate(scored[:top_k], start=1)
+    ]
+
+
+def worst_coverage_campaigns(
+    base: Optional[FaultCampaign] = None,
+    k: int = 3,
+    n_regimes: int = 64,
+    seed: int = 0,
+) -> list[FaultCampaign]:
+    """The ``k`` worst predicted-coverage regimes as runnable campaigns."""
+    return [
+        regime.campaign
+        for regime in sweep_coverage_regimes(
+            base, n_regimes=n_regimes, seed=seed, top_k=k
+        )
     ]
 
 

@@ -132,6 +132,15 @@ class TestExecutionConfig:
         monkeypatch.setattr(config_mod.os, "cpu_count", lambda: None)
         assert execution.worker_count == 1
 
+    def test_auto_serial_considers_mission_size(self):
+        auto = ExecutionConfig(n_workers="auto")
+        threshold = ExecutionConfig.AUTO_POOL_MIN_UNITS
+        assert auto.auto_serial(threshold - 1)
+        assert not auto.auto_serial(threshold)
+        # Explicit pool sizes and "serial" are never second-guessed.
+        assert not ExecutionConfig(n_workers=4).auto_serial(1)
+        assert not ExecutionConfig(n_workers="serial").auto_serial(1)
+
     def test_empty_cache_dir_rejected(self):
         with pytest.raises(ConfigError):
             ExecutionConfig(cache_dir="")

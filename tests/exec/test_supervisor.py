@@ -249,3 +249,29 @@ class TestBoundedDegradation:
             ]
         finally:
             obs.reset()
+
+    def test_auto_stays_serial_on_small_missions(self, cfg, serial_result,
+                                                 monkeypatch):
+        """ROADMAP item 1: "auto" must not spin up a pool whose fork +
+        pickling overhead exceeds the mission's whole day-compute."""
+        from repro import obs
+        import repro.core.config as config_mod
+        import repro.experiments.mission as mission_mod
+
+        monkeypatch.setattr(config_mod.os, "cpu_count", lambda: 8)
+
+        def pool_forbidden(*args, **kwargs):
+            raise AssertionError("small auto mission must not start a pool")
+
+        monkeypatch.setattr(mission_mod, "run_days_supervised", pool_forbidden)
+        obs.reset()
+        obs.enable()
+        try:
+            result = run_mission(cfg, execution=ExecutionConfig(n_workers="auto"))
+            series = obs.metrics.registry.snapshot()["exec.fallback"]["series"]
+            assert [s["labels"]["reason"] for s in series] == [
+                "auto-small-mission"
+            ]
+        finally:
+            obs.reset()
+        assert_bit_identical(serial_result, result)

@@ -37,6 +37,10 @@ from repro.crew.behavior import simulate_mission
 from repro.exec import hashing
 from repro.localization.pipeline import Localizer
 
+# This module *deliberately* drives the deprecated batch-of-one wrappers
+# to enforce their bit-equivalence contract; the warnings are expected.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(scope="module")
 def cfg():
@@ -156,6 +160,19 @@ class TestGoldenEquivalence:
                     getattr(fleet_loc, field).tobytes()
                     == getattr(solo, field).tobytes()
                 ), (badge_id, field)
+
+
+class TestWrappersDeprecated:
+    """DESIGN §13: the batch-of-one wrappers warn before removal."""
+
+    def test_sense_day_badgewise_warns(self, cfg, truth, mission_parts):
+        assignment, models, _ = mission_parts
+        rngs = mission_sensing_registry(cfg.seed)
+        fleet = make_fleet(assignment, rngs)
+        with pytest.warns(DeprecationWarning, match="sense_day_badgewise"):
+            sense_day_badgewise(
+                truth, 2, assignment, models, fleet, rngs, SdCardAccountant()
+            )
 
 
 class TestCacheFingerprintsUnchanged:

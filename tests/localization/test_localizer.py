@@ -7,6 +7,11 @@ from repro.core.errors import ConfigError
 from repro.habitat.beacons import place_beacons
 from repro.localization.pipeline import Localizer
 
+# The batch-of-1 wrapper is deprecated but kept for one release; these
+# tests exercise it deliberately (test_localize_day_wrapper_is_deprecated
+# pins the warning itself).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestLocalizerOnMission:
     def test_room_detection_effectively_perfect(self, sensing):
@@ -113,3 +118,10 @@ class TestLocalizerConstruction:
         result = loc.localize_day(rssi, active)
         assert result.room.shape == (n,)
         assert result.known_fraction() > 0.9
+
+    def test_localize_day_wrapper_is_deprecated(self, truth):
+        loc = Localizer(truth.plan, place_beacons(truth.plan, 9))
+        rssi = np.full((10, 9), -70.0, dtype=np.float32)
+        active = np.ones(10, dtype=bool)
+        with pytest.warns(DeprecationWarning, match="localize_fleet"):
+            loc.localize_day(rssi, active)

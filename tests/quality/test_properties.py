@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -156,6 +157,44 @@ class TestProperties:
             (v.badge_id, v.day, [i.kind for i in v.issues])
             for v in second.verdicts if v.verdict != "ok"
         ]
+
+    @FIXED
+    @given(ops=st.lists(corruptions(), min_size=0, max_size=6))
+    def test_coverage_is_one_minus_lost_fraction(self, small_sensing, ops):
+        """Coverage == 1 - mean lost fraction, by construction.
+
+        Per badge-day the lost fraction is 1 for a quarantined day and
+        ``(masked + padded) / expected`` otherwise; the report-level
+        coverage metric must be exactly one minus the mean of those —
+        no corruption sequence may break the accounting identity.
+        """
+        corrupted = corrupt(mutable_copy(small_sensing), ops)
+        report = validate_sensing(corrupted)
+        if not report.verdicts:
+            assert report.coverage() == 1.0
+            return
+        lost = 0.0
+        for v in report.verdicts:
+            if v.verdict == "quarantined" or v.frames_expected <= 0:
+                lost += 1.0
+            else:
+                lost += (v.frames_expected - v.frames_usable) / v.frames_expected
+        assert report.coverage() == pytest.approx(
+            1.0 - lost / len(report.verdicts), abs=1e-12)
+        # The unusable frames of a served day are exactly the masked
+        # union plus padding: bounded below by the largest single mask
+        # category and above by the sum of all of them.
+        mask_kinds = ("masked-nan", "masked-impossible", "masked-stuck")
+        for v in report.verdicts:
+            if v.verdict == "quarantined":
+                assert v.frames_usable == 0
+                continue
+            unusable = v.frames_expected - v.frames_usable
+            masked = unusable - v.repairs.get("padded", 0)
+            counts = [v.repairs.get(kind, 0) for kind in mask_kinds]
+            assert masked >= max(counts, default=0)
+            assert masked <= sum(counts)
+            assert 0 <= masked <= v.frames_expected
 
     @FIXED
     @given(ops=st.lists(corruptions(), min_size=1, max_size=6))

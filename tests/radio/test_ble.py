@@ -8,6 +8,11 @@ from repro.habitat.beacons import place_beacons
 from repro.habitat.floorplan import lunares_floorplan
 from repro.radio.ble import BleScanModel
 
+# The batch-of-1 wrapper is deprecated but kept for one release; these
+# tests exercise it deliberately (test_scan_wrapper_is_deprecated pins
+# the warning itself).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(scope="module")
 def plan():
@@ -80,3 +85,13 @@ class TestScan:
     def test_invalid_detection_prob(self):
         with pytest.raises(ConfigError):
             BleScanModel(detection_prob=0.0)
+
+    def test_scan_wrapper_is_deprecated(self, plan, beacons):
+        kitchen = plan.room("kitchen")
+        xy = np.tile(np.array(kitchen.rect.center), (10, 1))
+        rooms = np.full(10, kitchen.index, dtype=np.int8)
+        active = np.ones(10, dtype=bool)
+        with pytest.warns(DeprecationWarning, match="scan_fleet"):
+            BleScanModel().scan(
+                plan, beacons, xy, rooms, active, np.random.default_rng(0)
+            )

@@ -9,6 +9,8 @@ from repro.core.errors import ConfigError
 from repro.reliability.ctmc import (
     CTMC,
     TwoStateChain,
+    binomial_pmf,
+    binomial_quantile,
     compound_downtime_cdf,
     compound_downtime_quantile,
     erlang_cdf,
@@ -146,9 +148,36 @@ class TestDistributions:
                         - sample_mean_quantile(0.01, 50, 100.0))
         assert spread_large < spread_small / 3.0
 
+    def test_binomial_pmf_normalizes_and_degenerates(self):
+        assert sum(binomial_pmf(k, 12, 0.3) for k in range(13)) \
+            == pytest.approx(1.0)
+        assert binomial_pmf(-1, 5, 0.3) == 0.0
+        assert binomial_pmf(6, 5, 0.3) == 0.0
+        assert binomial_pmf(0, 5, 0.0) == 1.0
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+
+    def test_binomial_quantile_brackets_mean(self):
+        assert binomial_quantile(0.001, 40, 0.5) < 20 \
+            < binomial_quantile(0.999, 40, 0.5)
+        assert binomial_quantile(0.5, 0, 0.5) == 0
+        assert binomial_quantile(0.999, 7, 1.0) == 7
+
+    def test_binomial_quantile_inverts_cdf(self):
+        n, p = 30, 0.2
+        for q in (0.05, 0.5, 0.95):
+            k = binomial_quantile(q, n, p)
+            cdf = sum(binomial_pmf(i, n, p) for i in range(k + 1))
+            assert cdf >= q
+            if k:
+                assert cdf - binomial_pmf(k, n, p) < q
+
     def test_quantile_argument_validation(self):
         with pytest.raises(ConfigError):
             poisson_quantile(1.5, 1.0)
+        with pytest.raises(ConfigError):
+            binomial_quantile(0.0, 5, 0.5)
+        with pytest.raises(ConfigError):
+            binomial_quantile(0.5, -1, 0.5)
         with pytest.raises(ConfigError):
             compound_downtime_quantile(0.0, 1.0, 1.0)
         with pytest.raises(ConfigError):
