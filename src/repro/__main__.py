@@ -9,6 +9,11 @@ Commands:
     faults     run a faulted mission under seeded chaos campaign(s)
     quality    run a data-corruption campaign and print the quality report
     reliability  analytic CTMC model: predict, validate, worst-case search
+    serve      run the durable mission fleet service on a service directory
+    submit     queue a mission submission with the fleet service
+    status     show a job's registry record, or the whole fleet overview
+    result     print the stored result payload of a completed job
+    drain      run the fleet service until the registry holds no work
 """
 
 from __future__ import annotations
@@ -331,6 +336,139 @@ def cmd_quality(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_errors(fn):
+    """Fold service failures into clean one-line CLI errors.
+
+    An unreachable or locked registry must not dump a traceback:
+    operational errors exit 2 with one line on stderr, and admission
+    rejections exit 75 (EX_TEMPFAIL) so schedulers know to retry.
+    """
+    import functools
+
+    @functools.wraps(fn)
+    def wrapper(args: argparse.Namespace) -> int:
+        from repro.service import QueueFullError, ServiceError
+
+        try:
+            return fn(args)
+        except QueueFullError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 75
+        except ServiceError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapper
+
+
+def _service_config(args: argparse.Namespace):
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        root=args.service,
+        n_workers=args.workers,
+        queue_depth=args.queue_depth,
+        lease_s=args.lease_s,
+        max_attempts=args.max_attempts,
+        backoff_seed=args.backoff_seed,
+        job_timeout_s=args.job_timeout_s,
+    )
+
+
+def _fleet_client(args: argparse.Namespace, *, create: bool = False):
+    """Client on the service root; REPRO_REGISTRY_TIMEOUT_S bounds how
+    long to wait on a locked registry before giving up with exit 2."""
+    import os
+
+    from repro.service import FleetClient
+
+    timeout = float(os.environ.get("REPRO_REGISTRY_TIMEOUT_S", "5.0"))
+    return FleetClient(args.service, create=create, busy_timeout_s=timeout)
+
+
+def _print_job(record) -> None:
+    print(f"job {record.job_id}  state={record.state}  "
+          f"attempts={record.attempts}/{record.max_attempts}  "
+          f"submissions={record.submit_count}")
+    print(f"  fingerprint {record.fingerprint}")
+    if record.result_path:
+        print(f"  result {record.result_path} (digest {record.result_digest})")
+    if record.error:
+        print(f"  last error: {record.error}")
+
+
+@_service_errors
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    chaos = None
+    if args.chaos_kill_after is not None:
+        from repro.faults.service import ServiceChaos
+
+        chaos = ServiceChaos(kill_after_completions=args.chaos_kill_after)
+    drain = args.drain or args.command == "drain"
+    stats = serve(_service_config(args), drain=drain, chaos=chaos,
+                  install_signal_handlers=True)
+    verb = "drained" if drain else "stopped"
+    print(f"{verb}: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    return 0
+
+
+@_service_errors
+def cmd_submit(args: argparse.Namespace) -> int:
+    kwargs = {"days": args.days, "seed": args.seed}
+    if args.no_events:
+        kwargs["events"] = None
+    if args.frame_dt is not None:
+        kwargs["frame_dt"] = args.frame_dt
+    cfg = MissionConfig(**kwargs)
+    with _fleet_client(args, create=True) as client:
+        receipt = client.submit(cfg, quality=args.quality, tenant=args.tenant)
+        print(receipt.to_text())
+    return 0
+
+
+@_service_errors
+def cmd_status(args: argparse.Namespace) -> int:
+    with _fleet_client(args) as client:
+        if args.ref is not None:
+            _print_job(client.status(args.ref))
+            return 0
+        overview = client.overview()
+        counts = overview["counts"]
+        print("fleet: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+        print(f"submissions: {overview['submitted']} "
+              f"({overview['deduped']} deduplicated onto "
+              f"{overview['jobs']} jobs)")
+        probe = client.health()
+        print(f"service: live={probe['live']} ready={probe['ready']}"
+              + (f" ({probe['detail']})" if probe.get("detail") else ""))
+        for letter in overview["dead_letters"]:
+            print(f"dead: {letter['job_id']} after {letter['attempts']} "
+                  f"attempts: {letter['error']}")
+    return 0
+
+
+@_service_errors
+def cmd_result(args: argparse.Namespace) -> int:
+    import json
+
+    with _fleet_client(args) as client:
+        if args.wait_s is not None:
+            client.wait(args.ref, timeout_s=args.wait_s)
+        payload = client.result(args.ref)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=float))
+    else:
+        quality = payload.get("quality") or {}
+        print(f"fingerprint {payload['fingerprint']}")
+        print(f"badge-days: {payload['badge_days']}, "
+              f"SD-card total: {payload['sdcard_gib']:.1f} GiB"
+              + (f", quality: {'ok' if quality.get('all_ok') else 'degraded'}"
+                 if quality else ""))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -459,6 +597,84 @@ def main(argv: list[str] | None = None) -> int:
     p_q.add_argument("--json", action="store_true",
                      help="also dump the quality report as canonical JSON")
     p_q.set_defaults(func=cmd_quality)
+
+    def _add_service_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--service", required=True, metavar="DIR",
+                       help="fleet service home directory (holds the durable "
+                            "registry, shared cache, journals, and results)")
+
+    def _add_serve_args(p: argparse.ArgumentParser) -> None:
+        _add_service_arg(p)
+        p.add_argument("--workers", type=int, default=2,
+                       help="concurrent mission workers (default: 2)")
+        p.add_argument("--queue-depth", type=int, default=256,
+                       help="admission-control backlog limit: submissions "
+                            "beyond this many in-flight jobs are rejected "
+                            "with a retry-after hint (default: 256)")
+        p.add_argument("--lease-s", type=float, default=30.0,
+                       help="lease duration; a worker silent for this long "
+                            "loses its job to the requeue sweep (default: 30)")
+        p.add_argument("--max-attempts", type=int, default=3,
+                       help="retry budget before a job is dead-lettered "
+                            "(default: 3)")
+        p.add_argument("--backoff-seed", type=int, default=0,
+                       help="seed of the jittered retry backoff (default: 0)")
+        p.add_argument("--job-timeout-s", type=float, default=None,
+                       help="per-attempt deadline: past it the worker stops "
+                            "renewing its lease so the job is reclaimed")
+        p.add_argument("--chaos-kill-after", type=int, default=None,
+                       metavar="N",
+                       help="fault injection: SIGKILL this service process "
+                            "after N durably acknowledged completions "
+                            "(tier-2 chaos testing)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the mission fleet service until interrupted")
+    _add_serve_args(p_serve)
+    p_serve.add_argument("--drain", action="store_true",
+                         help="exit once the registry holds no runnable work")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_drain = sub.add_parser(
+        "drain", help="run the fleet service until the registry is empty")
+    _add_serve_args(p_drain)
+    p_drain.set_defaults(func=cmd_serve, drain=True)
+
+    p_sub = sub.add_parser(
+        "submit", help="queue a mission submission with the fleet service")
+    _add_service_arg(p_sub)
+    p_sub.add_argument("--days", type=int, default=14,
+                       help="mission length in days (default: 14)")
+    p_sub.add_argument("--seed", type=int, default=7, help="master RNG seed")
+    p_sub.add_argument("--no-events", action="store_true",
+                       help="disable the scripted mission events")
+    p_sub.add_argument("--frame-dt", type=float, default=None,
+                       help="sensing frame period in seconds (coarser is "
+                            "faster; default: the paper's)")
+    p_sub.add_argument("--quality", default="auto",
+                       choices=("auto", "off", "gate", "strict"),
+                       help="validating ingest gate mode (default: auto)")
+    p_sub.add_argument("--tenant", default="",
+                       help="tenant label for per-tenant service metrics")
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_st = sub.add_parser(
+        "status", help="job record or whole-fleet overview")
+    _add_service_arg(p_st)
+    p_st.add_argument("ref", nargs="?", default=None,
+                      help="job id or submission fingerprint (or unique "
+                           "prefix); omit for the fleet overview")
+    p_st.set_defaults(func=cmd_status)
+
+    p_res = sub.add_parser(
+        "result", help="print the stored result of a completed job")
+    _add_service_arg(p_res)
+    p_res.add_argument("ref", help="job id or submission fingerprint")
+    p_res.add_argument("--wait-s", type=float, default=None, metavar="S",
+                       help="block up to S seconds for the job to finish")
+    p_res.add_argument("--json", action="store_true",
+                       help="dump the full result payload as JSON")
+    p_res.set_defaults(func=cmd_result)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -36,7 +36,7 @@ Callers select execution behaviour with a frozen
 
 from repro.core.config import ExecutionConfig
 from repro.exec.cache import MissionCache
-from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.checkpoint import CheckpointJournal, JournalBusyError
 from repro.exec.executor import (
     DayOutcome,
     ExecutorUnavailable,
@@ -64,6 +64,7 @@ __all__ = [
     "DayOutcome",
     "ExecutionConfig",
     "ExecutorUnavailable",
+    "JournalBusyError",
     "MissionCache",
     "SCHEMA_VERSION",
     "compute_day",

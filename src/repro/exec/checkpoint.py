@@ -27,10 +27,14 @@ previous run already journaled atomically replaces an identical artifact.
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.config import MissionConfig
+from repro.core.errors import DataError
 from repro.exec import hashing, integrity
 from repro.obs import _state as _obs
 from repro.obs import get_logger
@@ -40,6 +44,18 @@ if TYPE_CHECKING:
     from repro.exec.executor import DayOutcome
 
 log = get_logger("repro.exec.checkpoint")
+
+#: Name of the per-fingerprint exclusive-lease marker inside a journal.
+LOCK_NAME = "journal.lock"
+
+
+class JournalBusyError(DataError):
+    """Another live process holds this sensing fingerprint's journal.
+
+    Two resumers interleaving writes into one journal would be
+    indistinguishable from corruption after the fact; the second opener
+    gets this clean, catchable error instead.
+    """
 
 
 class CheckpointJournal:
@@ -51,7 +67,8 @@ class CheckpointJournal:
     resuming from incompatible artifacts.
     """
 
-    def __init__(self, root: str | Path, cfg: MissionConfig):
+    def __init__(self, root: str | Path, cfg: MissionConfig, *,
+                 exclusive: bool = False, owner: str = ""):
         self.root = Path(root)
         self.cfg = cfg
         self.dir = self.root / f"journal-{hashing.sensing_fingerprint(cfg)}"
@@ -60,7 +77,87 @@ class CheckpointJournal:
         self.quarantined = 0
         #: Days restored by the last :meth:`load_completed` call.
         self.resumed_days: list[int] = []
+        self._lock_path = self.dir / LOCK_NAME
+        self._locked = False
         integrity.sweep_stale_tmp(self.root)
+        if exclusive:
+            self.acquire(owner)
+
+    # -- exclusive lease -------------------------------------------------
+    #
+    # Two processes resuming the same sensing fingerprint would interleave
+    # writes into one directory; an ``O_EXCL`` lease marker (pid + owner
+    # recorded inside) makes the journal single-writer.  A marker whose
+    # pid is no longer alive is *stale* — the holder was killed without
+    # releasing — and may be broken; the break goes through ``os.rename``
+    # to a unique name so two concurrent breakers can never each unlink
+    # the other's freshly acquired lock.
+
+    def acquire(self, owner: str = "") -> None:
+        """Take the journal's exclusive lease (idempotent per instance).
+
+        Raises:
+            JournalBusyError: a live process already holds the lease.
+        """
+        if self._locked:
+            return
+        payload = json.dumps({
+            "pid": os.getpid(), "owner": owner or "", "acquired_at": time.time(),
+        }).encode("utf-8")
+        for attempt in range(2):
+            try:
+                fd = os.open(self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                holder = self._read_lock()
+                holder_pid = holder.get("pid", -1) if holder is not None else -1
+                if attempt == 0 and not integrity.pid_alive(int(holder_pid)):
+                    self._break_stale_lock()
+                    continue
+                raise JournalBusyError(
+                    f"journal {self.dir} is held by "
+                    f"{holder or 'an unreadable lock'}; a second resumer would "
+                    "interleave checkpoint writes"
+                ) from None
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            self._locked = True
+            return
+
+    def _read_lock(self) -> Optional[dict]:
+        try:
+            return json.loads(self._lock_path.read_text())
+        except (OSError, ValueError):
+            return None  # vanished, or crashed mid-write: treat as stale
+
+    def _break_stale_lock(self) -> None:
+        # Rename-then-unlink: only one breaker wins the rename, so a
+        # racer can never unlink the lock the winner is about to take.
+        stale = self._lock_path.with_name(
+            f"{LOCK_NAME}.stale.{os.getpid()}.{time.time_ns()}")
+        try:
+            os.rename(self._lock_path, stale)
+        except OSError:
+            return  # someone else broke (or took) it first
+        log.warning("journal-stale-lock-broken", journal=str(self.dir))
+        try:
+            os.unlink(stale)
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Release the exclusive lease (no-op if never acquired)."""
+        if self._locked:
+            try:
+                os.unlink(self._lock_path)
+            except OSError:
+                pass
+            self._locked = False
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def day_path(self, day: int) -> Path:
         return self.dir / f"day{day:02d}.ckpt"

@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
 import tempfile
 from pathlib import Path
 from typing import Any
@@ -74,7 +75,11 @@ def write_artifact(path: str | Path, payload: Any, schema: int) -> str:
     path.parent.mkdir(parents=True, exist_ok=True)
     payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     digest = checksum(payload_bytes)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    # The writer's pid is embedded in the temp name so a *concurrent*
+    # store startup (sweep_stale_tmp) can tell a live writer's in-flight
+    # temp file from a dead process's orphan and leave it alone.
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f"{path.name}.{os.getpid()}.", suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
             pickle.dump((MAGIC, schema, digest, payload_bytes), fh,
@@ -160,17 +165,44 @@ def quarantine(path: str | Path, root: str | Path, *, store: str = "") -> Path |
     return dest
 
 
+#: Temp-file names look like ``<artifact>.<pid>.<random>.tmp``.
+_TMP_PID_RE = re.compile(r"\.(\d+)\.[^.]*\.tmp$")
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` currently exists on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
 def sweep_stale_tmp(root: str | Path) -> int:
     """Delete orphaned ``*.tmp`` files under ``root``; returns the count.
 
     A process that dies between ``mkstemp`` and ``os.replace`` strands
     its temp file; the files are unreferenced by construction (the final
-    name only ever appears via ``os.replace``), so sweeping them on store
-    startup is always safe.
+    name only ever appears via ``os.replace``).  Temp names embed the
+    writer's pid, and a temp whose writer is *still alive* is skipped —
+    two workers persisting the same artifact concurrently must both
+    succeed, so one store's startup sweep must never unlink the other's
+    in-flight temp file (that race made the victim's ``os.replace`` fail
+    and the day quarantine-noisy).  Files without a parseable pid are
+    legacy orphans and are swept unconditionally.
     """
     root = Path(root)
     removed = 0
     for tmp in root.rglob("*.tmp"):
+        match = _TMP_PID_RE.search(tmp.name)
+        if match is not None and pid_alive(int(match.group(1))):
+            continue  # a live writer is mid-store; not ours to sweep
         try:
             tmp.unlink()
             removed += 1

@@ -225,51 +225,59 @@ def run_mission(
         # artifact keys, so persisting their outcomes would poison later
         # default-stack runs of the same config.
         day_cache = cache if cache is not None and default_stack else None
+        # The journal lease is exclusive: two processes resuming the same
+        # sensing fingerprint would interleave writes, so the second one
+        # gets a clean JournalBusyError here instead.
         journal = (
-            CheckpointJournal(execution.checkpoint_dir, cfg)
+            CheckpointJournal(execution.checkpoint_dir, cfg, exclusive=True,
+                              owner="run_mission")
             if execution.checkpoint_active and default_stack else None
         )
         if execution.checkpoint_active and not default_stack:
             log.warning("checkpoint-disabled",
                         reason="custom models/localizer are not part of the journal key")
 
-        outcomes: dict[int, DayOutcome] = {}
-        if journal is not None and execution.resume:
-            outcomes.update(journal.load_completed(cfg.instrumented_days))
-        if day_cache is not None:
-            for day in cfg.instrumented_days:
-                if day in outcomes:
-                    continue
-                hit = day_cache.load_day(cfg, day)
-                if hit is not None:
-                    outcomes[day] = hit
-        missing = [d for d in cfg.instrumented_days if d not in outcomes]
-
-        def persist(outcome: DayOutcome) -> None:
-            # Called the moment a day completes — serially, from the
-            # supervisor's harvest, or salvaged out of a broken pool —
-            # so a later crash can resume past it.  Worker telemetry is
-            # transient and never persisted.
-            stored = (
-                dataclasses.replace(outcome, telemetry=None)
-                if outcome.telemetry is not None else outcome
-            )
-            if journal is not None:
-                journal.record(stored)
+        try:
+            outcomes: dict[int, DayOutcome] = {}
+            if journal is not None and execution.resume:
+                outcomes.update(journal.load_completed(cfg.instrumented_days))
             if day_cache is not None:
-                day_cache.store_day(cfg, stored)
+                for day in cfg.instrumented_days:
+                    if day in outcomes:
+                        continue
+                    hit = day_cache.load_day(cfg, day)
+                    if hit is not None:
+                        outcomes[day] = hit
+            missing = [d for d in cfg.instrumented_days if d not in outcomes]
 
-        _compute_missing_days(
-            cfg, truth, assignment, models, localizer, fleet, rngs, sdcard,
-            plan, missing, outcomes, execution, persist,
-        )
+            def persist(outcome: DayOutcome) -> None:
+                # Called the moment a day completes — serially, from the
+                # supervisor's harvest, or salvaged out of a broken pool —
+                # so a later crash can resume past it.  Worker telemetry is
+                # transient and never persisted.
+                stored = (
+                    dataclasses.replace(outcome, telemetry=None)
+                    if outcome.telemetry is not None else outcome
+                )
+                if journal is not None:
+                    journal.record(stored)
+                if day_cache is not None:
+                    day_cache.store_day(cfg, stored)
 
-        for day in cfg.instrumented_days:
-            outcome = outcomes[day]
-            for badge_id, summary in outcome.summaries.items():
-                sensing.summaries[(badge_id, day)] = summary
-            sensing.pairwise[day] = outcome.pairwise
-            outcome.telemetry = None  # merged already; don't retain snapshots
+            _compute_missing_days(
+                cfg, truth, assignment, models, localizer, fleet, rngs, sdcard,
+                plan, missing, outcomes, execution, persist,
+            )
+
+            for day in cfg.instrumented_days:
+                outcome = outcomes[day]
+                for badge_id, summary in outcome.summaries.items():
+                    sensing.summaries[(badge_id, day)] = summary
+                sensing.pairwise[day] = outcome.pairwise
+                outcome.telemetry = None  # merged already; don't retain snapshots
+        finally:
+            if journal is not None:
+                journal.close()
 
         # Data corruption strikes the assembled dataset — after the
         # per-day pipeline (so cached/journaled outcomes stay pristine)

@@ -1,0 +1,112 @@
+"""Mission submission serialization for the fleet service.
+
+A submission is a :class:`~repro.core.config.MissionConfig` (plus the
+ingest-gate mode) that must survive a trip through the durable mission
+registry: serialized to plain JSON at submit time, stored in SQLite, and
+reconstructed — field-for-field identical — by whichever service worker
+eventually leases the job, possibly in a different process after a
+restart.  ``config_from_dict(config_to_dict(cfg)) == cfg`` is the
+contract, and in particular the round trip preserves the config's
+content-addressed sensing fingerprint, which is what the registry
+dedups on.
+
+The format is versioned (:data:`SUBMISSION_SCHEMA`): a registry written
+by a newer pipeline is rejected loudly instead of silently
+misinterpreted.  Unknown fields are errors for the same reason.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.core.errors import ConfigError
+from repro.exec import hashing
+from repro.faults.plan import FaultEvent, FaultPlan
+
+#: Version tag of the submission wire format.  Bump when MissionConfig
+#: grows fields older services cannot reconstruct.
+SUBMISSION_SCHEMA = 1
+
+#: Ingest-gate modes a submission may carry (see ``run_mission``).
+QUALITY_MODES = ("auto", "off", "gate", "strict")
+
+
+def _dataclass_to_dict(value: Any) -> dict:
+    """Shallow field dict of a flat (no nested dataclass) dataclass."""
+    return {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+
+
+def _build(cls, data: dict, what: str):
+    """Construct ``cls`` from a field dict, rejecting unknown fields."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"{what} must be an object, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigError(f"{what} has unknown field(s): {', '.join(unknown)}")
+    return cls(**data)
+
+
+def config_to_dict(cfg: MissionConfig) -> dict:
+    """Serialize a mission config to plain, JSON-encodable data."""
+    out = _dataclass_to_dict(cfg)
+    out["events"] = (
+        _dataclass_to_dict(cfg.events) if cfg.events is not None else None
+    )
+    out["fault_plan"] = (
+        {"events": [_dataclass_to_dict(e) for e in cfg.fault_plan.events]}
+        if cfg.fault_plan is not None else None
+    )
+    return {"schema": SUBMISSION_SCHEMA, "mission": out}
+
+
+def config_from_dict(data: dict) -> MissionConfig:
+    """Reconstruct the exact mission config a submission serialized.
+
+    Raises :class:`~repro.core.errors.ConfigError` on a foreign schema,
+    unknown fields, or any value the config itself rejects — a malformed
+    submission must fail at the registry boundary, not inside a worker.
+    """
+    if not isinstance(data, dict) or "mission" not in data:
+        raise ConfigError("submission payload must be a {schema, mission} object")
+    schema = data.get("schema")
+    if schema != SUBMISSION_SCHEMA:
+        raise ConfigError(
+            f"submission schema {schema!r} is not the supported "
+            f"{SUBMISSION_SCHEMA} (mixed service/client versions?)")
+    mission = dict(data["mission"])
+    events = mission.pop("events", None)
+    fault_plan = mission.pop("fault_plan", None)
+    kwargs: dict[str, Any] = dict(mission)
+    kwargs["events"] = (
+        _build(ScriptedEventsConfig, events, "events") if events is not None else None
+    )
+    if fault_plan is not None:
+        if not isinstance(fault_plan, dict) or "events" not in fault_plan:
+            raise ConfigError("fault_plan must be an {events: [...]} object")
+        kwargs["fault_plan"] = FaultPlan.build(*(
+            _build(FaultEvent, e, "fault event") for e in fault_plan["events"]
+        ))
+    else:
+        kwargs["fault_plan"] = None
+    return _build(MissionConfig, kwargs, "mission config")
+
+
+def submission_fingerprint(cfg: MissionConfig, quality: str = "auto") -> str:
+    """Content-addressed identity of one submission.
+
+    Built on the existing sensing fingerprint (the full config, fault
+    plan included), extended with the ingest-gate mode — the only knob
+    outside ``MissionConfig`` that changes a mission's results.  Two
+    submissions with equal fingerprints are the *same work* and the
+    registry executes them exactly once.
+    """
+    if quality not in QUALITY_MODES:
+        raise ConfigError(
+            f"quality must be one of {'/'.join(QUALITY_MODES)}, got {quality!r}")
+    return hashing.fingerprint(
+        {"sensing": hashing.sensing_fingerprint(cfg), "quality": quality},
+        stage="submission",
+    )

@@ -27,6 +27,7 @@ from repro.faults.report import (
     availability_from_downtime,
 )
 from repro.faults.scenario import run_support_scenario
+from repro.faults.service import ServiceChaos
 
 __all__ = [
     "BUS_ACTIONS",
@@ -37,6 +38,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "ReliabilityReport",
+    "ServiceChaos",
     "aggregate_delivery",
     "apply_data_faults",
     "availability_from_downtime",

@@ -1,0 +1,52 @@
+"""Errors raised by the mission fleet service.
+
+All derive from :class:`ServiceError` so the CLI can turn any of them
+into a one-line message and a non-zero exit instead of a traceback —
+an operator poking a dead or busy service needs the reason, not a
+stack.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for every fleet-service error."""
+
+
+class RegistryUnavailable(ServiceError):
+    """The registry database cannot be reached (missing path, not a
+    registry, or locked past the busy timeout)."""
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected a submission: the backlog is at the
+    service's bounded depth (429-style backpressure instead of OOM).
+
+    Attributes:
+        depth: current backlog (queued + leased + running jobs).
+        retry_after_s: suggested client wait before resubmitting.
+    """
+
+    def __init__(self, depth: int, limit: int, retry_after_s: float):
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"queue full ({depth}/{limit} jobs in flight); "
+            f"retry after {retry_after_s:.1f}s"
+        )
+
+
+class UnknownJobError(ServiceError):
+    """No job with the given id or fingerprint exists in the registry."""
+
+
+class StateTransitionError(ServiceError):
+    """A job was asked to make a transition its state machine forbids.
+
+    Job states only ever move forward (``queued → leased → running →
+    done|failed|dead``); a stale lease trying to complete a job someone
+    else already owns surfaces here instead of corrupting the record.
+    """

@@ -153,6 +153,35 @@ class TestCacheRobustness:
         again = MissionCache(tmp_path)
         assert again.load_truth(small_cfg) is not None
 
+    def test_store_survives_concurrent_cache_startup(self, small_cfg, tmp_path,
+                                                      monkeypatch):
+        """Regression: two concurrent writers must both succeed.
+
+        The race: writer A is between mkstemp and os.replace when
+        writer B's cache startup sweep runs; the sweep used to unlink
+        A's live temp file, failing A's store with quarantine noise.
+        """
+        import os
+
+        from repro.crew.behavior import simulate_mission
+        from repro.exec import integrity
+
+        cache = MissionCache(tmp_path)
+        truth = simulate_mission(small_cfg)
+        real_replace = os.replace
+
+        def racing_replace(src, dst):
+            MissionCache(tmp_path)  # B starts up mid-write and sweeps
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(integrity.os, "replace", racing_replace)
+        cache.store_truth(small_cfg, truth)  # A must still land its write
+        monkeypatch.undo()
+        fresh = MissionCache(tmp_path)
+        assert fresh.load_truth(small_cfg) is not None
+        assert fresh.stats()["quarantined"]["truth"] == 0
+        assert list(tmp_path.rglob("*.tmp")) == []
+
     def test_store_load_round_trip(self, small_cfg, tmp_path):
         from repro.crew.behavior import simulate_mission
 

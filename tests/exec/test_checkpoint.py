@@ -149,6 +149,96 @@ class TestResume:
         assert CheckpointJournal(tmp_path, cfg).journaled_days() == []
 
 
+class TestJournalLease:
+    """The O_EXCL exclusive lease: one live resumer per fingerprint."""
+
+    def test_second_resumer_gets_busy_error(self, cfg, tmp_path):
+        from repro.exec.checkpoint import JournalBusyError
+
+        holder = CheckpointJournal(tmp_path, cfg, exclusive=True, owner="one")
+        try:
+            with pytest.raises(JournalBusyError, match="held by"):
+                CheckpointJournal(tmp_path, cfg, exclusive=True, owner="two")
+        finally:
+            holder.close()
+
+    def test_close_releases_the_lease(self, cfg, tmp_path):
+        holder = CheckpointJournal(tmp_path, cfg, exclusive=True)
+        holder.close()
+        second = CheckpointJournal(tmp_path, cfg, exclusive=True)
+        second.close()
+        second.close()  # idempotent
+
+    def test_context_manager_releases(self, cfg, tmp_path):
+        with CheckpointJournal(tmp_path, cfg, exclusive=True) as journal:
+            assert (journal.dir / "journal.lock").exists()
+        assert not (journal.dir / "journal.lock").exists()
+
+    def test_stale_lock_of_dead_holder_is_broken(self, cfg, tmp_path):
+        """A kill -9'd holder leaves its marker; the pid check breaks it."""
+        import json
+
+        journal = CheckpointJournal(tmp_path, cfg)
+        (journal.dir / "journal.lock").write_text(
+            json.dumps({"pid": 2 ** 22 + 12345, "owner": "ghost",
+                        "acquired_at": 0.0}))
+        taker = CheckpointJournal(tmp_path, cfg, exclusive=True)
+        taker.close()
+
+    def test_unreadable_lock_is_treated_as_stale(self, cfg, tmp_path):
+        journal = CheckpointJournal(tmp_path, cfg)
+        (journal.dir / "journal.lock").write_bytes(b"\x00 crash mid-write")
+        taker = CheckpointJournal(tmp_path, cfg, exclusive=True)
+        taker.close()
+
+    def test_live_holder_is_never_stolen(self, cfg, tmp_path):
+        """Our own pid in the marker means the holder is alive."""
+        import json
+
+        from repro.exec.checkpoint import JournalBusyError
+
+        journal = CheckpointJournal(tmp_path, cfg)
+        (journal.dir / "journal.lock").write_text(
+            json.dumps({"pid": __import__("os").getpid(), "owner": "twin",
+                        "acquired_at": 0.0}))
+        with pytest.raises(JournalBusyError):
+            CheckpointJournal(tmp_path, cfg, exclusive=True)
+
+    def test_non_exclusive_journal_ignores_the_lease(self, cfg, tmp_path):
+        """Read-side journals (and legacy callers) never contend."""
+        holder = CheckpointJournal(tmp_path, cfg, exclusive=True)
+        try:
+            reader = CheckpointJournal(tmp_path, cfg)
+            assert reader.journaled_days() == []
+        finally:
+            holder.close()
+
+    def test_run_mission_releases_on_exit(self, cfg, tmp_path):
+        run_mission(cfg, execution=ExecutionConfig(checkpoint_dir=str(tmp_path)))
+        journal = CheckpointJournal(tmp_path, cfg)
+        assert not (journal.dir / "journal.lock").exists()
+        # The fingerprint is immediately resumable by the next process.
+        again = CheckpointJournal(tmp_path, cfg, exclusive=True)
+        again.close()
+
+    def test_concurrent_run_mission_raises_busy(self, cfg, tmp_path):
+        from repro.exec.checkpoint import JournalBusyError
+
+        holder = CheckpointJournal(tmp_path, cfg, exclusive=True, owner="rival")
+        try:
+            with pytest.raises(JournalBusyError):
+                run_mission(cfg, execution=ExecutionConfig(
+                    checkpoint_dir=str(tmp_path)))
+        finally:
+            holder.close()
+
+    def test_busy_error_is_exported(self):
+        from repro.core.errors import DataError
+        from repro.exec import JournalBusyError
+
+        assert issubclass(JournalBusyError, DataError)
+
+
 class TestConfig:
     def test_resume_requires_checkpoint_dir(self):
         with pytest.raises(ConfigError):

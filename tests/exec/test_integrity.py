@@ -151,6 +151,47 @@ class TestSweep:
     def test_empty_root_is_fine(self, tmp_path):
         assert sweep_stale_tmp(tmp_path) == 0
 
+    def test_live_writers_tmp_is_spared(self, tmp_path):
+        """Concurrent-writer fix: a temp file whose embedded pid is a
+        live process is mid-store, not an orphan — leave it alone."""
+        live = tmp_path / f"a.pkl.{os.getpid()}.xyz123.tmp"
+        dead = tmp_path / f"a.pkl.{2 ** 22 + 12345}.xyz123.tmp"
+        legacy = tmp_path / "a.pkl.nopid.tmp"  # pre-fix name: always swept
+        for path in (live, dead, legacy):
+            path.write_bytes(b"partial")
+        assert sweep_stale_tmp(tmp_path) == 2
+        assert live.exists()
+        assert not dead.exists()
+        assert not legacy.exists()
+
+    def test_write_artifact_tmp_names_carry_the_pid(self, tmp_path, monkeypatch):
+        """The sweep contract depends on the writer embedding its pid."""
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append(os.path.basename(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(integrity.os, "replace", spy)
+        write_artifact(tmp_path / "a.pkl", "payload", schema=1)
+        (tmp_name,) = seen
+        match = integrity._TMP_PID_RE.search(tmp_name)
+        assert match is not None
+        assert int(match.group(1)) == os.getpid()
+
+
+class TestPidAlive:
+    def test_own_pid_is_alive(self):
+        assert integrity.pid_alive(os.getpid())
+
+    def test_vast_pid_is_dead(self):
+        assert not integrity.pid_alive(2 ** 22 + 12345)
+
+    def test_nonpositive_pids_are_dead(self):
+        assert not integrity.pid_alive(0)
+        assert not integrity.pid_alive(-1)
+
 
 class TestAtomicity:
     def test_interrupted_write_leaves_old_artifact_intact(self, tmp_path, monkeypatch):

@@ -1,0 +1,106 @@
+"""Submission wire format: exact round trips, versioning, fingerprints."""
+
+import json
+
+import pytest
+
+from repro.core.config import MissionConfig, ScriptedEventsConfig
+from repro.core.errors import ConfigError
+from repro.exec import hashing
+from repro.experiments.submission import (
+    SUBMISSION_SCHEMA,
+    config_from_dict,
+    config_to_dict,
+    submission_fingerprint,
+)
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+def _round_trip(cfg: MissionConfig) -> MissionConfig:
+    # Through JSON, exactly as the registry stores it.
+    return config_from_dict(json.loads(json.dumps(config_to_dict(cfg))))
+
+
+class TestRoundTrip:
+    def test_default_config(self):
+        cfg = MissionConfig()
+        assert _round_trip(cfg) == cfg
+
+    def test_no_events(self):
+        cfg = MissionConfig(days=3, seed=5, events=None)
+        assert _round_trip(cfg) == cfg
+
+    def test_custom_events(self):
+        cfg = MissionConfig(
+            days=5, seed=11,
+            events=ScriptedEventsConfig(death_day=4, badge_swap_day=3),
+        )
+        assert _round_trip(cfg) == cfg
+
+    def test_fault_plan(self):
+        plan = FaultPlan.build(
+            FaultEvent(time_s=100.0, action="crash", target="beacon-3",
+                       duration_s=60.0),
+            FaultEvent(time_s=5000.0, action="lossy", target="a<->b",
+                       duration_s=120.0, value=0.25),
+        )
+        cfg = MissionConfig(days=3, seed=0, fault_plan=plan)
+        restored = _round_trip(cfg)
+        assert restored == cfg
+        assert restored.fault_plan.events == plan.events
+
+    def test_sensing_fingerprint_preserved(self):
+        """The dedup key must survive the registry round trip."""
+        cfg = MissionConfig(days=4, seed=9, frame_dt=5.0)
+        assert (hashing.sensing_fingerprint(_round_trip(cfg))
+                == hashing.sensing_fingerprint(cfg))
+
+
+class TestValidation:
+    def test_foreign_schema_rejected(self):
+        data = config_to_dict(MissionConfig())
+        data["schema"] = SUBMISSION_SCHEMA + 1
+        with pytest.raises(ConfigError, match="schema"):
+            config_from_dict(data)
+
+    def test_missing_mission_rejected(self):
+        with pytest.raises(ConfigError):
+            config_from_dict({"schema": SUBMISSION_SCHEMA})
+
+    def test_unknown_mission_field_rejected(self):
+        data = config_to_dict(MissionConfig())
+        data["mission"]["warp_factor"] = 9
+        with pytest.raises(ConfigError, match="warp_factor"):
+            config_from_dict(data)
+
+    def test_unknown_event_field_rejected(self):
+        data = config_to_dict(MissionConfig())
+        data["mission"]["events"]["surprise_party_day"] = 2
+        with pytest.raises(ConfigError, match="surprise_party_day"):
+            config_from_dict(data)
+
+    def test_malformed_fault_plan_rejected(self):
+        data = config_to_dict(MissionConfig())
+        data["mission"]["fault_plan"] = {"oops": []}
+        with pytest.raises(ConfigError, match="fault_plan"):
+            config_from_dict(data)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        cfg = MissionConfig(days=3, seed=1)
+        assert (submission_fingerprint(cfg, "auto")
+                == submission_fingerprint(cfg, "auto"))
+
+    def test_quality_mode_is_part_of_identity(self):
+        cfg = MissionConfig(days=3, seed=1)
+        assert (submission_fingerprint(cfg, "auto")
+                != submission_fingerprint(cfg, "strict"))
+
+    def test_config_is_part_of_identity(self):
+        assert (submission_fingerprint(MissionConfig(days=3, seed=1))
+                != submission_fingerprint(MissionConfig(days=3, seed=2)))
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(ConfigError):
+            submission_fingerprint(MissionConfig(), "paranoid")
